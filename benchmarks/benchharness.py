@@ -1,0 +1,50 @@
+"""Shared helpers for the per-figure benchmark targets.
+
+Every bench regenerates one table/figure of the paper and *emits* the
+series it produces — both to the real stdout (so it survives pytest's
+capture into ``bench_output.txt``) and to ``benchmarks/results/<name>.txt``
+for later inspection.  EXPERIMENTS.md records the paper-vs-measured
+comparison of these outputs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: blocks emitted during this session, replayed by the conftest's
+#: terminal-summary hook (pytest's fd-level capture swallows direct
+#: writes during test execution).
+SESSION_EMISSIONS = []
+
+
+def emit(name: str, lines: Iterable[str]) -> None:
+    """Record a result block: to results/<name>.txt immediately, and to
+    the terminal at session end (see benchmarks/conftest.py)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines)
+    SESSION_EMISSIONS.append((name, text))
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    These are simulations, not microbenchmarks: a single round keeps the
+    suite's wall-clock sane while still recording how long each figure
+    takes to regenerate.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def fmt_gbps(bps: float) -> str:
+    """Format a bandwidth in Gbps."""
+    return f"{bps / 1e9:6.2f}G"
+
+
+def fmt_kb(nbytes: float) -> str:
+    """Format a byte count in KB."""
+    return f"{nbytes / 1000:8.1f}KB"

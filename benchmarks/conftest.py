@@ -1,0 +1,21 @@
+"""Bench-suite plumbing: replay emitted figure series after capture ends.
+
+pytest captures file descriptors during test execution, so the per-figure
+result tables produced by :func:`benchharness.emit` would be invisible in
+``pytest benchmarks/ --benchmark-only`` output.  The terminal-summary hook
+runs after capture is torn down: everything emitted during the session is
+printed there (and therefore lands in ``bench_output.txt`` when teed).
+"""
+
+import benchharness
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not benchharness.SESSION_EMISSIONS:
+        return
+    terminalreporter.write_sep("=", "regenerated paper figures (series)")
+    for name, text in benchharness.SESSION_EMISSIONS:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", name)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

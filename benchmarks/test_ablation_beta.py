@@ -1,0 +1,60 @@
+"""Ablation — the additive-increase β = HostBw·τ/N.
+
+Appendix A: the equilibrium queue is β̂ (the sum of β over flows at the
+bottleneck), so N controls the standing queue / convergence-speed
+trade-off.  We sweep N (``expected_flows``) on the web-search workload
+and report tail slowdowns and buffer occupancy.
+"""
+
+from benchharness import emit, once
+
+from repro.analysis.stats import percentile
+from repro.experiments.websearch import WebsearchConfig, run_websearch
+from repro.units import MSEC
+
+NS = [8, 16, 32, 64, 128]
+SCALE = 1 / 16
+PCT = 99.0
+
+
+def run_all():
+    return {
+        n: run_websearch(
+            WebsearchConfig(
+                algorithm="powertcp",
+                load=0.6,
+                duration_ns=20 * MSEC,
+                drain_ns=40 * MSEC,
+                size_scale=SCALE,
+                max_flows=400,
+                cc_params={"expected_flows": n},
+            )
+        )
+        for n in NS
+    }
+
+
+def test_ablation_beta(benchmark):
+    results = once(benchmark, run_all)
+    lines = [
+        f"{'N':>5s} {'beta=BDP/N':>11s} {'p99 short':>10s} {'p99 long':>10s} "
+        f"{'p99 buffer':>11s}"
+    ]
+    for n, r in results.items():
+        s = r.fct_summary(pct=PCT)
+        buf = percentile(r.buffer_samples_bytes, 99)
+        lines.append(
+            f"{n:>5d} {'BDP/' + str(n):>11s} "
+            f"{s.short if s.short else float('nan'):10.2f} "
+            f"{s.long if s.long else float('nan'):10.2f} {buf:11.0f}"
+        )
+    lines.append("")
+    lines.append("expectation: larger N -> smaller standing queue (better")
+    lines.append("short-flow tails, lower buffers) at slightly slower ramp")
+    emit("ablation_beta", lines)
+
+    small_n = results[8]
+    large_n = results[128]
+    assert percentile(large_n.buffer_samples_bytes, 99) <= percentile(
+        small_n.buffer_samples_bytes, 99
+    )

@@ -1,0 +1,52 @@
+"""Ablation — the EWMA parameter γ (paper recommends 0.9).
+
+γ trades reaction speed against noise sensitivity: Theorem 2's time
+constant is δt/γ, so small γ converges slowly; γ=1 reacts fastest but
+trusts each (noisy) power sample fully.  We sweep γ on the 10:1 incast
+and report queue control and throughput.
+"""
+
+from benchharness import emit, fmt_kb, once
+
+from repro.experiments.incast import IncastConfig, run_incast
+from repro.units import MSEC
+
+GAMMAS = [0.3, 0.5, 0.7, 0.9, 1.0]
+
+
+def run_all():
+    return {
+        gamma: run_incast(
+            IncastConfig(
+                algorithm="powertcp",
+                fanout=10,
+                duration_ns=4 * MSEC,
+                cc_params={"gamma": gamma},
+            )
+        )
+        for gamma in GAMMAS
+    }
+
+
+def test_ablation_gamma(benchmark):
+    results = once(benchmark, run_all)
+    lines = [
+        f"{'gamma':>6s} {'peakQ':>10s} {'settledQ':>10s} {'burst-util':>10s} {'done':>6s}"
+    ]
+    for gamma, r in results.items():
+        lines.append(
+            f"{gamma:6.2f} {fmt_kb(r.peak_qlen_bytes):>10s} "
+            f"{fmt_kb(r.mean_late_qlen()):>10s} {r.burst_utilization():10.2f} "
+            f"{len(r.burst_fcts_ns):>4d}/10"
+        )
+    lines.append("")
+    lines.append("paper: gamma=0.9 recommended — fast convergence without")
+    lines.append("noise amplification; the sweep should show gamma>=0.7 keeps")
+    lines.append("settled queues near zero with full burst utilization")
+    emit("ablation_gamma", lines)
+
+    recommended = results[0.9]
+    assert recommended.burst_utilization() > 0.95
+    assert recommended.mean_late_qlen() < 2_000
+    # Slow gamma still converges (stability holds for all gamma in (0,1]).
+    assert len(results[0.3].burst_fcts_ns) == 10

@@ -1,0 +1,64 @@
+"""Figs. 10/11 (Appendix D) — HOMA incast reaction at overcommitment 1-6.
+
+Fig. 11: 10:1 incast; Fig. 10: large fan-in (paper 255:1, scaled to 64:1
+here).  The paper's observation: higher overcommitment admits more
+unscheduled+granted traffic concurrently, so queues grow with the level
+while throughput stays saturated.
+"""
+
+from benchharness import emit, fmt_kb, once
+
+from repro.experiments.incast import IncastConfig, run_incast
+from repro.units import MSEC
+
+LEVELS = [1, 2, 4, 6]
+
+
+def run_levels(fanout, burst_bytes, duration_ns):
+    return {
+        oc: run_incast(
+            IncastConfig(
+                algorithm="homa",
+                fanout=fanout,
+                burst_bytes=burst_bytes,
+                duration_ns=duration_ns,
+                cc_params={"overcommitment": oc},
+            )
+        )
+        for oc in LEVELS
+    }
+
+
+def summarize(name, results, fanout):
+    lines = [
+        f"{'OC':>3s} {'peakQ':>10s} {'settledQ':>10s} {'burst-util':>10s} {'done':>8s}"
+    ]
+    for oc, r in results.items():
+        lines.append(
+            f"{oc:>3d} {fmt_kb(r.peak_qlen_bytes):>10s} "
+            f"{fmt_kb(r.mean_late_qlen()):>10s} {r.burst_utilization():10.2f} "
+            f"{len(r.burst_fcts_ns):>4d}/{fanout:<3d}"
+        )
+    lines.append("")
+    lines.append("paper figs 10/11: throughput saturated at all levels;")
+    lines.append("queue occupancy does not converge to zero during the burst")
+    emit(name, lines)
+
+
+def test_fig11_homa_10to1(benchmark):
+    results = once(benchmark, lambda: run_levels(10, 200_000, 4 * MSEC))
+    summarize("fig11_homa_10to1", results, 10)
+    for oc, r in results.items():
+        assert len(r.burst_fcts_ns) == 10, oc
+        assert r.burst_utilization() > 0.9, oc
+
+
+def test_fig10_homa_large_fanin(benchmark):
+    results = once(benchmark, lambda: run_levels(64, 60_000, 10 * MSEC))
+    summarize("fig10_homa_large_fanin", results, 64)
+    for oc, r in results.items():
+        # High overcommitment lets SRPT starve the largest-remaining
+        # message near the horizon; allow a one-flow straggler.
+        assert len(r.burst_fcts_ns) >= 63, oc
+    # Peak queue grows (or stays) with the overcommitment level.
+    assert results[6].peak_qlen_bytes >= results[1].peak_qlen_bytes * 0.8

@@ -1,0 +1,91 @@
+"""Fig. 2 — reaction curves of the control-law taxonomy.
+
+Paper claims reproduced here:
+
+* 2a: voltage-based CC is oblivious to the queue buildup rate (flat),
+  current-based CC reacts linearly (MD = 1 + rate).
+* 2b: current-based CC is oblivious to queue length (flat), voltage-based
+  CC reacts linearly.
+* 2c: voltage cannot distinguish case-2 from case-3; current cannot
+  distinguish case-1 from case-3; power separates all three.
+"""
+
+from benchharness import emit, once
+
+from repro.fluid.reaction import (
+    decrease_vs_buildup_rate,
+    decrease_vs_queue_length,
+    three_case_comparison,
+)
+from repro.units import GBPS
+
+B_BPS = 100 * GBPS / 8.0  # bytes/s
+TAU = 20e-6
+BDP = B_BPS * TAU
+
+
+def test_fig2a_buildup_rate(benchmark):
+    rates = [0, 1, 2, 3, 4, 5, 6, 7, 8]
+
+    def run():
+        return decrease_vs_buildup_rate(
+            bandwidth_Bps=B_BPS,
+            tau_s=TAU,
+            queue_bytes=0.5 * BDP,
+            rate_multiples=rates,
+        )
+
+    series = once(benchmark, run)
+    lines = ["rate(xB)  queue/delay-MD  rtt-gradient-MD"]
+    for i, rate in enumerate(rates):
+        lines.append(
+            f"{rate:8.1f}  {series['queue-length'][i]:14.2f}  "
+            f"{series['rtt-gradient'][i]:15.2f}"
+        )
+    emit("fig2a_md_vs_buildup_rate", lines)
+    voltage = series["queue-length"]
+    current = series["rtt-gradient"]
+    assert max(voltage) == min(voltage)  # voltage oblivious to rate
+    assert current[-1] == 9.0  # 1 + 8x
+
+
+def test_fig2b_queue_length(benchmark):
+    queue_fracs = [0.0, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0]
+
+    def run():
+        return decrease_vs_queue_length(
+            bandwidth_Bps=B_BPS,
+            tau_s=TAU,
+            queue_lengths_bytes=[f * BDP for f in queue_fracs],
+        )
+
+    series = once(benchmark, run)
+    lines = ["queue(xBDP)  queue/delay-MD  rtt-gradient-MD"]
+    for i, frac in enumerate(queue_fracs):
+        lines.append(
+            f"{frac:11.2f}  {series['queue-length'][i]:14.2f}  "
+            f"{series['rtt-gradient'][i]:15.2f}"
+        )
+    emit("fig2b_md_vs_queue_length", lines)
+    assert max(series["rtt-gradient"]) == min(series["rtt-gradient"])
+    assert series["queue-length"][-1] == 5.0  # 1 + 4 BDP
+
+
+def test_fig2c_three_cases(benchmark):
+    cases = once(
+        benchmark,
+        lambda: three_case_comparison(bandwidth_Bps=B_BPS, tau_s=TAU),
+    )
+    lines = [f"{'case':45s} {'voltage':>8s} {'current':>8s} {'power':>8s}"]
+    for c in cases:
+        lines.append(
+            f"{c.label:45s} {c.voltage:8.2f} {c.current:8.2f} {c.power:8.2f}"
+        )
+    lines.append("")
+    lines.append("paper claim: voltage(case2)==voltage(case3); "
+                 "current(case1)==current(case3); power separates all three")
+    emit("fig2c_three_cases", lines)
+    c1, c2, c3 = cases
+    assert c2.voltage == c3.voltage
+    assert c1.current == c3.current
+    assert len({round(c.power, 9) for c in cases}) == 3

@@ -1,0 +1,58 @@
+"""Fig. 3 — phase portraits: trajectories from initial states to equilibrium.
+
+Paper claims reproduced (100 Gbps bottleneck, 20 µs base RTT):
+
+* 3a voltage-based CC: unique equilibrium, but throughput loss on almost
+  every trajectory (overreaction below the BDP line);
+* 3b current-based CC: no unique equilibrium (final state depends on the
+  initial state);
+* 3c power-based CC: unique equilibrium, accurate control, no loss.
+"""
+
+from benchharness import emit, once
+
+from repro.fluid.laws import GRADIENT_LAW, POWER_LAW, QUEUE_LAW
+from repro.fluid.model import FluidParams
+from repro.fluid.phase import phase_portrait
+
+
+def params():
+    p = FluidParams()  # paper's example: 100 Gbps, 20 us
+    p.beta_bytes = 0.01 * p.bdp_bytes
+    return p
+
+
+def run_all():
+    return {
+        law.name: phase_portrait(law, params())
+        for law in (QUEUE_LAW, GRADIENT_LAW, POWER_LAW)
+    }
+
+
+def test_fig3_phase_portraits(benchmark):
+    portraits = once(benchmark, run_all)
+    p = params()
+    lines = [
+        f"BDP = {p.bdp_bytes/1000:.0f}KB, beta = {p.beta_bytes/1000:.1f}KB",
+        f"{'law':14s} {'eq-spread':>10s} {'worst-loss':>11s} {'frac-loss':>10s}  final windows (xBDP)",
+    ]
+    for name, portrait in portraits.items():
+        finals = ", ".join(f"{w / p.bdp_bytes:.2f}" for w in portrait.final_windows)
+        lines.append(
+            f"{name:14s} {portrait.equilibrium_spread():10.3f} "
+            f"{portrait.worst_throughput_loss():11.3f} "
+            f"{portrait.fraction_with_loss():10.2f}  [{finals}]"
+        )
+    lines.append("")
+    lines.append("paper: 3a voltage unique-eq + loss; 3b current no unique eq;")
+    lines.append("       3c power unique-eq + no loss")
+    emit("fig3_phase_portraits", lines)
+
+    voltage = portraits["queue-length"]
+    current = portraits["rtt-gradient"]
+    power = portraits["power"]
+    assert voltage.equilibrium_spread() < 0.05
+    assert voltage.fraction_with_loss() > 0.5
+    assert current.equilibrium_spread() > 0.5
+    assert power.equilibrium_spread() < 0.05
+    assert power.fraction_with_loss() == 0.0

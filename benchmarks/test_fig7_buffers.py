@@ -1,0 +1,87 @@
+"""Fig. 7g/7h — buffer-occupancy CDFs.
+
+7g: web-search at 80 % load — PowerTCP consistently occupies less buffer
+and cuts the tail occupancy versus HPCC.  7h: with incast queries layered
+on top, PowerTCP and θ-PowerTCP cut the 99-percentile buffer vs HPCC.
+"""
+
+from benchharness import emit, fmt_kb, once
+
+from repro.analysis.stats import percentile
+from repro.experiments.bursty import BurstyConfig, run_bursty
+from repro.experiments.websearch import WebsearchConfig, run_websearch
+from repro.units import MSEC
+
+ALGOS = ["powertcp", "theta-powertcp", "hpcc"]
+SCALE = 1 / 16
+FLOWS = 400
+PCTS = (50, 90, 99, 99.9)
+
+
+def cdf_rows(results):
+    lines = [
+        f"{'algorithm':>15s} " + " ".join(f"p{p:<6g}" for p in PCTS) + " (bytes)"
+    ]
+    for algo, samples in results.items():
+        row = " ".join(f"{percentile(samples, p):7.0f}" for p in PCTS)
+        lines.append(f"{algo:>15s} {row}")
+    return lines
+
+
+def test_fig7g_buffer_cdf_websearch(benchmark):
+    def run():
+        return {
+            algo: run_websearch(
+                WebsearchConfig(
+                    algorithm=algo,
+                    load=0.8,
+                    duration_ns=20 * MSEC,
+                    drain_ns=40 * MSEC,
+                    size_scale=SCALE,
+                    max_flows=FLOWS,
+                )
+            ).buffer_samples_bytes
+            for algo in ALGOS
+        }
+
+    results = once(benchmark, run)
+    lines = ["ToR buffer occupancy CDF, web-search @ 80% load"]
+    lines += cdf_rows(results)
+    lines.append("")
+    lines.append("paper 7g: PowerTCP maintains lower occupancy throughout and")
+    lines.append("cuts the tail vs HPCC")
+    emit("fig7g_buffer_cdf_websearch", lines)
+
+    assert percentile(results["powertcp"], 99) <= percentile(results["hpcc"], 99)
+
+
+def test_fig7h_buffer_cdf_bursty(benchmark):
+    def run():
+        return {
+            algo: run_bursty(
+                BurstyConfig(
+                    algorithm=algo,
+                    load=0.8,
+                    requests_per_duration=16,
+                    request_size_bytes=2_000_000,
+                    fanout=8,
+                    duration_ns=20 * MSEC,
+                    drain_ns=40 * MSEC,
+                    size_scale=SCALE,
+                    max_flows=FLOWS,
+                )
+            ).buffer_samples_bytes
+            for algo in ALGOS
+        }
+
+    results = once(benchmark, run)
+    lines = ["ToR buffer occupancy CDF, web-search @ 80% + 16x 2MB incasts"]
+    lines += cdf_rows(results)
+    lines.append("")
+    lines.append("paper 7h: PowerTCP and theta-PowerTCP reduce the 99-pct")
+    lines.append("buffer by ~31% vs HPCC")
+    emit("fig7h_buffer_cdf_bursty", lines)
+
+    power_tail = percentile(results["powertcp"], 99)
+    hpcc_tail = percentile(results["hpcc"], 99)
+    assert power_tail <= hpcc_tail * 1.05

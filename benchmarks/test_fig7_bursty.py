@@ -1,0 +1,102 @@
+"""Fig. 7c-7f — web-search at 80 % load plus incast queries.
+
+7c/7d sweep the request *rate* (incast frequency) at 2 MB request size;
+7e/7f sweep the request *size* at a fixed rate.  Claims reproduced:
+PowerTCP improves short-flow tails over HPCC under bursty traffic without
+sacrificing long flows; θ-PowerTCP helps short flows but hurts long ones.
+"""
+
+from benchharness import emit, once
+
+from repro.experiments.bursty import BurstyConfig, run_bursty
+from repro.units import MSEC
+
+ALGOS = ["powertcp", "theta-powertcp", "hpcc"]
+SCALE = 1 / 16
+PCT = 99.0
+FLOWS = 200
+
+
+def run_cell(algo, requests, request_size):
+    return run_bursty(
+        BurstyConfig(
+            algorithm=algo,
+            load=0.8,
+            requests_per_duration=requests,
+            request_size_bytes=request_size,
+            fanout=8,
+            duration_ns=20 * MSEC,
+            drain_ns=40 * MSEC,
+            size_scale=SCALE,
+            max_flows=FLOWS,
+        )
+    )
+
+
+def test_fig7cd_request_rate(benchmark):
+    rates = [1, 4, 16]
+
+    def run():
+        return {
+            (algo, rate): run_cell(algo, rate, 2_000_000)
+            for algo in ALGOS
+            for rate in rates
+        }
+
+    matrix = once(benchmark, run)
+    lines = [f"request-rate sweep @ 2MB requests, p{PCT:g} slowdown"]
+    lines.append(
+        f"{'rate':>5s} " + " ".join(f"{a+'-short':>17s}" for a in ALGOS)
+        + " " + " ".join(f"{a+'-long':>17s}" for a in ALGOS)
+    )
+    for rate in rates:
+        row = [f"{rate:5d}"]
+        for cls in ("short", "long"):
+            for algo in ALGOS:
+                s = matrix[(algo, rate)].fct_summary(pct=PCT)
+                v = getattr(s, cls)
+                row.append(f"{v:17.2f}" if v is not None else f"{'-':>17s}")
+        lines.append(" ".join(row))
+    lines.append("")
+    lines.append("paper 7c/7d: PowerTCP beats HPCC for short flows at every")
+    lines.append("rate (33% at high rates) and by ~10% for long flows")
+    emit("fig7cd_request_rate", lines)
+
+    for rate in rates:
+        power = matrix[("powertcp", rate)].fct_summary(pct=PCT)
+        hpcc = matrix[("hpcc", rate)].fct_summary(pct=PCT)
+        assert power.long <= hpcc.long * 1.25, rate
+
+
+def test_fig7ef_request_size(benchmark):
+    sizes = [1_000_000, 2_000_000, 8_000_000]
+
+    def run():
+        return {
+            (algo, size): run_cell(algo, 4, size)
+            for algo in ALGOS
+            for size in sizes
+        }
+
+    matrix = once(benchmark, run)
+    lines = [f"request-size sweep @ 4 requests/run, p{PCT:g} slowdown"]
+    lines.append(
+        f"{'size':>6s} " + " ".join(f"{a+'-short':>17s}" for a in ALGOS)
+        + " " + " ".join(f"{a+'-long':>17s}" for a in ALGOS)
+    )
+    for size in sizes:
+        row = [f"{size//1_000_000:5d}M"]
+        for cls in ("short", "long"):
+            for algo in ALGOS:
+                s = matrix[(algo, size)].fct_summary(pct=PCT)
+                v = getattr(s, cls)
+                row.append(f"{v:17.2f}" if v is not None else f"{'-':>17s}")
+        lines.append(" ".join(row))
+    lines.append("")
+    lines.append("paper 7e/7f: slowdowns grow gently with request size;")
+    lines.append("PowerTCP stays ahead of HPCC for short flows")
+    emit("fig7ef_request_size", lines)
+
+    small = matrix[("powertcp", sizes[0])].fct_summary(pct=90.0)
+    large = matrix[("powertcp", sizes[-1])].fct_summary(pct=90.0)
+    assert large.overall >= small.overall * 0.8  # grows (within noise)

@@ -1,0 +1,72 @@
+"""Fig. 7a/7b — short/long-flow tail slowdown across loads 20-80 %.
+
+Paper claims: PowerTCP's short-flow benefits over HPCC grow with load
+(7a); long flows are not penalized, and θ-PowerTCP is consistently worse
+for long flows (7b).
+"""
+
+from benchharness import emit, once
+
+from repro.experiments.websearch import WebsearchConfig, run_websearch
+from repro.units import MSEC
+
+ALGOS = ["powertcp", "theta-powertcp", "hpcc"]
+LOADS = [0.2, 0.4, 0.6, 0.8]
+SCALE = 1 / 16
+PCT = 99.0
+FLOWS = 400
+
+
+def run_matrix():
+    matrix = {}
+    for load in LOADS:
+        for algo in ALGOS:
+            matrix[(algo, load)] = run_websearch(
+                WebsearchConfig(
+                    algorithm=algo,
+                    load=load,
+                    duration_ns=20 * MSEC,
+                    drain_ns=40 * MSEC,
+                    size_scale=SCALE,
+                    max_flows=FLOWS,
+                )
+            )
+    return matrix
+
+
+def test_fig7ab_load_sweep(benchmark):
+    matrix = once(benchmark, run_matrix)
+
+    def table(cls):
+        lines = [f"{'load':>6s} " + " ".join(f"{a:>15s}" for a in ALGOS)]
+        for load in LOADS:
+            row = [f"{load:6.0%}"]
+            for algo in ALGOS:
+                summary = matrix[(algo, load)].fct_summary(pct=PCT)
+                value = getattr(summary, cls)
+                row.append(f"{value:15.2f}" if value is not None else f"{'-':>15s}")
+            lines.append(" ".join(row))
+        return lines
+
+    lines = [f"Fig 7a — short flows, p{PCT:g} slowdown vs load"]
+    lines += table("short")
+    lines.append("")
+    lines.append(f"Fig 7b — long flows, p{PCT:g} slowdown vs load")
+    lines += table("long")
+    lines.append("")
+    lines.append("paper: PowerTCP short-flow gains grow with load; theta-")
+    lines.append("PowerTCP long flows are consistently worse than PowerTCP/HPCC")
+    emit("fig7ab_load_sweep", lines)
+
+    # Long flows: PowerTCP comparable to HPCC at every load; theta worse.
+    for load in LOADS:
+        power = matrix[("powertcp", load)].fct_summary(pct=PCT)
+        hpcc = matrix[("hpcc", load)].fct_summary(pct=PCT)
+        theta = matrix[("theta-powertcp", load)].fct_summary(pct=PCT)
+        assert power.long <= hpcc.long * 1.2, load
+        assert theta.long >= power.long * 0.9, load
+    # Slowdowns grow with load for every algorithm.
+    for algo in ALGOS:
+        lo = matrix[(algo, 0.2)].fct_summary(pct=90.0)
+        hi = matrix[(algo, 0.8)].fct_summary(pct=90.0)
+        assert hi.overall >= lo.overall * 0.9, algo

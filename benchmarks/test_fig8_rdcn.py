@@ -1,0 +1,125 @@
+"""Fig. 8 — the reconfigurable-DCN case study.
+
+8a: throughput + circuit-VOQ time series for one ToR pair across rotation
+weeks.  8b: 99-percentile per-packet queuing latency versus packet-network
+bandwidth.  Claims reproduced:
+
+* reTCP fills the circuit from the first day microsecond (prebuffering)
+  but pays order-of-magnitude higher queuing latency, growing with the
+  prebuffer (600 µs vs 1800 µs);
+* HPCC keeps the VOQ empty but underutilizes the circuit;
+* PowerTCP reaches 80-100 % circuit utilization at near-zero VOQ, cutting
+  tail latency by >= 5x vs reTCP.
+
+Prebuffer values are the paper's, scaled to the shortened rotation week
+(see ``scaled_prebuffer_ns``).
+"""
+
+from benchharness import emit, fmt_gbps, fmt_kb, once
+
+from repro.experiments.rdcn import (
+    RdcnConfig,
+    run_rdcn,
+    scaled_prebuffer_ns,
+    scaled_rdcn,
+)
+from repro.units import GBPS, MSEC, USEC
+
+VARIANTS = [
+    ("powertcp", 0),
+    ("hpcc", 0),
+    ("retcp", 600 * USEC),
+    ("retcp", 1800 * USEC),
+]
+
+
+def label(algo, paper_pre):
+    return f"{algo}-{paper_pre // 1000}us" if paper_pre else algo
+
+
+def run_variant(algo, paper_pre, packet_bw):
+    params = scaled_rdcn(packet_bw_bps=packet_bw)
+    pre = scaled_prebuffer_ns(params, paper_pre) if paper_pre else 0
+    return run_rdcn(
+        RdcnConfig(
+            algorithm=algo,
+            params=params,
+            prebuffer_ns=pre,
+            duration_ns=4 * MSEC,
+        )
+    )
+
+
+def test_fig8a_timeseries(benchmark):
+    results = once(
+        benchmark,
+        lambda: {
+            label(a, p): run_variant(a, p, 25 * GBPS) for a, p in VARIANTS
+        },
+    )
+    lines = [
+        f"{'variant':>15s} {'circuit-util':>12s} {'peak-VOQ':>12s} "
+        f"{'p99 q-latency':>14s} {'goodput':>9s}"
+    ]
+    for name, r in results.items():
+        lines.append(
+            f"{name:>15s} {r.circuit_utilization:12.2f} "
+            f"{fmt_kb(r.peak_voq_bytes()):>12s} "
+            f"{r.tail_queuing_latency_ns / 1000:12.1f}us "
+            f"{fmt_gbps(r.mean_goodput_bps):>9s}"
+        )
+    power = results["powertcp"]
+    lines.append("")
+    lines.append("PowerTCP pair-throughput series around its first day (Gbps):")
+    window = [
+        f"{t//1000}us:{bps/1e9:.0f}"
+        for t, bps in zip(power.times_ns, power.pair_throughput_bps)
+        if power.day_windows and power.day_windows[0][0] - 50_000
+        <= t
+        <= power.day_windows[0][1] + 50_000
+    ]
+    lines.append("  " + " ".join(window[:30]))
+    lines.append("")
+    lines.append("paper 8a: reTCP = instant fill + high latency; HPCC = low")
+    lines.append("queue + low fill; PowerTCP = both high fill and low queue")
+    emit("fig8a_rdcn_timeseries", lines)
+
+    assert results["powertcp"].circuit_utilization >= 0.75
+    assert results["hpcc"].circuit_utilization < results["powertcp"].circuit_utilization
+    assert results["retcp-600us"].circuit_utilization > 0.9
+    assert (
+        results["powertcp"].peak_voq_bytes()
+        < 0.05 * results["retcp-600us"].peak_voq_bytes()
+    )
+
+
+def test_fig8b_tail_latency_vs_packet_bw(benchmark):
+    bandwidths = [25 * GBPS, 50 * GBPS]
+
+    def run():
+        return {
+            (label(a, p), bw): run_variant(a, p, bw)
+            for a, p in VARIANTS
+            for bw in bandwidths
+        }
+
+    matrix = once(benchmark, run)
+    lines = ["p99 queuing latency (us) vs packet-network bandwidth"]
+    names = [label(a, p) for a, p in VARIANTS]
+    lines.append(f"{'pkt-bw':>8s} " + " ".join(f"{n:>15s}" for n in names))
+    for bw in bandwidths:
+        row = [f"{bw/1e9:6.0f}G "]
+        for name in names:
+            row.append(f"{matrix[(name, bw)].tail_queuing_latency_ns/1000:15.1f}")
+        lines.append(" ".join(row))
+    lines.append("")
+    lines.append("paper 8b: PowerTCP/HPCC lowest; reTCP-1800us worst; PowerTCP")
+    lines.append("improves tail queuing latency by at least 5x vs reTCP")
+    emit("fig8b_tail_latency", lines)
+
+    for bw in bandwidths:
+        power = matrix[("powertcp", bw)].tail_queuing_latency_ns
+        retcp600 = matrix[("retcp-600us", bw)].tail_queuing_latency_ns
+        retcp1800 = matrix[("retcp-1800us", bw)].tail_queuing_latency_ns
+        assert retcp600 > 2 * power  # paper: >= 5x at full scale
+        assert retcp1800 >= retcp600 * 0.9  # more prebuffer, no less latency

@@ -1,0 +1,123 @@
+"""§2 motivation benches: the standing-queue problem and multi-bottleneck.
+
+Not a numbered figure, but the executable form of the paper's §2.2 and
+§3.5 arguments:
+
+* loss-based CC (NewReno/CUBIC) and ECN-based CC (DCTCP) must hold a
+  standing queue to find capacity, violating the Eq. 1 equilibrium that
+  PowerTCP satisfies;
+* with multiple bottlenecks, INT-based PowerTCP reacts to the most-
+  congested hop while delay-based θ-PowerTCP reacts to the *sum* of
+  queueing delays and underperforms.
+"""
+
+from benchharness import emit, fmt_kb, once
+
+from repro.experiments.driver import FlowDriver
+from repro.sim.engine import Simulator
+from repro.sim.tracing import PortProbe
+from repro.topology.dumbbell import DumbbellParams, build_dumbbell
+from repro.topology.parkinglot import ParkingLotParams, build_parking_lot
+from repro.units import GBPS, MSEC, USEC
+
+ALGOS = ["powertcp", "dctcp", "newreno", "cubic"]
+
+
+def run_standing_queue(algorithm):
+    sim = Simulator()
+    net = build_dumbbell(
+        sim,
+        DumbbellParams(
+            left_hosts=2,
+            right_hosts=1,
+            host_bw_bps=10 * GBPS,
+            bottleneck_bw_bps=10 * GBPS,
+            buffer_bytes=200_000,
+        ),
+    )
+    driver = FlowDriver(net, algorithm)
+    for src in range(2):
+        driver.start_flow(src, 2, 10 ** 10, at_ns=0)
+    probe = PortProbe(sim, net.port("bottleneck"), 20 * USEC).start()
+    driver.run(until_ns=20 * MSEC)
+    settled = probe.qlen_bytes[len(probe.qlen_bytes) // 2 :]
+    thr = probe.throughput_bps[len(probe.throughput_bps) // 2 :]
+    return {
+        "mean_queue": sum(settled) / len(settled),
+        "max_queue": max(probe.qlen_bytes),
+        "throughput": sum(thr) / len(thr),
+        "drops": net.total_drops(),
+    }
+
+
+def test_standing_queue_taxonomy(benchmark):
+    results = once(
+        benchmark, lambda: {algo: run_standing_queue(algo) for algo in ALGOS}
+    )
+    lines = [
+        f"{'algorithm':>10s} {'settled-Q':>10s} {'max-Q':>10s} "
+        f"{'throughput':>11s} {'drops':>6s}"
+    ]
+    for algo, r in results.items():
+        lines.append(
+            f"{algo:>10s} {fmt_kb(r['mean_queue']):>10s} "
+            f"{fmt_kb(r['max_queue']):>10s} {r['throughput']/1e9:10.2f}G "
+            f"{r['drops']:>6d}"
+        )
+    lines.append("")
+    lines.append("paper §2.2/App.C: NewReno oscillates against the buffer;")
+    lines.append("DCTCP stands around its marking threshold; PowerTCP holds")
+    lines.append("Eq. 1's near-zero queue at full throughput")
+    emit("motivation_standing_queue", lines)
+
+    power = results["powertcp"]
+    assert power["mean_queue"] < 10_000
+    assert power["throughput"] > 9e9
+    for lossy in ("newreno", "cubic"):
+        assert results[lossy]["mean_queue"] > 3 * max(power["mean_queue"], 1_000)
+    assert results["dctcp"]["mean_queue"] > power["mean_queue"]
+
+
+def run_parking_lot(algorithm):
+    sim = Simulator()
+    p = ParkingLotParams(
+        segments=2,
+        host_bw_bps=10 * GBPS,
+        segment_bw_bps=[10 * GBPS, 5 * GBPS],
+    )
+    net = build_parking_lot(sim, p)
+    driver = FlowDriver(net, algorithm)
+    e2e = driver.start_flow(p.e2e_src, p.e2e_dst, 10 ** 10, at_ns=0)
+    cross = [
+        driver.start_flow(p.cross_src(i), p.cross_dst(i), 10 ** 10, at_ns=0)
+        for i in range(2)
+    ]
+    horizon = 20 * MSEC
+    driver.run(until_ns=horizon)
+    return {
+        "e2e_gbps": e2e.bytes_received * 8 / horizon,
+        "cross0_gbps": cross[0].bytes_received * 8 / horizon,
+        "cross1_gbps": cross[1].bytes_received * 8 / horizon,
+        "link1_maxq": net.port("link1").max_qlen_bytes,
+    }
+
+
+def test_multi_bottleneck(benchmark):
+    algos = ["powertcp", "theta-powertcp", "hpcc"]
+    results = once(
+        benchmark, lambda: {algo: run_parking_lot(algo) for algo in algos}
+    )
+    lines = [
+        f"{'algorithm':>15s} {'e2e':>7s} {'cross0':>7s} {'cross1':>7s} {'link1-maxQ':>11s}"
+    ]
+    for algo, r in results.items():
+        lines.append(
+            f"{algo:>15s} {r['e2e_gbps']:6.2f}G {r['cross0_gbps']:6.2f}G "
+            f"{r['cross1_gbps']:6.2f}G {fmt_kb(r['link1_maxq']):>11s}"
+        )
+    lines.append("")
+    lines.append("paper §3.5: INT reacts to the most-bottlenecked hop; RTT")
+    lines.append("reacts to the sum of delays, shrinking the e2e flow's share")
+    emit("motivation_multi_bottleneck", lines)
+
+    assert results["powertcp"]["e2e_gbps"] > results["theta-powertcp"]["e2e_gbps"]

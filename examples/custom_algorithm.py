@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Extending the framework: plug in your own congestion-control law.
+
+Implements a toy "half-power" variant — PowerTCP's control law but using
+the square root of normalized power — registers it as an
+:class:`~repro.cc.registry.AlgorithmSpec`, and races it against real
+PowerTCP on the incast microbenchmark.  Use this as the template for
+experimenting with new window-update rules.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+import math
+
+from repro.cc.registry import AlgorithmSpec
+from repro.core.powertcp import PowerTcp
+from repro.experiments.driver import FlowDriver
+from repro.sim.engine import Simulator
+from repro.sim.tracing import PortProbe
+from repro.topology.dumbbell import DumbbellParams, build_dumbbell
+from repro.units import GBPS, MSEC, USEC
+
+
+class HalfPowerTcp(PowerTcp):
+    """PowerTCP with a softened reaction: divide by sqrt(normalized power).
+
+    sqrt compresses the signal toward 1, so reactions to both congestion
+    and spare capacity are weaker — expect slower queue drain than the
+    real control law.  (Pedagogical only.)
+    """
+
+    def on_ack(self, sender, ack) -> None:
+        norm_power = self._estimator.update(ack.int_hops)
+        if norm_power is None:
+            return
+        softened = math.sqrt(norm_power)
+        new_cwnd = (
+            self.gamma * (self._cwnd_old / softened + self.beta_bytes)
+            + (1.0 - self.gamma) * sender.cwnd
+        )
+        self.set_window(sender, new_cwnd)
+        self._update_old(sender, ack)
+
+
+def race(spec, label):
+    sim = Simulator()
+    net = build_dumbbell(
+        sim,
+        DumbbellParams(
+            left_hosts=11,
+            right_hosts=1,
+            host_bw_bps=10 * GBPS,
+            bottleneck_bw_bps=10 * GBPS,
+        ),
+    )
+    driver = FlowDriver(net, spec)
+    driver.start_flow(0, 11, 10 ** 10, at_ns=0)  # long flow
+    for src in range(1, 11):  # 10:1 incast
+        driver.start_flow(src, 11, 200_000, at_ns=150 * USEC)
+    probe = PortProbe(sim, net.port("bottleneck"), 10 * USEC).start()
+    driver.run(until_ns=4 * MSEC)
+    settled = probe.qlen_bytes[len(probe.qlen_bytes) // 2 :]
+    print(
+        f"  {label:12s} peak queue "
+        f"{net.port('bottleneck').max_qlen_bytes / 1000:6.1f} KB, "
+        f"settled mean {sum(settled) / len(settled) / 1000:6.2f} KB"
+    )
+
+
+def main() -> None:
+    print("10:1 incast, real PowerTCP vs the softened custom law:")
+    race(
+        AlgorithmSpec(
+            name="powertcp",
+            make_cc=lambda flow, net: PowerTcp(),
+            needs_int=True,
+        ),
+        "powertcp",
+    )
+    race(
+        AlgorithmSpec(
+            name="half-power",
+            make_cc=lambda flow, net: HalfPowerTcp(),
+            needs_int=True,
+        ),
+        "half-power",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Figs. 2-3 scenario: the control-law taxonomy, analytically.
+
+Integrates the fluid model (Eqs. 3-4) for the three control-law classes
+and prints (i) the Fig. 2 reaction curves and (ii) Fig. 3 phase-portrait
+diagnostics: equilibrium uniqueness and post-fill throughput loss.  Also
+checks Theorems 1-2 numerically.
+
+Run:  python examples/fluid_phase_portrait.py
+"""
+
+from repro.fluid import (
+    FluidParams,
+    GRADIENT_LAW,
+    POWER_LAW,
+    QUEUE_LAW,
+    convergence_time_constant,
+    decrease_vs_buildup_rate,
+    linearized_eigenvalues,
+    phase_portrait,
+    simulate,
+    theoretical_time_constant_s,
+    three_case_comparison,
+)
+
+
+def main() -> None:
+    params = FluidParams()  # 100 Gbps, 20 us base RTT — the paper's example
+    params.beta_bytes = 0.01 * params.bdp_bytes
+    bdp = params.bdp_bytes
+    b_Bps = params.bandwidth_Bps
+
+    print("== Fig. 2a: multiplicative decrease vs queue buildup rate ==")
+    series = decrease_vs_buildup_rate(
+        bandwidth_Bps=b_Bps,
+        tau_s=params.tau_s,
+        queue_bytes=0.5 * bdp,
+        rate_multiples=[0, 2, 4, 8],
+    )
+    for name, values in series.items():
+        print(f"  {name:14s} {['%.2f' % v for v in values]}")
+
+    print()
+    print("== Fig. 2c: the three-case blindness demonstration ==")
+    for case in three_case_comparison(bandwidth_Bps=b_Bps, tau_s=params.tau_s):
+        print(
+            f"  {case.label:45s} V={case.voltage:5.2f} "
+            f"I={case.current:5.2f} P={case.power:5.2f}"
+        )
+
+    print()
+    print("== Fig. 3: phase portraits ==")
+    for law in (QUEUE_LAW, GRADIENT_LAW, POWER_LAW):
+        portrait = phase_portrait(law, params)
+        print(
+            f"  {law.name:14s} equilibrium spread {portrait.equilibrium_spread():6.3f}, "
+            f"trajectories with throughput loss {portrait.fraction_with_loss():4.0%}"
+        )
+
+    print()
+    print("== Theorems 1-2 ==")
+    eigs = linearized_eigenvalues(params)
+    print(f"  eigenvalues of the linearized power system: {eigs[0]:.0f}, {eigs[1]:.0f}")
+    trace = simulate(POWER_LAW, params, 4 * bdp, 3 * bdp, 60 * params.tau_s)
+    fitted = convergence_time_constant(
+        trace.times_s, trace.window_bytes, bdp + params.beta_bytes
+    )
+    theory = theoretical_time_constant_s(params)
+    print(
+        f"  convergence time constant: fitted {fitted * 1e6:.2f} us vs "
+        f"theory (δt/γ) {theory * 1e6:.2f} us"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Fig. 6 scenario (scaled): web-search FCT slowdowns on a fat-tree.
+
+Offers web-search-distributed flows at 60 % ToR-uplink load under
+PowerTCP, θ-PowerTCP and HPCC, and prints the tail slowdown per flow-size
+class and per Fig. 6 size bin.  Flow sizes are scaled by 1/16 (bins are
+rescaled symmetrically) to fit a quick interactive run.
+
+Run:  python examples/websearch_fct.py [load]
+"""
+
+import sys
+
+from repro.experiments.websearch import WebsearchConfig, run_websearch
+from repro.units import MSEC
+
+ALGORITHMS = ["powertcp", "theta-powertcp", "hpcc"]
+
+
+def main() -> None:
+    load = float(sys.argv[1]) if len(sys.argv) > 1 else 0.6
+    print(f"web-search @ {load:.0%} load (sizes x1/16, p99 tails, 300 flows)")
+    print()
+    for algorithm in ALGORITHMS:
+        result = run_websearch(
+            WebsearchConfig(
+                algorithm=algorithm,
+                load=load,
+                duration_ns=15 * MSEC,
+                drain_ns=30 * MSEC,
+                size_scale=1 / 16,
+                max_flows=300,
+            )
+        )
+        summary = result.fct_summary(pct=99)
+        print(summary.row())
+        bins = result.size_bins(pct=99)
+        series = "  ".join(
+            f"{edge // 1000}K:{value:.1f}"
+            for edge, value, count in bins
+            if value is not None
+        )
+        print(f"  per-bin p99 slowdown: {series}")
+        print(f"  drops: {result.drops}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""PowerTCP (NSDI 2022) reproduction.
+
+A packet-level discrete-event simulator plus the paper's power-based
+congestion control (PowerTCP / θ-PowerTCP), every baseline it is evaluated
+against (HPCC, DCQCN, TIMELY, HOMA, reTCP, and the Swift/DCTCP extensions),
+the §2 fluid-model analysis, and an experiment harness regenerating every
+figure of the paper.
+
+Quickstart::
+
+    from repro import Simulator, build_dumbbell, PowerTcp
+    from repro.experiments import incast
+
+See ``examples/quickstart.py`` for a complete runnable scenario.
+"""
+
+from repro.units import GBPS, MSEC, SEC, USEC
+from repro.sim import Simulator
+from repro.core import PowerTcp, ThetaPowerTcp
+from repro.cc import Dcqcn, Dctcp, Hpcc, StaticWindow, Swift, Timely
+from repro.topology import (
+    DumbbellParams,
+    FatTreeParams,
+    Network,
+    RdcnParams,
+    build_dumbbell,
+    build_fattree,
+    build_rdcn,
+)
+from repro.transport import Flow, Receiver, Sender
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dcqcn",
+    "Dctcp",
+    "DumbbellParams",
+    "FatTreeParams",
+    "Flow",
+    "GBPS",
+    "Hpcc",
+    "MSEC",
+    "Network",
+    "PowerTcp",
+    "RdcnParams",
+    "Receiver",
+    "SEC",
+    "Sender",
+    "Simulator",
+    "StaticWindow",
+    "Swift",
+    "ThetaPowerTcp",
+    "Timely",
+    "USEC",
+    "build_dumbbell",
+    "build_fattree",
+    "build_rdcn",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro`` — the figure-regeneration CLI."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,27 @@
+"""Result analysis: FCT slowdowns, CDFs, percentiles, fairness."""
+
+from repro.analysis.stats import cdf_points, percentile
+from repro.analysis.fct import (
+    FctSummary,
+    LONG_FLOW_MIN_BYTES,
+    MEDIUM_FLOW_RANGE,
+    SHORT_FLOW_MAX_BYTES,
+    slowdown_by_size_bin,
+    slowdowns,
+    summarize_fct,
+)
+from repro.analysis.fairness import jain_index, throughput_shares
+
+__all__ = [
+    "FctSummary",
+    "LONG_FLOW_MIN_BYTES",
+    "MEDIUM_FLOW_RANGE",
+    "SHORT_FLOW_MAX_BYTES",
+    "cdf_points",
+    "jain_index",
+    "percentile",
+    "slowdown_by_size_bin",
+    "slowdowns",
+    "summarize_fct",
+    "throughput_shares",
+]

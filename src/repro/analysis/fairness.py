@@ -1,0 +1,36 @@
+"""Fairness metrics for the Fig. 5 / Fig. 9 experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.transport.flow import Flow
+from repro.units import BITS_PER_BYTE, SEC
+
+
+def jain_index(rates: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 means perfectly equal shares."""
+    if not rates:
+        raise ValueError("jain index of empty sequence")
+    total = sum(rates)
+    squares = sum(r * r for r in rates)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(rates) * squares)
+
+
+def throughput_shares(
+    byte_counts: Dict[int, int], interval_ns: int
+) -> Dict[int, float]:
+    """Per-flow throughput (bits/s) from byte deltas over an interval."""
+    if interval_ns <= 0:
+        raise ValueError("interval must be positive")
+    return {
+        flow_id: count * BITS_PER_BYTE * SEC / interval_ns
+        for flow_id, count in byte_counts.items()
+    }
+
+
+def average_goodput_bps(flow: Flow) -> float:
+    """Whole-life goodput of a completed flow."""
+    return flow.size_bytes * BITS_PER_BYTE * SEC / flow.fct_ns

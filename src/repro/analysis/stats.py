@@ -1,0 +1,44 @@
+"""Small statistics helpers (percentiles, CDFs) used across experiments."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile; ``pct`` in [0, 100].
+
+    Implemented locally (rather than via numpy) so hot experiment paths
+    avoid array conversions for short lists.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"pct must be in [0,100], got {pct}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    value = ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+    # Interpolation must stay within its bracket; floating-point rounding
+    # can violate that for extreme magnitudes, so clamp.
+    return min(max(value, ordered[low]), ordered[high])
+
+
+def cdf_points(values: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """(sorted values, cumulative fractions) — ready to print or plot."""
+    if not values:
+        return [], []
+    ordered = sorted(values)
+    n = len(ordered)
+    return ordered, [(i + 1) / n for i in range(n)]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)

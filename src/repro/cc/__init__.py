@@ -1,0 +1,30 @@
+"""Congestion-control algorithms: the paper's baselines plus extensions.
+
+Every algorithm is a per-flow object implementing the
+:class:`repro.cc.base.CongestionControl` interface; the PowerTCP family
+itself lives in :mod:`repro.core`.  See :mod:`repro.cc.registry` for the
+name -> factory mapping used by the experiment harness.
+"""
+
+from repro.cc.base import CongestionControl, StaticWindow
+from repro.cc.cubic import Cubic
+from repro.cc.dcqcn import Dcqcn
+from repro.cc.dctcp import Dctcp
+from repro.cc.hpcc import Hpcc
+from repro.cc.newreno import NewReno
+from repro.cc.retcp import ReTcp
+from repro.cc.swift import Swift
+from repro.cc.timely import Timely
+
+__all__ = [
+    "CongestionControl",
+    "Cubic",
+    "Dcqcn",
+    "Dctcp",
+    "Hpcc",
+    "NewReno",
+    "ReTcp",
+    "StaticWindow",
+    "Swift",
+    "Timely",
+]

@@ -1,0 +1,117 @@
+"""Congestion-control interface shared by all algorithms.
+
+A CC object is *per flow*: the sender calls ``on_start`` once and then
+``on_ack`` for every acknowledgment; rate-based schemes additionally react
+to CNPs or their own timers.  The CC adjusts two sender fields:
+
+* ``sender.cwnd`` — congestion window in bytes (may be fractional; values
+  below one MTU throttle the flow through pacing), and
+* ``sender.pacing_rate_bps`` — the NIC pacing rate.
+
+Per the paper all flows start at line rate with
+``cwnd_init = HostBw * tau`` so that a new flow can observe the bottleneck
+within its first RTT.
+"""
+
+from __future__ import annotations
+
+from repro.units import BITS_PER_BYTE, SEC
+
+# A window below this fraction of one MTU is clamped; pure pacing takes
+# over well before this point.
+MIN_WINDOW_MTU_FRACTION = 0.01
+
+# Windows are capped at this multiple of the host bandwidth-delay product.
+DEFAULT_CAP_BDP_MULTIPLE = 2.0
+
+
+class CongestionControl:
+    """Base class: line-rate start, no reaction (i.e. a greedy sender)."""
+
+    #: the harness enables INT stamping for flows whose CC requires it
+    needs_int = False
+    #: the harness configures switch ECN marking when required
+    needs_ecn = False
+
+    def __init__(self, cap_bdp_multiple: float = DEFAULT_CAP_BDP_MULTIPLE):
+        self.cap_bdp_multiple = cap_bdp_multiple
+
+    # ------------------------------------------------------------------
+    # Helpers shared by subclasses
+    # ------------------------------------------------------------------
+    def host_bdp_bytes(self, sender) -> float:
+        """Host line-rate bandwidth-delay product (the paper's cwnd_init)."""
+        return sender.host_bw_bps * sender.base_rtt_ns / (BITS_PER_BYTE * SEC)
+
+    def window_bounds(self, sender) -> tuple:
+        """(min, max) window in bytes for this flow."""
+        low = MIN_WINDOW_MTU_FRACTION * sender.mtu_payload
+        high = self.cap_bdp_multiple * self.host_bdp_bytes(sender)
+        return low, high
+
+    def set_window(self, sender, cwnd_bytes: float) -> None:
+        """Clamp and install a window; pacing follows as ``cwnd / tau``."""
+        low, high = self.window_bounds(sender)
+        if cwnd_bytes < low:
+            cwnd_bytes = low
+        elif cwnd_bytes > high:
+            cwnd_bytes = high
+        sender.cwnd = cwnd_bytes
+        sender.pacing_rate_bps = min(
+            cwnd_bytes * BITS_PER_BYTE * SEC / sender.base_rtt_ns,
+            sender.host_bw_bps,
+        )
+
+    def set_rate(self, sender, rate_bps: float, *, window_rtts: float = 2.0) -> None:
+        """Install a pacing rate (rate-based schemes); window stays loose."""
+        rate_bps = min(max(rate_bps, 0.0), sender.host_bw_bps)
+        sender.pacing_rate_bps = rate_bps
+        sender.cwnd = max(
+            window_rtts * rate_bps * sender.base_rtt_ns / (BITS_PER_BYTE * SEC),
+            sender.mtu_payload,
+        )
+
+    # ------------------------------------------------------------------
+    # Event hooks
+    # ------------------------------------------------------------------
+    def on_start(self, sender) -> None:
+        """First-RTT behaviour: transmit at line rate (paper §3.3)."""
+        self.set_window(sender, self.host_bdp_bytes(sender))
+        sender.pacing_rate_bps = sender.host_bw_bps
+
+    def on_ack(self, sender, ack) -> None:
+        """React to an acknowledgment (and its INT/ECN feedback)."""
+
+    def on_loss(self, sender) -> None:
+        """Triple-duplicate-ACK loss: conservative multiplicative decrease."""
+        self.set_window(sender, sender.cwnd / 2)
+
+    def on_timeout(self, sender) -> None:
+        """Retransmission timeout: collapse to a minimal window."""
+        self.set_window(sender, sender.mtu_payload)
+
+    def on_cnp(self, sender) -> None:
+        """DCQCN congestion notification (ignored by other schemes)."""
+
+
+class StaticWindow(CongestionControl):
+    """A fixed window of ``bdp_multiple`` host BDPs; no reaction to feedback.
+
+    This is both a debugging baseline and the endpoint behaviour of reTCP
+    in the RDCN case study, where the interesting mechanism (VOQ
+    prebuffering) lives in the ToR, not the end host.
+    """
+
+    def __init__(self, bdp_multiple: float = 1.0, **kwargs):
+        super().__init__(**kwargs)
+        self.bdp_multiple = bdp_multiple
+
+    def on_start(self, sender) -> None:
+        self.set_window(sender, self.bdp_multiple * self.host_bdp_bytes(sender))
+        sender.pacing_rate_bps = sender.host_bw_bps
+
+    def on_loss(self, sender) -> None:
+        """Keep the window pinned — reTCP relies on in-network buffering."""
+
+    def on_timeout(self, sender) -> None:
+        """Keep the window pinned."""

@@ -1,0 +1,95 @@
+"""CUBIC (Ha, Rhee, Xu 2008) — the default loss-based law of Linux.
+
+Cited by the paper (with NewReno) as the canonical loss/ECN-based
+voltage class: reaction only on loss, window growth a cubic function of
+time since the last decrease::
+
+    W(t) = C·(t − K)³ + W_max ,   K = ∛(W_max·β / C)
+
+Like NewReno it needs a standing queue to find capacity, so it cannot
+meet the Eq. 1 equilibrium — included to make the §2 taxonomy executable
+over the full spectrum of deployed algorithms.
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import CongestionControl
+from repro.units import SEC
+
+DEFAULT_C = 0.4  # MTU/s³, the standard constant
+DEFAULT_BETA = 0.3  # multiplicative decrease fraction
+INITIAL_WINDOW_MTUS = 10
+
+
+class Cubic(CongestionControl):
+    """CUBIC window growth with fast-convergence on repeated losses."""
+
+    needs_int = False
+    needs_ecn = False
+
+    def __init__(self, c: float = DEFAULT_C, beta: float = DEFAULT_BETA, **kwargs):
+        # See NewReno: loss-based laws need headroom to fill the buffer.
+        kwargs.setdefault("cap_bdp_multiple", 16.0)
+        super().__init__(**kwargs)
+        self.c = c
+        self.beta = beta
+        self._w_max_mtus = 0.0
+        self._epoch_start_ns = None
+        self._k_s = 0.0
+        self._last_una = 0
+
+    def on_start(self, sender) -> None:
+        sender.cwnd = INITIAL_WINDOW_MTUS * sender.mtu_payload
+        sender.pacing_rate_bps = sender.host_bw_bps  # ACK-clocked
+        self._w_max_mtus = 0.0
+        self._epoch_start_ns = None
+        self._last_una = 0
+
+    def _set_cwnd(self, sender, cwnd: float) -> None:
+        low, high = self.window_bounds(sender)
+        sender.cwnd = min(max(cwnd, sender.mtu_payload), high)
+        sender.pacing_rate_bps = sender.host_bw_bps
+
+    def _cubic_window_mtus(self, t_s: float) -> float:
+        return self.c * (t_s - self._k_s) ** 3 + self._w_max_mtus
+
+    def on_ack(self, sender, ack) -> None:
+        acked = sender.snd_una - self._last_una
+        self._last_una = sender.snd_una
+        if acked <= 0:
+            return
+        mtu = sender.mtu_payload
+        if self._epoch_start_ns is None:
+            # Before the first loss: slow-start-like doubling.
+            self._set_cwnd(sender, sender.cwnd + acked)
+            return
+        t_s = (sender.sim.now - self._epoch_start_ns) / SEC
+        rtt_s = (sender.last_rtt_ns or sender.base_rtt_ns) / SEC
+        target_mtus = self._cubic_window_mtus(t_s + rtt_s)
+        cwnd_mtus = sender.cwnd / mtu
+        if target_mtus > cwnd_mtus:
+            # Approach the cubic target over one RTT's worth of ACKs.
+            increment = (target_mtus - cwnd_mtus) / cwnd_mtus
+            self._set_cwnd(sender, sender.cwnd + increment * mtu)
+        else:
+            # Tiny growth keeps probing in the plateau region.
+            self._set_cwnd(sender, sender.cwnd + 0.01 * mtu * acked / sender.cwnd)
+
+    def _enter_epoch(self, sender) -> None:
+        mtu = sender.mtu_payload
+        cwnd_mtus = sender.cwnd / mtu
+        if cwnd_mtus < self._w_max_mtus:
+            # Fast convergence: release bandwidth faster on shrinking BDP.
+            self._w_max_mtus = cwnd_mtus * (2.0 - self.beta) / 2.0
+        else:
+            self._w_max_mtus = cwnd_mtus
+        self._k_s = (self._w_max_mtus * self.beta / self.c) ** (1.0 / 3.0)
+        self._epoch_start_ns = sender.sim.now
+
+    def on_loss(self, sender) -> None:
+        self._enter_epoch(sender)
+        self._set_cwnd(sender, sender.cwnd * (1.0 - self.beta))
+
+    def on_timeout(self, sender) -> None:
+        self._enter_epoch(sender)
+        self._set_cwnd(sender, sender.mtu_payload)

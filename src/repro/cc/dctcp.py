@@ -1,0 +1,77 @@
+"""DCTCP (Alizadeh et al., SIGCOMM 2010) — ECN-fraction window control.
+
+The motivational voltage-based scheme of §2: switches mark above a step
+threshold K, the sender maintains an EWMA ``alpha`` of the fraction of
+marked bytes per RTT and decreases multiplicatively by ``alpha / 2``.
+As the paper recalls, DCTCP needs a *standing queue* around the marking
+threshold (K > BDP/7) and so cannot satisfy the near-zero-queue equilibrium
+in Eq. 1 — the property PowerTCP is built to achieve.
+
+DCTCP is an extension (the paper's packet-level evaluation compares against
+DCQCN/TIMELY/HPCC/HOMA); it is included to make the §2 taxonomy executable.
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import CongestionControl
+from repro.sim.port import EcnConfig
+from repro.units import BITS_PER_BYTE, SEC
+
+DEFAULT_G = 1.0 / 16.0
+
+
+class Dctcp(CongestionControl):
+    """DCTCP sender logic (window-based, per-RTT updates)."""
+
+    needs_ecn = True
+
+    def __init__(self, g: float = DEFAULT_G, **kwargs):
+        super().__init__(**kwargs)
+        self.g = g
+        self._alpha = 1.0
+        self._marked_bytes = 0
+        self._acked_bytes = 0
+        self._window_end_seq = 0
+        self._last_una = 0
+
+    @staticmethod
+    def ecn_config_for(link_bps: float, base_rtt_ns: int) -> EcnConfig:
+        """Step marking at K = BDP/7 (the paper's DCTCP characterization)."""
+        bdp = link_bps * base_rtt_ns / (BITS_PER_BYTE * SEC)
+        return EcnConfig.step(max(int(bdp / 7), 1))
+
+    def on_start(self, sender) -> None:
+        super().on_start(sender)
+        self._alpha = 1.0
+        self._marked_bytes = 0
+        self._acked_bytes = 0
+        self._window_end_seq = 0
+        self._last_una = 0
+
+    def on_ack(self, sender, ack) -> None:
+        delta = sender.snd_una - self._last_una
+        self._last_una = sender.snd_una
+        if delta > 0:
+            self._acked_bytes += delta
+            if ack.ecn_marked:
+                self._marked_bytes += delta
+
+        if ack.ack_seq < self._window_end_seq:
+            return
+        # One RTT of data acknowledged: fold the marked fraction into alpha
+        # and apply the DCTCP update.
+        if self._acked_bytes > 0:
+            fraction = self._marked_bytes / self._acked_bytes
+            self._alpha = (1.0 - self.g) * self._alpha + self.g * fraction
+            if fraction > 0:
+                self.set_window(sender, sender.cwnd * (1.0 - self._alpha / 2.0))
+            else:
+                self.set_window(sender, sender.cwnd + sender.mtu_payload)
+        self._marked_bytes = 0
+        self._acked_bytes = 0
+        self._window_end_seq = sender.snd_nxt
+
+    @property
+    def alpha(self) -> float:
+        """EWMA of the marked-byte fraction."""
+        return self._alpha

@@ -1,0 +1,231 @@
+"""HOMA (Montazeri et al., SIGCOMM 2018) — receiver-driven transport.
+
+The paper's representative of the receiver-driven school.  The model here
+keeps the two mechanisms HOMA's behaviour in the paper's evaluation hinges
+on:
+
+* **unscheduled data** — the first ``RTTbytes`` of every message leave at
+  line rate immediately (this is what builds ToR queues under incast);
+* **receiver grants with overcommitment** — each receiver paces grants at
+  its downlink rate to the ``overcommitment`` smallest-remaining messages
+  (SRPT), keeping at most one BDP granted-but-undelivered per message.
+  Overcommitment > 1 admits more traffic than the downlink can carry,
+  trading latency for utilization (Figs. 9-11 sweep levels 1-6).
+
+Packets carry priorities served by the switches' 8-level priority queues:
+grants ride the highest priority, unscheduled data above scheduled data,
+and scheduled data is ranked by the receiver (smaller remaining = higher
+priority).
+
+What is intentionally *not* modeled (documented substitution): HOMA's
+priority-cutoff learning and its RESEND/timeout machinery — reliability
+reuses the simulator's cumulative-ACK/go-back-N transport, which does not
+change queue dynamics at the bottleneck.
+
+Per the paper's configuration, ``RTTbytes = HostBw * base_rtt`` and the
+best overcommitment level in their setup was 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.packet import DATA, GRANT, Packet
+from repro.transport.flow import Flow
+from repro.transport.receiver import Receiver
+from repro.transport.sender import Sender
+from repro.units import tx_time_ns
+
+PRIO_CONTROL = 0
+PRIO_UNSCHED_SMALL = 1
+PRIO_UNSCHED_LARGE = 2
+PRIO_SCHED_BASE = 3
+PRIO_LOWEST = 7
+
+
+class HomaSender(Sender):
+    """Message sender: unscheduled prefix at line rate, then grant-gated."""
+
+    def __init__(self, *args, rtt_bytes: int, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.rtt_bytes = rtt_bytes
+        self.granted = min(self.flow.size_bytes, rtt_bytes)
+        # No congestion window: HOMA performs no sender-side CC.
+        self.cwnd = float("inf")
+        self.pacing_rate_bps = self.host_bw_bps
+        # Priority changes between unscheduled and scheduled data can
+        # reorder packets of one message in the fabric; HOMA tolerates
+        # reordering (the receiver buffers), so duplicate-ACK rewind is
+        # disabled and recovery relies on the RTO.
+        self.dup_ack_threshold = 10 ** 9
+        self.priority = (
+            PRIO_UNSCHED_SMALL
+            if self.flow.size_bytes <= rtt_bytes
+            else PRIO_UNSCHED_LARGE
+        )
+
+    def _send_limit(self) -> int:
+        return min(self.flow.size_bytes, self.granted)
+
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.kind == GRANT:
+            if pkt.grant_bytes > self.granted:
+                self.granted = pkt.grant_bytes
+                self.priority = pkt.sched_priority  # receiver-assigned rank
+                self._try_send()
+            return
+        super().on_packet(pkt)
+
+
+class HomaReceiver(Receiver):
+    """Message receiver: feeds the per-host grant scheduler.
+
+    Unlike the go-back-N base receiver, HOMA buffers out-of-order
+    segments: priority changes legitimately reorder a message's packets in
+    flight, and discarding them would misattribute loss.
+    """
+
+    def __init__(self, *args, scheduler: "HomaGrantScheduler", rtt_bytes: int, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.scheduler = scheduler
+        self.rtt_bytes = rtt_bytes
+        self.granted = min(self.flow.size_bytes, rtt_bytes)
+        self._ooo_ranges: Dict[int, int] = {}  # seq -> end_seq
+
+    @property
+    def remaining_bytes(self) -> int:
+        """Bytes still missing (SRPT key)."""
+        return self.flow.size_bytes - self.rcv_nxt
+
+    @property
+    def needs_grant(self) -> bool:
+        """True while some suffix of the message is ungranted."""
+        return self.granted < self.flow.size_bytes
+
+    def start(self) -> None:
+        super().start()
+        if self.needs_grant:
+            self.scheduler.add(self)
+
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.kind == DATA and pkt.seq > self.rcv_nxt:
+            # Buffer the out-of-order range, then let the base class send
+            # its (duplicate) cumulative ACK.
+            end = self._ooo_ranges.get(pkt.seq, 0)
+            if pkt.end_seq > end:
+                self._ooo_ranges[pkt.seq] = pkt.end_seq
+        super().on_packet(pkt)
+        self._absorb_buffered()
+        if self.flow.finish_ns is not None:
+            self.scheduler.remove(self)
+        elif self.needs_grant:
+            self.scheduler.poke()
+
+    def _absorb_buffered(self) -> None:
+        """Advance rcv_nxt through any now-contiguous buffered ranges."""
+        advanced = True
+        while advanced and self._ooo_ranges:
+            advanced = False
+            for seq in sorted(self._ooo_ranges):
+                if seq > self.rcv_nxt:
+                    break
+                end = self._ooo_ranges.pop(seq)
+                if end > self.rcv_nxt:
+                    self.rcv_nxt = end
+                    advanced = True
+        if self.rcv_nxt > self.flow.bytes_received:
+            self.flow.bytes_received = self.rcv_nxt
+        if (
+            self.rcv_nxt >= self.flow.size_bytes
+            and self.flow.finish_ns is None
+        ):
+            self.flow.finish_ns = self.sim.now
+            if self.on_complete is not None:
+                self.on_complete(self.flow)
+
+
+class HomaGrantScheduler:
+    """Per-host grant pacer with SRPT ranking and overcommitment.
+
+    Every ``tick`` (one MTU at downlink rate) one grant of one MTU is
+    issued to the highest-ranked message among the ``overcommitment``
+    smallest-remaining active messages that still has grant headroom
+    (granted − received < RTTbytes).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        *,
+        overcommitment: int = 1,
+        mtu_payload: int = 1000,
+    ):
+        if overcommitment < 1:
+            raise ValueError(f"overcommitment must be >= 1, got {overcommitment}")
+        self.sim = sim
+        self.host = host
+        self.overcommitment = overcommitment
+        self.mtu_payload = mtu_payload
+        self.active: Dict[int, HomaReceiver] = {}
+        self.grants_sent = 0
+        self._tick_ns = tx_time_ns(mtu_payload + 48, host.nic.rate_bps)
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def add(self, receiver: HomaReceiver) -> None:
+        """Track a new incoming message that will need grants."""
+        self.active[receiver.flow.flow_id] = receiver
+        self.poke()
+
+    def remove(self, receiver: HomaReceiver) -> None:
+        """Stop tracking a completed (or fully granted) message."""
+        self.active.pop(receiver.flow.flow_id, None)
+
+    def poke(self) -> None:
+        """Ensure the grant pacer is running while work exists."""
+        if not self._running and self.active:
+            self._running = True
+            self.sim.after(self._tick_ns, self._tick)
+
+    # ------------------------------------------------------------------
+    def _rank(self) -> List[HomaReceiver]:
+        # SRPT with a deterministic flow-id tiebreak so equal-remaining
+        # messages are served round-robin-stably rather than arbitrarily.
+        return sorted(
+            self.active.values(),
+            key=lambda r: (r.remaining_bytes, r.flow.flow_id),
+        )
+
+    def _tick(self) -> None:
+        self._running = False
+        if not self.active:
+            return
+        candidates = self._rank()[: self.overcommitment]
+        for rank, receiver in enumerate(candidates):
+            if not receiver.needs_grant:
+                continue
+            outstanding = receiver.granted - receiver.rcv_nxt
+            if outstanding >= receiver.rtt_bytes:
+                continue
+            receiver.granted = min(
+                receiver.granted + self.mtu_payload, receiver.flow.size_bytes
+            )
+            priority = min(PRIO_SCHED_BASE + rank, PRIO_LOWEST)
+            grant = Packet.grant(
+                receiver.flow.flow_id,
+                receiver.flow.dst,
+                receiver.flow.src,
+                receiver.granted,
+                sched_priority=priority,
+            )
+            self.host.send(grant)
+            self.grants_sent += 1
+            if not receiver.needs_grant:
+                self.remove(receiver)
+            break  # one grant per tick: grants are paced at downlink rate
+        if self.active:
+            self._running = True
+            self.sim.after(self._tick_ns, self._tick)

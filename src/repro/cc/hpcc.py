@@ -1,0 +1,125 @@
+"""HPCC — High Precision Congestion Control (Li et al., SIGCOMM 2019).
+
+The paper's strongest baseline and the scheme PowerTCP shares its INT
+feedback with.  HPCC steers the *inflight bytes* of each link toward
+``η · B · T`` using per-hop utilization::
+
+    u_j = min(qlen, qlen_prev) / (B·T)  +  txRate / B
+
+taking the maximum across hops, EWMA-smoothed over one base RTT.  The
+window update is multiplicative toward the reference window ``W_c``
+(updated once per RTT) plus an additive term ``W_AI``, with at most
+``maxStage`` consecutive additive-only stages between multiplicative
+adjustments.
+
+In the paper's classification HPCC is a *voltage-based* scheme: its
+reaction is a function of queue length / inflight state only, which is
+exactly the imprecision PowerTCP's power signal removes (Fig. 3a vs 3c).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cc.base import CongestionControl
+from repro.sim.packet import HopRecord
+from repro.units import BITS_PER_BYTE, SEC
+
+DEFAULT_ETA = 0.95
+DEFAULT_MAX_STAGE = 5
+DEFAULT_EXPECTED_FLOWS = 8
+
+
+class Hpcc(CongestionControl):
+    """HPCC sender logic (Algorithm 1 of the HPCC paper)."""
+
+    needs_int = True
+
+    def __init__(
+        self,
+        eta: float = DEFAULT_ETA,
+        max_stage: int = DEFAULT_MAX_STAGE,
+        expected_flows: int = DEFAULT_EXPECTED_FLOWS,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if not 0.0 < eta <= 1.0:
+            raise ValueError(f"eta must be in (0, 1], got {eta}")
+        self.eta = eta
+        self.max_stage = max_stage
+        self.expected_flows = expected_flows
+        self._prev: Dict[int, HopRecord] = {}
+        self._u = 0.0
+        self._inc_stage = 0
+        self._w_c = 0.0
+        self._w_ai = 0.0
+        self._last_update_seq = 0
+
+    # ------------------------------------------------------------------
+    def on_start(self, sender) -> None:
+        super().on_start(sender)
+        bdp = self.host_bdp_bytes(sender)
+        self._w_c = sender.cwnd
+        self._w_ai = bdp * (1.0 - self.eta) / self.expected_flows
+        self._u = 0.0
+        self._inc_stage = 0
+        self._prev.clear()
+        self._last_update_seq = 0
+
+    # ------------------------------------------------------------------
+    def _measure_inflight(self, sender, ack) -> Optional[float]:
+        """MeasureInflight: max per-hop utilization, EWMA over base RTT."""
+        if not ack.int_hops:
+            return None
+        tau = sender.base_rtt_ns
+        best_u = None
+        best_dt = 0
+        for hop in ack.int_hops:
+            prev = self._prev.get(hop.port_id)
+            self._prev[hop.port_id] = hop
+            if prev is None:
+                continue
+            dt_ns = hop.ts_ns - prev.ts_ns
+            if dt_ns <= 0:
+                continue
+            tx_rate_Bps = (hop.tx_bytes - prev.tx_bytes) / (dt_ns / SEC)
+            bandwidth_Bps = hop.bandwidth_bps / BITS_PER_BYTE
+            bdp = bandwidth_Bps * tau / SEC
+            u = min(hop.qlen, prev.qlen) / bdp + tx_rate_Bps / bandwidth_Bps
+            if best_u is None or u > best_u:
+                best_u = u
+                best_dt = dt_ns
+        if best_u is None:
+            return None
+        dt = min(best_dt, tau)
+        self._u = (self._u * (tau - dt) + best_u * dt) / tau
+        return self._u
+
+    def _compute_wind(self, sender, u: float, update_wc: bool) -> float:
+        """ComputeWind: MI toward η, with bounded additive-only stages."""
+        if u >= self.eta or self._inc_stage >= self.max_stage:
+            w = self._w_c / (u / self.eta) + self._w_ai
+            if update_wc:
+                self._inc_stage = 0
+                self._w_c = w
+        else:
+            w = self._w_c + self._w_ai
+            if update_wc:
+                self._inc_stage += 1
+                self._w_c = w
+        return w
+
+    def on_ack(self, sender, ack) -> None:
+        u = self._measure_inflight(sender, ack)
+        if u is None:
+            return
+        update_wc = ack.ack_seq > self._last_update_seq
+        w = self._compute_wind(sender, u, update_wc)
+        if update_wc:
+            self._last_update_seq = sender.snd_nxt
+        self.set_window(sender, w)
+
+    @property
+    def utilization_estimate(self) -> float:
+        """Smoothed max-hop utilization U (for tests/diagnostics)."""
+        return self._u

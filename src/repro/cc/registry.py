@@ -1,0 +1,138 @@
+"""Name -> algorithm wiring used by the experiment harness.
+
+An :class:`AlgorithmSpec` bundles everything the harness must know to run
+one scheme: the per-flow CC factory (window transports), the transport
+style (window vs HOMA's receiver-driven), and the switch features to
+enable (INT stamping, ECN marking, CNP generation).
+
+The paper's evaluated set maps to::
+
+    powertcp        PowerTCP with INT   ("PowerTCP-INT" in Fig. 6)
+    theta-powertcp  θ-PowerTCP          ("PowerTCP-Delay")
+    hpcc            HPCC
+    dcqcn           DCQCN
+    timely          TIMELY
+    homa            HOMA (receiver-driven; overcommitment parameter)
+    retcp           reTCP (RDCN case study only)
+
+Extensions beyond the paper's set: ``swift``, ``dctcp``, ``static``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.cc.base import CongestionControl, StaticWindow
+from repro.cc.cubic import Cubic
+from repro.cc.dcqcn import Dcqcn
+from repro.cc.dctcp import Dctcp
+from repro.cc.hpcc import Hpcc
+from repro.cc.newreno import NewReno
+from repro.cc.retcp import ReTcp
+from repro.cc.swift import Swift
+from repro.cc.timely import Timely
+from repro.core.powertcp import PowerTcp
+from repro.core.theta import ThetaPowerTcp
+from repro.sim.port import EcnConfig
+from repro.transport.receiver import DCQCN_CNP_INTERVAL_NS
+
+WINDOW_TRANSPORT = "window"
+HOMA_TRANSPORT = "homa"
+
+
+@dataclass
+class AlgorithmSpec:
+    """Everything the harness needs to deploy one CC scheme."""
+
+    name: str
+    transport: str = WINDOW_TRANSPORT
+    #: per-flow factory; receives (flow, network) for schedule-aware CCs
+    make_cc: Optional[Callable] = None
+    needs_int: bool = False
+    needs_ecn: bool = False
+    cnp_interval_ns: Optional[int] = None
+    #: builds the per-port marking config from the port line rate
+    ecn_fn: Optional[Callable[[float], EcnConfig]] = None
+    #: HOMA only: overcommitment level (paper Appendix D sweeps 1-6)
+    homa_overcommit: int = 1
+    params: Dict = field(default_factory=dict)
+
+    @property
+    def is_homa(self) -> bool:
+        """True for the receiver-driven transport."""
+        return self.transport == HOMA_TRANSPORT
+
+
+def _window_spec(name: str, cls, needs_int: bool, **params) -> AlgorithmSpec:
+    return AlgorithmSpec(
+        name=name,
+        make_cc=lambda flow, net: cls(**params),
+        needs_int=needs_int,
+        params=params,
+    )
+
+
+def make_algorithm(name: str, **params) -> AlgorithmSpec:
+    """Build the spec for ``name``; ``params`` go to the CC constructor.
+
+    Raises ``KeyError`` for unknown names.
+    """
+    key = name.lower().replace("_", "-")
+    if key in ("powertcp", "powertcp-int"):
+        return _window_spec("powertcp", PowerTcp, needs_int=True, **params)
+    if key in ("theta-powertcp", "powertcp-delay", "theta"):
+        return _window_spec("theta-powertcp", ThetaPowerTcp, needs_int=False, **params)
+    if key == "hpcc":
+        return _window_spec("hpcc", Hpcc, needs_int=True, **params)
+    if key == "timely":
+        return _window_spec("timely", Timely, needs_int=False, **params)
+    if key == "swift":
+        return _window_spec("swift", Swift, needs_int=False, **params)
+    if key == "newreno":
+        return _window_spec("newreno", NewReno, needs_int=False, **params)
+    if key == "cubic":
+        return _window_spec("cubic", Cubic, needs_int=False, **params)
+    if key == "static":
+        return _window_spec("static", StaticWindow, needs_int=False, **params)
+    if key == "dcqcn":
+        spec = _window_spec("dcqcn", Dcqcn, needs_int=False, **params)
+        spec.needs_ecn = True
+        spec.cnp_interval_ns = DCQCN_CNP_INTERVAL_NS
+        spec.ecn_fn = Dcqcn.ecn_config_for
+        return spec
+    if key == "dctcp":
+        spec = _window_spec("dctcp", Dctcp, needs_int=False, **params)
+        spec.needs_ecn = True
+        # The K threshold depends on the base RTT, bound by the harness.
+        spec.ecn_fn = None
+        return spec
+    if key == "homa":
+        overcommit = int(params.pop("overcommitment", 1))
+        return AlgorithmSpec(
+            name="homa",
+            transport=HOMA_TRANSPORT,
+            homa_overcommit=overcommit,
+            params=params,
+        )
+    if key == "retcp":
+        prebuffer_ns = int(params.pop("prebuffer_ns", 0))
+        flows_per_pair = int(params.pop("flows_per_pair", 1))
+
+        def make_retcp(flow, net):
+            rdcn = net.extras["params"]
+            return ReTcp(
+                net.extras["schedule"],
+                rdcn.tor_of_host(flow.src),
+                rdcn.tor_of_host(flow.dst),
+                prebuffer_ns=prebuffer_ns,
+                flows_per_pair=flows_per_pair,
+                **params,
+            )
+
+        return AlgorithmSpec(name="retcp", make_cc=make_retcp, params=params)
+    raise KeyError(f"unknown congestion control algorithm: {name!r}")
+
+
+#: canonical names of the paper's evaluated set (Figs. 4-7)
+PAPER_ALGORITHMS = ("powertcp", "theta-powertcp", "hpcc", "dcqcn", "timely", "homa")

@@ -1,0 +1,97 @@
+"""reTCP (Mukerjee et al., NSDI 2020) — circuit-aware TCP for RDCNs.
+
+reTCP's idea is *explicit circuit state feedback*: endpoints are told when
+their ToR pair's circuit is (about to be) up and resize their window by a
+fixed factor, while the ToR prebuffers packets into the circuit VOQ ahead
+of the day.  The prebuffering interval is the knob Fig. 8 sweeps
+(reTCP-600µs vs reTCP-1800µs): more prebuffering fills the circuit from
+the first microsecond of the day at the cost of standing-queue latency.
+
+The model here mirrors that split:
+
+* the **ToR side** (VOQ admission ``prebuffer_ns`` before the day) lives in
+  :class:`repro.topology.rdcn.RdcnToR`;
+* the **endpoint side** (this class) switches between a *night window*
+  sized for the flow's share of the packet network and a *day window*
+  sized for line rate, driven by the circuit schedule — i.e. the explicit
+  notification reTCP assumes.
+
+reTCP performs no feedback-based congestion control beyond this — which is
+exactly why it pays the latency cost Fig. 8b shows.
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import CongestionControl
+from repro.sim.circuit import CircuitSchedule
+from repro.units import BITS_PER_BYTE, SEC
+
+
+class ReTcp(CongestionControl):
+    """Schedule-driven static windows (endpoint half of reTCP)."""
+
+    needs_int = False
+
+    def __init__(
+        self,
+        schedule: CircuitSchedule,
+        src_tor: int,
+        dst_tor: int,
+        *,
+        prebuffer_ns: int = 0,
+        flows_per_pair: int = 1,
+        day_window_multiple: float = 1.0,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.schedule = schedule
+        self.src_tor = src_tor
+        self.dst_tor = dst_tor
+        self.prebuffer_ns = prebuffer_ns
+        self.flows_per_pair = max(flows_per_pair, 1)
+        self.day_window_multiple = day_window_multiple
+        self._sender = None
+
+    # ------------------------------------------------------------------
+    def _night_window(self, sender) -> float:
+        """Fair share of the packet network for this ToR pair's flows."""
+        packet_bw = min(sender.host_bw_bps, self._packet_bw(sender))
+        share = packet_bw / self.flows_per_pair
+        return share * sender.base_rtt_ns / (BITS_PER_BYTE * SEC)
+
+    def _packet_bw(self, sender) -> float:
+        # The ToR packet uplink rate is not directly visible to the
+        # endpoint; reTCP provisions for the host line rate upper bound.
+        return sender.host_bw_bps
+
+    def _day_window(self, sender) -> float:
+        return self.day_window_multiple * self.host_bdp_bytes(sender)
+
+    # ------------------------------------------------------------------
+    def on_start(self, sender) -> None:
+        self._sender = sender
+        sender.pacing_rate_bps = sender.host_bw_bps
+        self._apply(sender)
+
+    def _apply(self, sender) -> None:
+        """Set the window for the current phase and arm the next switch."""
+        if sender.done:
+            return
+        now = sender.sim.now
+        start, end = self.schedule.window_for(self.src_tor, self.dst_tor, now)
+        in_window = start - self.prebuffer_ns <= now < end
+        if in_window:
+            self.set_window(sender, self._day_window(sender))
+            next_transition = end
+        else:
+            self.set_window(sender, self._night_window(sender))
+            next_transition = start - self.prebuffer_ns
+        sender.pacing_rate_bps = sender.host_bw_bps
+        sender.sim.at(next_transition, self._apply, sender)
+        sender._try_send()
+
+    def on_loss(self, sender) -> None:
+        """Windows are schedule-pinned; losses do not shrink them."""
+
+    def on_timeout(self, sender) -> None:
+        """Windows are schedule-pinned."""

@@ -1,0 +1,67 @@
+"""Swift (Kumar et al., SIGCOMM 2020) — target-delay AIMD.
+
+TIMELY's production successor at Google and, per the paper's taxonomy, a
+pure *voltage-based* scheme: it compares the measured RTT against a fixed
+target delay and reacts proportionally to the excess, never to the
+gradient.  The paper notes Swift "cannot detect congestion onset and
+intensity unless the distance from target delay significantly increases" —
+this implementation exists so that claim can be exercised empirically
+(it is an extension; Swift is not part of the paper's evaluated set).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cc.base import CongestionControl
+
+DEFAULT_TARGET_RTTS = 1.25  # target delay as a multiple of base RTT
+DEFAULT_AI_MTUS = 1.0  # additive increase per RTT, in MTUs
+DEFAULT_BETA = 0.8
+DEFAULT_MAX_MDF = 0.5  # max multiplicative decrease factor per event
+
+
+class Swift(CongestionControl):
+    """Swift sender logic (window-based)."""
+
+    needs_int = False
+
+    def __init__(
+        self,
+        target_ns: Optional[int] = None,
+        ai_mtus: float = DEFAULT_AI_MTUS,
+        beta: float = DEFAULT_BETA,
+        max_mdf: float = DEFAULT_MAX_MDF,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.target_ns = target_ns
+        self.ai_mtus = ai_mtus
+        self.beta = beta
+        self.max_mdf = max_mdf
+        self._last_decrease_seq = 0
+
+    def on_start(self, sender) -> None:
+        super().on_start(sender)
+        if self.target_ns is None:
+            self.target_ns = int(DEFAULT_TARGET_RTTS * sender.base_rtt_ns)
+        self._last_decrease_seq = 0
+
+    def on_ack(self, sender, ack) -> None:
+        rtt = sender.last_rtt_ns
+        if rtt is None:
+            return
+        mtu = sender.mtu_payload
+        if rtt < self.target_ns:
+            # Additive increase, spread across the ACKs of one window.
+            cwnd_mtus = max(sender.cwnd / mtu, 1e-6)
+            increment = self.ai_mtus * mtu / cwnd_mtus
+            self.set_window(sender, sender.cwnd + increment)
+        elif ack.ack_seq > self._last_decrease_seq:
+            # At most one multiplicative decrease per RTT.
+            factor = max(
+                1.0 - self.beta * (rtt - self.target_ns) / rtt,
+                1.0 - self.max_mdf,
+            )
+            self.set_window(sender, sender.cwnd * factor)
+            self._last_decrease_seq = sender.snd_nxt

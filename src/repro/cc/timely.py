@@ -1,0 +1,113 @@
+"""TIMELY (Mittal et al., SIGCOMM 2015) — RTT-gradient rate control.
+
+The canonical *current-based* scheme in the paper's taxonomy: it reacts to
+the RTT gradient (the rate of change of queueing), which detects congestion
+onset quickly but — as §2.2 proves — has no unique equilibrium, so queue
+lengths wander (Fig. 3b).  TIMELY also keeps two guard thresholds:
+
+* below ``t_low`` it ignores the gradient and increases additively;
+* above ``t_high`` it decreases proportionally to the RTT excess —
+  this is exactly the "threshold fallback to voltage" the paper's Figure 1
+  alludes to with "TIMELY (low thresh - high thresh)".
+
+Defaults follow the TIMELY paper scaled to the simulated base RTT (the
+original used T_low = 50 µs on a 10 Gbps fabric with ~20 µs base RTT).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cc.base import CongestionControl
+
+DEFAULT_EWMA_ALPHA = 0.875  # weight on the *old* rtt_diff
+DEFAULT_BETA = 0.8
+DEFAULT_HAI_THRESHOLD = 5
+DEFAULT_ADD_STEP_FRACTION = 0.02  # δ as a fraction of line rate
+DEFAULT_T_LOW_RTTS = 1.5
+DEFAULT_T_HIGH_RTTS = 5.0
+MIN_RATE_FRACTION = 0.001
+
+
+class Timely(CongestionControl):
+    """TIMELY sender logic (rate-based)."""
+
+    needs_int = False
+
+    def __init__(
+        self,
+        ewma_alpha: float = DEFAULT_EWMA_ALPHA,
+        beta: float = DEFAULT_BETA,
+        add_step_bps: Optional[float] = None,
+        t_low_ns: Optional[int] = None,
+        t_high_ns: Optional[int] = None,
+        hai_threshold: int = DEFAULT_HAI_THRESHOLD,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.ewma_alpha = ewma_alpha
+        self.beta = beta
+        self.add_step_bps = add_step_bps
+        self.t_low_ns = t_low_ns
+        self.t_high_ns = t_high_ns
+        self.hai_threshold = hai_threshold
+
+        self._rate = 0.0
+        self._rtt_diff = 0.0
+        self._prev_rtt: Optional[int] = None
+        self._neg_gradient_count = 0
+
+    def on_start(self, sender) -> None:
+        self._rate = sender.host_bw_bps
+        if self.add_step_bps is None:
+            self.add_step_bps = DEFAULT_ADD_STEP_FRACTION * sender.host_bw_bps
+        if self.t_low_ns is None:
+            self.t_low_ns = int(DEFAULT_T_LOW_RTTS * sender.base_rtt_ns)
+        if self.t_high_ns is None:
+            self.t_high_ns = int(DEFAULT_T_HIGH_RTTS * sender.base_rtt_ns)
+        self._prev_rtt = None
+        self._rtt_diff = 0.0
+        self._neg_gradient_count = 0
+        self.set_rate(sender, self._rate)
+
+    def on_ack(self, sender, ack) -> None:
+        rtt = sender.last_rtt_ns
+        if rtt is None:
+            return
+        if self._prev_rtt is None:
+            self._prev_rtt = rtt
+            return
+        new_rtt_diff = rtt - self._prev_rtt
+        self._prev_rtt = rtt
+        a = self.ewma_alpha
+        self._rtt_diff = a * self._rtt_diff + (1.0 - a) * new_rtt_diff
+        normalized_gradient = self._rtt_diff / sender.base_rtt_ns
+
+        if rtt < self.t_low_ns:
+            self._rate += self.add_step_bps
+            self._neg_gradient_count = 0
+        elif rtt > self.t_high_ns:
+            # Proportional decrease toward the high threshold (voltage mode).
+            self._rate *= 1.0 - self.beta * (1.0 - self.t_high_ns / rtt)
+            self._neg_gradient_count = 0
+        elif normalized_gradient <= 0:
+            # Pipe is draining: additive increase, hyper-active after a run
+            # of negative gradients (HAI mode).
+            self._neg_gradient_count += 1
+            if self._neg_gradient_count >= self.hai_threshold:
+                self._rate += self.hai_threshold * self.add_step_bps
+            else:
+                self._rate += self.add_step_bps
+        else:
+            # Queue is building: decrease proportionally to the gradient.
+            self._neg_gradient_count = 0
+            self._rate *= 1.0 - self.beta * normalized_gradient
+
+        floor = MIN_RATE_FRACTION * sender.host_bw_bps
+        self._rate = min(max(self._rate, floor), sender.host_bw_bps)
+        self.set_rate(sender, self._rate)
+
+    @property
+    def rate_bps(self) -> float:
+        """Current TIMELY rate."""
+        return self._rate

@@ -1,0 +1,233 @@
+"""Command-line interface: regenerate any paper figure from the shell.
+
+Usage::
+
+    python -m repro fig4 [--algorithms powertcp,hpcc] [--fanout 10]
+    python -m repro fig6 --load 0.6
+    python -m repro fig8
+    python -m repro list
+
+Each subcommand runs the same experiment code path as the corresponding
+benchmark target and prints the series the paper plots.  Scaled-down
+defaults keep runs interactive; flags expose the knobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.analysis.stats import percentile
+from repro.experiments.fairness import FairnessConfig, run_fairness
+from repro.experiments.incast import IncastConfig, run_incast
+from repro.experiments.rdcn import (
+    RdcnConfig,
+    run_rdcn,
+    scaled_prebuffer_ns,
+    scaled_rdcn,
+)
+from repro.experiments.websearch import WebsearchConfig, run_websearch
+from repro.fluid.laws import GRADIENT_LAW, POWER_LAW, QUEUE_LAW
+from repro.fluid.model import FluidParams
+from repro.fluid.phase import phase_portrait
+from repro.fluid.reaction import (
+    decrease_vs_buildup_rate,
+    decrease_vs_queue_length,
+    three_case_comparison,
+)
+from repro.units import GBPS, MSEC, USEC
+
+DEFAULT_ALGOS = ["powertcp", "theta-powertcp", "hpcc", "dcqcn", "timely", "homa"]
+
+
+def _algos(args) -> List[str]:
+    return args.algorithms.split(",") if args.algorithms else DEFAULT_ALGOS
+
+
+def cmd_fig2(args) -> None:
+    """Fig. 2: reaction curves of the control-law taxonomy."""
+    b_Bps = 100 * GBPS / 8.0
+    tau = 20e-6
+    bdp = b_Bps * tau
+    print("Fig 2a — multiplicative decrease vs queue buildup rate:")
+    series = decrease_vs_buildup_rate(
+        bandwidth_Bps=b_Bps, tau_s=tau, queue_bytes=0.5 * bdp,
+        rate_multiples=[0, 1, 2, 4, 8],
+    )
+    for name, values in series.items():
+        print(f"  {name:14s} " + " ".join(f"{v:5.2f}" for v in values))
+    print("Fig 2b — multiplicative decrease vs queue length (xBDP 0..4):")
+    series = decrease_vs_queue_length(
+        bandwidth_Bps=b_Bps, tau_s=tau,
+        queue_lengths_bytes=[f * bdp for f in (0, 1, 2, 4)],
+    )
+    for name, values in series.items():
+        print(f"  {name:14s} " + " ".join(f"{v:5.2f}" for v in values))
+    print("Fig 2c — the three cases:")
+    for case in three_case_comparison(bandwidth_Bps=b_Bps, tau_s=tau):
+        print(
+            f"  {case.label:45s} V={case.voltage:5.2f} "
+            f"I={case.current:5.2f} P={case.power:6.2f}"
+        )
+
+
+def cmd_fig3(args) -> None:
+    """Fig. 3: phase portraits of the three law classes."""
+    params = FluidParams()
+    params.beta_bytes = 0.01 * params.bdp_bytes
+    for law in (QUEUE_LAW, GRADIENT_LAW, POWER_LAW):
+        portrait = phase_portrait(law, params)
+        print(
+            f"{law.name:14s} equilibrium-spread={portrait.equilibrium_spread():6.3f} "
+            f"throughput-loss-fraction={portrait.fraction_with_loss():5.0%}"
+        )
+
+
+def cmd_fig4(args) -> None:
+    """Fig. 4: incast reaction time series summary."""
+    for algo in _algos(args):
+        r = run_incast(
+            IncastConfig(algorithm=algo, fanout=args.fanout,
+                         duration_ns=args.duration_ms * MSEC)
+        )
+        print(
+            f"{algo:>15s} peakQ={r.peak_qlen_bytes/1000:7.1f}KB "
+            f"settledQ={r.mean_late_qlen()/1000:6.1f}KB "
+            f"burst-util={r.burst_utilization():5.2f} "
+            f"done={len(r.burst_fcts_ns)}/{r.fanout}"
+        )
+
+
+def cmd_fig5(args) -> None:
+    """Fig. 5: fairness under flow churn."""
+    for algo in _algos(args):
+        r = run_fairness(FairnessConfig(algorithm=algo))
+        epochs = " ".join(f"{j:5.3f}" for j in r.epoch_jain)
+        print(f"{algo:>15s} jain-per-epoch: {epochs}")
+
+
+def cmd_fig6(args) -> None:
+    """Fig. 6: web-search FCT slowdowns at one load."""
+    for algo in _algos(args):
+        r = run_websearch(
+            WebsearchConfig(
+                algorithm=algo,
+                load=args.load,
+                duration_ns=20 * MSEC,
+                drain_ns=40 * MSEC,
+                size_scale=1 / 16,
+                max_flows=args.flows,
+            )
+        )
+        print(r.fct_summary(pct=args.pct).row())
+
+
+def cmd_fig7g(args) -> None:
+    """Fig. 7g: buffer-occupancy CDF at 80 % load."""
+    for algo in _algos(args):
+        r = run_websearch(
+            WebsearchConfig(
+                algorithm=algo, load=0.8, duration_ns=20 * MSEC,
+                drain_ns=40 * MSEC, size_scale=1 / 16, max_flows=args.flows,
+            )
+        )
+        row = " ".join(
+            f"p{p:g}={percentile(r.buffer_samples_bytes, p):8.0f}B"
+            for p in (50, 90, 99)
+        )
+        print(f"{algo:>15s} {row}")
+
+
+def cmd_fig8(args) -> None:
+    """Fig. 8: the RDCN case study."""
+    variants = [("powertcp", 0), ("hpcc", 0), ("retcp", 600 * USEC),
+                ("retcp", 1800 * USEC)]
+    for algo, paper_pre in variants:
+        params = scaled_rdcn()
+        pre = scaled_prebuffer_ns(params, paper_pre) if paper_pre else 0
+        r = run_rdcn(
+            RdcnConfig(algorithm=algo, params=params, prebuffer_ns=pre,
+                       duration_ns=4 * MSEC)
+        )
+        name = f"{algo}-{paper_pre // 1000}us" if paper_pre else algo
+        print(
+            f"{name:>15s} circuit-util={r.circuit_utilization:5.2f} "
+            f"peak-VOQ={r.peak_voq_bytes()/1000:8.1f}KB "
+            f"p99-qlat={r.tail_queuing_latency_ns/1000:7.1f}us"
+        )
+
+
+def cmd_fig9(args) -> None:
+    """Fig. 9: HOMA fairness across overcommitment levels."""
+    for oc in (1, 2, 3, 4, 5, 6):
+        r = run_fairness(FairnessConfig(algorithm="homa", homa_overcommit=oc))
+        epochs = " ".join(f"{j:5.3f}" for j in r.epoch_jain)
+        print(f"OC={oc} jain-per-epoch: {epochs}")
+
+
+def cmd_fig10(args) -> None:
+    """Figs. 10/11: HOMA incast across overcommitment levels."""
+    for oc in (1, 2, 4, 6):
+        r = run_incast(
+            IncastConfig(algorithm="homa", fanout=args.fanout,
+                         duration_ns=args.duration_ms * MSEC,
+                         cc_params={"overcommitment": oc})
+        )
+        print(
+            f"OC={oc} peakQ={r.peak_qlen_bytes/1000:7.1f}KB "
+            f"burst-util={r.burst_utilization():5.2f} "
+            f"done={len(r.burst_fcts_ns)}/{r.fanout}"
+        )
+
+
+COMMANDS = {
+    "fig2": cmd_fig2,
+    "fig3": cmd_fig3,
+    "fig4": cmd_fig4,
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+    "fig7g": cmd_fig7g,
+    "fig8": cmd_fig8,
+    "fig9": cmd_fig9,
+    "fig10": cmd_fig10,
+    "fig11": cmd_fig10,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate PowerTCP (NSDI'22) paper figures.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(COMMANDS) + ["list"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--algorithms",
+        help="comma-separated algorithm list (default: the paper's set)",
+    )
+    parser.add_argument("--fanout", type=int, default=10, help="incast fan-in")
+    parser.add_argument("--load", type=float, default=0.6, help="network load")
+    parser.add_argument("--flows", type=int, default=300, help="flow budget")
+    parser.add_argument("--pct", type=float, default=99.0, help="tail percentile")
+    parser.add_argument(
+        "--duration-ms", type=int, default=4, help="simulated milliseconds"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.figure == "list":
+        for name in sorted(COMMANDS):
+            print(f"{name:7s} {COMMANDS[name].__doc__.strip()}")
+        return 0
+    COMMANDS[args.figure](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""The notion of power (paper §3.1) and its estimation from feedback.
+
+Power is the product of network *current* and *voltage* (Table 1):
+
+    current  λ = q̇ + µ          (aggregate arrival rate at the bottleneck)
+    voltage  ν = q + b·τ        (buffered bytes + bandwidth-delay product)
+    power    Γ = λ · ν           [bytes²/second]
+
+Property 1 gives ``Γ(t) = b · w(t − t_f)``: power equals the bandwidth-
+window product, which is what lets a sender recover the *aggregate* window
+from local measurements.  The control law consumes power normalized by its
+equilibrium value ``e = b²·τ``, so a normalized power of 1 means the
+aggregate window exactly fills the pipe.
+
+Two estimators are provided, matching the two algorithms in the paper:
+
+* :class:`INTPowerEstimator` — per-hop telemetry (Algorithm 1, lines 8-25):
+  q̇ and µ are finite differences of queue length and txBytes between the
+  INT records of consecutive ACKs; the *maximum* normalized power across
+  hops is smoothed over one base RTT.
+* :func:`normalized_power_from_delay` — the θ-PowerTCP rearrangement
+  (Eq. 8): ``f/e = (θ̇ + 1)·θ / τ`` using only RTT samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.sim.packet import HopRecord
+from repro.units import BITS_PER_BYTE, SEC
+
+# Normalized power is clamped to this floor before dividing: it bounds the
+# multiplicative *increase* per update (e.g. 1/16 -> at most 16x), which
+# keeps the ramp-up sane when a hop reports a nearly idle link.
+MIN_NORM_POWER = 1.0 / 16.0
+
+
+@dataclass
+class PowerSample:
+    """One hop's power computation, exposed for tests and introspection."""
+
+    current_Bps: float  # λ, bytes/second
+    voltage_bytes: float  # ν
+    power: float  # Γ = λ·ν
+    base_power: float  # e = (b/8)²·τ
+    norm: float  # Γ / e
+    dt_ns: int
+
+
+def normalized_power_from_hop(
+    hop: HopRecord, prev: HopRecord, base_rtt_ns: int
+) -> Optional[PowerSample]:
+    """Normalized power at one egress port from two consecutive INT records.
+
+    Implements Algorithm 1 lines 11-19.  Returns None when the two records
+    carry the same timestamp (no information).
+    """
+    dt_ns = hop.ts_ns - prev.ts_ns
+    if dt_ns <= 0:
+        return None
+    dt_s = dt_ns / SEC
+    qdot_Bps = (hop.qlen - prev.qlen) / dt_s
+    mu_Bps = (hop.tx_bytes - prev.tx_bytes) / dt_s
+    current = qdot_Bps + mu_Bps  # λ : Current
+    bandwidth_Bps = hop.bandwidth_bps / BITS_PER_BYTE
+    bdp = bandwidth_Bps * base_rtt_ns / SEC
+    voltage = hop.qlen + bdp  # ν : Voltage
+    power = current * voltage  # Γ'
+    base_power = bandwidth_Bps * bandwidth_Bps * base_rtt_ns / SEC  # e = b²τ
+    return PowerSample(
+        current_Bps=current,
+        voltage_bytes=voltage,
+        power=power,
+        base_power=base_power,
+        norm=power / base_power,
+        dt_ns=dt_ns,
+    )
+
+
+def normalized_power_from_delay(
+    rtt_ns: int, prev_rtt_ns: int, dt_ns: int, base_rtt_ns: int
+) -> Optional[float]:
+    """θ-PowerTCP's normalized power from RTT samples (Eq. 8).
+
+    ``f/e = (θ̇ + 1) · θ / τ`` where θ̇ is the RTT gradient over the ACK
+    inter-arrival time ``dt``.
+    """
+    if dt_ns <= 0:
+        return None
+    theta_dot = (rtt_ns - prev_rtt_ns) / dt_ns
+    return (theta_dot + 1.0) * rtt_ns / base_rtt_ns
+
+
+class INTPowerEstimator:
+    """Per-flow INT power state: prevInt records plus the smoothed value.
+
+    The smoothing is the paper's sliding window over one base RTT
+    (Algorithm 1 line 24)::
+
+        Γ_smooth = (Γ_smooth · (τ − Δt) + Γ_norm · Δt) / τ
+
+    where Δt is the INT-record spacing of the hop with the largest
+    normalized power, capped at τ.
+    """
+
+    __slots__ = ("base_rtt_ns", "prev", "smoothed")
+
+    def __init__(self, base_rtt_ns: int):
+        self.base_rtt_ns = base_rtt_ns
+        self.prev: Dict[int, HopRecord] = {}
+        self.smoothed: float = 1.0
+
+    def update(self, hops: Optional[Iterable[HopRecord]]) -> Optional[float]:
+        """Fold one ACK's INT records in; returns the smoothed normalized
+        power, or None while no hop has two samples yet."""
+        if not hops:
+            return None
+        best_norm = None
+        best_dt = 0
+        for hop in hops:
+            prev = self.prev.get(hop.port_id)
+            self.prev[hop.port_id] = hop
+            if prev is None:
+                continue
+            sample = normalized_power_from_hop(hop, prev, self.base_rtt_ns)
+            if sample is None:
+                continue
+            if best_norm is None or sample.norm > best_norm:
+                best_norm = sample.norm
+                best_dt = sample.dt_ns
+        if best_norm is None:
+            return None
+        dt = min(best_dt, self.base_rtt_ns)
+        tau = self.base_rtt_ns
+        self.smoothed = (self.smoothed * (tau - dt) + best_norm * dt) / tau
+        if self.smoothed < MIN_NORM_POWER:
+            self.smoothed = MIN_NORM_POWER
+        return self.smoothed

@@ -1,0 +1,103 @@
+"""θ-PowerTCP — Algorithm 2: the standalone, switch-support-free variant.
+
+Where PowerTCP reads queue lengths and txBytes from INT, θ-PowerTCP only
+needs accurate RTT timestamps.  Rearranging ``e/f`` (Eq. 8) with
+``q/b + τ = θ`` and ``q̇/b = θ̇``::
+
+    normalized power  f/e = (θ̇ + 1) · θ / τ
+
+The trade-offs the paper calls out (§3.5) fall out of this signal:
+
+* RTT cannot signal *under-utilization* — the law assumes the bottleneck
+  transmits at full rate, so ramp-up relies on the slow additive term;
+* with multiple bottlenecks, RTT sums queueing delays instead of isolating
+  the most-congested hop.
+
+Per Algorithm 2, the window is updated only **once per RTT** (the simpler
+logic the paper highlights as reducing CC function calls), while the
+smoothed power folds in every ACK sample.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cc.base import CongestionControl
+from repro.core.power import MIN_NORM_POWER, normalized_power_from_delay
+from repro.core.powertcp import DEFAULT_EXPECTED_FLOWS, DEFAULT_GAMMA
+
+
+class ThetaPowerTcp(CongestionControl):
+    """Delay-based power control law (paper Algorithm 2)."""
+
+    needs_int = False
+
+    def __init__(
+        self,
+        gamma: float = DEFAULT_GAMMA,
+        expected_flows: int = DEFAULT_EXPECTED_FLOWS,
+        beta_bytes: Optional[float] = None,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.gamma = gamma
+        self.expected_flows = expected_flows
+        self.beta_bytes = beta_bytes
+        self._smoothed = 1.0
+        self._prev_rtt_ns: Optional[int] = None
+        self._prev_ack_time_ns: Optional[int] = None
+        self._cwnd_old = 0.0
+        self._last_update_seq = 0
+
+    def on_start(self, sender) -> None:
+        super().on_start(sender)
+        if self.beta_bytes is None:
+            self.beta_bytes = self.host_bdp_bytes(sender) / self.expected_flows
+        self._cwnd_old = sender.cwnd
+        self._smoothed = 1.0
+        self._prev_rtt_ns = None
+        self._prev_ack_time_ns = None
+        self._last_update_seq = 0
+
+    def on_ack(self, sender, ack) -> None:
+        """NEW_ACK (Algorithm 2): smooth per ACK, update once per RTT."""
+        now = sender.sim.now
+        rtt = sender.last_rtt_ns
+        if rtt is None:
+            return
+        if self._prev_rtt_ns is None:
+            self._prev_rtt_ns = rtt
+            self._prev_ack_time_ns = now
+            return
+        dt = now - self._prev_ack_time_ns
+        norm = normalized_power_from_delay(
+            rtt, self._prev_rtt_ns, dt, sender.base_rtt_ns
+        )
+        self._prev_rtt_ns = rtt
+        self._prev_ack_time_ns = now
+        if norm is None:
+            return
+        tau = sender.base_rtt_ns
+        dt_c = min(dt, tau)
+        self._smoothed = (self._smoothed * (tau - dt_c) + norm * dt_c) / tau
+        if self._smoothed < MIN_NORM_POWER:
+            self._smoothed = MIN_NORM_POWER
+
+        # UPDATE_WINDOW: skip until one RTT's worth of data is acknowledged.
+        if ack.ack_seq < self._last_update_seq:
+            return
+        gamma = self.gamma
+        new_cwnd = (
+            gamma * (self._cwnd_old / self._smoothed + self.beta_bytes)
+            + (1.0 - gamma) * sender.cwnd
+        )
+        self.set_window(sender, new_cwnd)
+        self._cwnd_old = sender.cwnd
+        self._last_update_seq = sender.snd_nxt
+
+    @property
+    def smoothed_norm_power(self) -> float:
+        """Latest smoothed normalized power estimate."""
+        return self._smoothed

@@ -1,0 +1,11 @@
+"""Per-figure experiment runners shared by tests, benches, and examples.
+
+Each module exposes plain functions that build a network, deploy one CC
+algorithm via :class:`repro.experiments.driver.FlowDriver`, run the event
+loop, and return result dataclasses — so a pytest-benchmark target, an
+example script, and an integration test all execute the same code path.
+"""
+
+from repro.experiments.driver import FlowDriver
+
+__all__ = ["FlowDriver"]

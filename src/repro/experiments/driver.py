@@ -1,0 +1,194 @@
+"""Deploys a congestion-control algorithm onto a built network.
+
+The driver owns flow lifecycle: it schedules flow starts on the event
+loop, instantiates the right transport endpoints (window-based sender or
+HOMA's receiver-driven pair), switches on the network features the
+algorithm needs (INT stamping, ECN marking, CNP generation), and collects
+completed flows for FCT analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.cc.dctcp import Dctcp
+from repro.cc.homa import HomaGrantScheduler, HomaReceiver, HomaSender
+from repro.cc.registry import AlgorithmSpec, make_algorithm
+from repro.topology.network import Network
+from repro.transport.flow import Flow
+from repro.transport.receiver import Receiver
+from repro.transport.sender import Sender
+from repro.units import BITS_PER_BYTE, SEC
+
+
+class FlowDriver:
+    """Flow factory + lifecycle manager for one (network, algorithm) pair."""
+
+    def __init__(
+        self,
+        net: Network,
+        algorithm: Union[str, AlgorithmSpec],
+        *,
+        mtu_payload: int = 1000,
+        rto_ns: Optional[int] = None,
+        cc_params: Optional[dict] = None,
+    ):
+        self.net = net
+        self.sim = net.sim
+        self.spec = (
+            algorithm
+            if isinstance(algorithm, AlgorithmSpec)
+            else make_algorithm(algorithm, **(cc_params or {}))
+        )
+        self.mtu_payload = mtu_payload
+        self.rto_ns = rto_ns
+        self.flows: List[Flow] = []
+        self.completed: List[Flow] = []
+        self.senders: Dict[int, Sender] = {}
+        self._next_flow_id = 1
+        self._homa_schedulers: Dict[int, HomaGrantScheduler] = {}
+        self._configure_network()
+
+    # ------------------------------------------------------------------
+    def _configure_network(self) -> None:
+        spec = self.spec
+        if spec.needs_ecn:
+            if spec.ecn_fn is not None:
+                self.net.apply_ecn(spec.ecn_fn)
+            else:
+                # DCTCP's threshold depends on the base RTT.
+                base_rtt = self.net.base_rtt_ns
+                self.net.apply_ecn(
+                    lambda rate: Dctcp.ecn_config_for(rate, base_rtt)
+                )
+
+    @property
+    def rtt_bytes(self) -> int:
+        """One host-line-rate BDP — HOMA's RTTbytes, the paper's cwnd_init."""
+        return int(
+            self.net.host_bw_bps * self.net.base_rtt_ns / (BITS_PER_BYTE * SEC)
+        )
+
+    # ------------------------------------------------------------------
+    def start_flow(
+        self,
+        src: int,
+        dst: int,
+        size_bytes: int,
+        at_ns: Optional[int] = None,
+        tag: str = "",
+    ) -> Flow:
+        """Schedule one flow; returns its (mutable) record."""
+        if src == dst:
+            raise ValueError(f"flow src == dst == {src}")
+        if size_bytes <= 0:
+            raise ValueError(f"flow size must be positive, got {size_bytes}")
+        flow = Flow(self._next_flow_id, src, dst, size_bytes, tag=tag)
+        self._next_flow_id += 1
+        self.flows.append(flow)
+        start = self.sim.now if at_ns is None else at_ns
+        self.sim.at(start, self._launch, flow)
+        return flow
+
+    def _launch(self, flow: Flow) -> None:
+        if self.spec.is_homa:
+            self._launch_homa(flow)
+        else:
+            self._launch_window(flow)
+
+    def _launch_window(self, flow: Flow) -> None:
+        spec = self.spec
+        receiver = Receiver(
+            self.sim,
+            self.net.host(flow.dst),
+            flow,
+            echo_int=spec.needs_int,
+            cnp_interval_ns=spec.cnp_interval_ns,
+            on_complete=self._on_complete,
+        )
+        sender = Sender(
+            self.sim,
+            self.net.host(flow.src),
+            flow,
+            spec.make_cc(flow, self.net),
+            base_rtt_ns=self.net.base_rtt_ns,
+            mtu_payload=self.mtu_payload,
+            int_enabled=spec.needs_int,
+            ecn_capable=spec.needs_ecn,
+            rto_ns=self.rto_ns,
+        )
+        self.senders[flow.flow_id] = sender
+        receiver.start()
+        sender.start()
+
+    def _launch_homa(self, flow: Flow) -> None:
+        scheduler = self._scheduler_for(flow.dst)
+        receiver = HomaReceiver(
+            self.sim,
+            self.net.host(flow.dst),
+            flow,
+            scheduler=scheduler,
+            rtt_bytes=self.rtt_bytes,
+            echo_int=False,
+            on_complete=self._on_complete,
+        )
+        sender = HomaSender(
+            self.sim,
+            self.net.host(flow.src),
+            flow,
+            _NoCc(),
+            base_rtt_ns=self.net.base_rtt_ns,
+            mtu_payload=self.mtu_payload,
+            rto_ns=self.rto_ns,
+            rtt_bytes=self.rtt_bytes,
+        )
+        self.senders[flow.flow_id] = sender
+        receiver.start()
+        sender.start()
+
+    def _scheduler_for(self, host_id: int) -> HomaGrantScheduler:
+        scheduler = self._homa_schedulers.get(host_id)
+        if scheduler is None:
+            scheduler = HomaGrantScheduler(
+                self.sim,
+                self.net.host(host_id),
+                overcommitment=self.spec.homa_overcommit,
+                mtu_payload=self.mtu_payload,
+            )
+            self._homa_schedulers[host_id] = scheduler
+        return scheduler
+
+    def _on_complete(self, flow: Flow) -> None:
+        self.completed.append(flow)
+
+    # ------------------------------------------------------------------
+    def run(self, until_ns: Optional[int] = None) -> None:
+        """Run the event loop (forever if no horizon given)."""
+        self.sim.run(until=until_ns)
+
+    @property
+    def unfinished(self) -> List[Flow]:
+        """Flows that have not completed yet."""
+        return [f for f in self.flows if not f.completed]
+
+
+class _NoCc:
+    """Placeholder CC for HOMA senders (no sender-side congestion control).
+
+    ``HomaSender.__init__`` overwrites the window/pacing this sets.
+    """
+
+    def on_start(self, sender) -> None:
+        pass
+
+    def on_ack(self, sender, ack) -> None:
+        pass
+
+    def on_loss(self, sender) -> None:
+        pass
+
+    def on_timeout(self, sender) -> None:
+        pass
+
+    def on_cnp(self, sender) -> None:
+        pass

@@ -1,0 +1,128 @@
+"""Fig. 5 (and Fig. 9): fairness and stability under flow churn.
+
+Flows join a shared bottleneck one at a time; each should converge to the
+new fair share quickly (and give bandwidth back when flows leave).  The
+paper shows PowerTCP converging within milliseconds, θ-PowerTCP slower
+(delay signal), TIMELY oscillating, and HOMA's behaviour depending on its
+overcommitment level (Fig. 9).
+
+Metrics: per-flow throughput time series (sampled from receiver byte
+counts) and the Jain fairness index within each epoch where the set of
+active flows is constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.fairness import jain_index
+from repro.experiments.driver import FlowDriver
+from repro.sim.engine import Simulator
+from repro.sim.tracing import CounterRateProbe
+from repro.topology.dumbbell import DumbbellParams, build_dumbbell
+from repro.units import GBPS, MSEC, USEC
+
+
+@dataclass
+class FairnessConfig:
+    """Scaled-down defaults (paper: 25 Gbps host links, 4 flows)."""
+
+    algorithm: str = "powertcp"
+    num_flows: int = 4
+    join_interval_ns: int = 1 * MSEC
+    flow_bytes: int = 10 ** 12  # effectively long-running
+    host_bw_bps: float = 10 * GBPS
+    bottleneck_bw_bps: float = 10 * GBPS
+    duration_ns: int = 6 * MSEC
+    probe_interval_ns: int = 50 * USEC
+    mtu_payload: int = 1000
+    cc_params: Optional[dict] = None
+    homa_overcommit: int = 1
+
+
+@dataclass
+class FairnessResult:
+    """Per-flow throughput series plus per-epoch Jain indices."""
+
+    algorithm: str
+    times_ns: List[int] = field(default_factory=list)
+    flow_throughput_bps: Dict[int, List[float]] = field(default_factory=dict)
+    epoch_jain: List[float] = field(default_factory=list)
+
+    def final_epoch_jain(self) -> float:
+        """Jain index with all flows active (the last join epoch)."""
+        if not self.epoch_jain:
+            raise ValueError("no epochs recorded")
+        return self.epoch_jain[-1]
+
+
+def run_fairness(config: FairnessConfig) -> FairnessResult:
+    """Run the staggered-join fairness scenario for one algorithm."""
+    sim = Simulator()
+    net = build_dumbbell(
+        sim,
+        DumbbellParams(
+            left_hosts=config.num_flows,
+            right_hosts=1,
+            host_bw_bps=config.host_bw_bps,
+            bottleneck_bw_bps=config.bottleneck_bw_bps,
+            mtu_payload=config.mtu_payload,
+        ),
+    )
+    spec_params = dict(config.cc_params or {})
+    if config.algorithm == "homa":
+        spec_params.setdefault("overcommitment", config.homa_overcommit)
+    driver = FlowDriver(
+        net,
+        config.algorithm,
+        mtu_payload=config.mtu_payload,
+        cc_params=spec_params,
+    )
+    receiver = config.num_flows
+    flows = [
+        driver.start_flow(
+            i,
+            receiver,
+            config.flow_bytes,
+            at_ns=i * config.join_interval_ns,
+            tag=f"flow-{i + 1}",
+        )
+        for i in range(config.num_flows)
+    ]
+
+    probes = {
+        flow.flow_id: CounterRateProbe(
+            sim,
+            config.probe_interval_ns,
+            (lambda f: (lambda: f.bytes_received))(flow),
+        ).start()
+        for flow in flows
+    }
+    driver.run(until_ns=config.duration_ns)
+
+    result = FairnessResult(algorithm=config.algorithm)
+    first = probes[flows[0].flow_id]
+    result.times_ns = first.times_ns
+    for flow in flows:
+        result.flow_throughput_bps[flow.flow_id] = probes[flow.flow_id].rates_bps
+
+    # Per-epoch Jain index over the active flows, excluding the first 40 %
+    # of each epoch (convergence transient).
+    for epoch in range(config.num_flows):
+        start = epoch * config.join_interval_ns
+        end = min(start + config.join_interval_ns, config.duration_ns)
+        window_start = start + int(0.4 * (end - start))
+        active = flows[: epoch + 1]
+        means = []
+        for flow in active:
+            series = probes[flow.flow_id]
+            values = [
+                r
+                for t, r in zip(series.times_ns, series.rates_bps)
+                if window_start <= t < end
+            ]
+            means.append(sum(values) / len(values) if values else 0.0)
+        if means:
+            result.epoch_jain.append(jain_index(means))
+    return result

@@ -1,0 +1,171 @@
+"""Fig. 4: reaction to incast — throughput and queue time series.
+
+The microbenchmark: a long flow occupies the path to one receiver; at
+t = 0, ``fanout`` additional senders burst toward the same receiver
+(10:1 and 255:1 in the paper).  The figure tracks the bottleneck's
+aggregate throughput and queue length; the qualitative claims to
+reproduce:
+
+* PowerTCP / θ-PowerTCP drain the queue to near zero *without* losing
+  throughput afterwards;
+* HPCC reacts but overshoots higher and dips in throughput after the
+  incast resolves;
+* TIMELY controls neither queue nor post-incast throughput well;
+* HOMA sustains throughput but parks a standing queue.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.experiments.driver import FlowDriver
+from repro.sim.engine import Simulator
+from repro.sim.tracing import PortProbe
+from repro.topology.dumbbell import DumbbellParams, build_dumbbell
+from repro.units import GBPS, MSEC, USEC
+
+
+@dataclass
+class IncastConfig:
+    """Scaled-down defaults (paper scale: fanout 10/255 on 25/100 Gbps)."""
+
+    algorithm: str = "powertcp"
+    fanout: int = 10
+    burst_bytes: int = 200_000
+    long_flow: bool = True
+    host_bw_bps: float = 10 * GBPS
+    bottleneck_bw_bps: float = 10 * GBPS
+    buffer_bytes: int = 4_000_000
+    duration_ns: int = 4 * MSEC
+    probe_interval_ns: int = 10 * USEC
+    mtu_payload: int = 1000
+    cc_params: Optional[dict] = None
+
+
+@dataclass
+class IncastResult:
+    """Time series plus the summary quantities the paper discusses."""
+
+    algorithm: str
+    fanout: int
+    bottleneck_bw_bps: float = 0.0
+    burst_start_ns: int = 0
+    burst_end_ns: int = 0  # completion of the last burst flow
+    times_ns: List[int] = field(default_factory=list)
+    throughput_bps: List[float] = field(default_factory=list)
+    qlen_bytes: List[float] = field(default_factory=list)
+    peak_qlen_bytes: int = 0
+    final_qlen_bytes: float = 0.0
+    drops: int = 0
+    burst_fcts_ns: List[int] = field(default_factory=list)
+
+    def _window(self, start_ns: int, end_ns: int, series: List[float]) -> List[float]:
+        return [
+            v
+            for t, v in zip(self.times_ns, series)
+            if start_ns <= t < end_ns
+        ]
+
+    def queue_drain_time_ns(self, threshold_bytes: int) -> Optional[int]:
+        """Time at which the queue first falls back below
+        ``threshold_bytes`` after its peak (None if it never does)."""
+        seen_peak = False
+        for t, q in zip(self.times_ns, self.qlen_bytes):
+            if q > threshold_bytes:
+                seen_peak = True
+            elif seen_peak:
+                return t
+        return None
+
+    def post_incast_throughput_dip(self) -> float:
+        """Minimum throughput (fraction of line rate) between the queue
+        draining and the *first* burst flow completing, i.e. while the
+        flow set is still constant — the "loses throughput after
+        mitigating the incast" signature of HPCC/TIMELY in Fig. 4.
+
+        1.0 means the algorithm resolved the incast without ever starving
+        the link (PowerTCP's claim)."""
+        drain = self.queue_drain_time_ns(int(0.05 * self.peak_qlen_bytes) + 1)
+        start = drain if drain is not None else self.burst_start_ns
+        end = self.burst_end_ns
+        if self.burst_fcts_ns:
+            end = self.burst_start_ns + min(self.burst_fcts_ns)
+        values = self._window(start, end, self.throughput_bps)
+        if not values or self.bottleneck_bw_bps <= 0:
+            return 0.0
+        return min(values) / self.bottleneck_bw_bps
+
+    def burst_utilization(self) -> float:
+        """Mean throughput over the whole burst period / line rate."""
+        values = self._window(
+            self.burst_start_ns, self.burst_end_ns, self.throughput_bps
+        )
+        if not values or self.bottleneck_bw_bps <= 0:
+            return 0.0
+        return statistics.fmean(values) / self.bottleneck_bw_bps
+
+    def mean_late_qlen(self, settle_fraction: float = 0.5) -> float:
+        """Average queue length in the second half (standing queue)."""
+        split = int(len(self.qlen_bytes) * settle_fraction)
+        tail = self.qlen_bytes[split:]
+        return statistics.fmean(tail) if tail else 0.0
+
+
+def run_incast(config: IncastConfig) -> IncastResult:
+    """Run one Fig. 4 cell: ``config.fanout``:1 incast under one algorithm."""
+    sim = Simulator()
+    net = build_dumbbell(
+        sim,
+        DumbbellParams(
+            left_hosts=config.fanout + 1,
+            right_hosts=1,
+            host_bw_bps=config.host_bw_bps,
+            bottleneck_bw_bps=config.bottleneck_bw_bps,
+            buffer_bytes=config.buffer_bytes,
+            mtu_payload=config.mtu_payload,
+        ),
+    )
+    driver = FlowDriver(
+        net,
+        config.algorithm,
+        mtu_payload=config.mtu_payload,
+        cc_params=config.cc_params,
+    )
+    receiver = config.fanout + 1  # the single right-side host
+
+    long_flow = None
+    if config.long_flow:
+        # Effectively infinite: it must outlive the probe window.
+        long_flow = driver.start_flow(
+            0, receiver, 10 ** 12, at_ns=0, tag="long"
+        )
+    burst_start = net.base_rtt_ns * 10  # let the long flow reach steady state
+    burst_flows = [
+        driver.start_flow(
+            1 + i, receiver, config.burst_bytes, at_ns=burst_start, tag="burst"
+        )
+        for i in range(config.fanout)
+    ]
+
+    bottleneck = net.port("bottleneck")
+    probe = PortProbe(sim, bottleneck, config.probe_interval_ns).start()
+    driver.run(until_ns=config.duration_ns)
+
+    result = IncastResult(
+        algorithm=config.algorithm,
+        fanout=config.fanout,
+        bottleneck_bw_bps=config.bottleneck_bw_bps,
+        burst_start_ns=burst_start,
+    )
+    result.times_ns = probe.times_ns
+    result.qlen_bytes = probe.qlen_bytes
+    result.throughput_bps = probe.throughput_bps
+    result.peak_qlen_bytes = bottleneck.max_qlen_bytes
+    result.final_qlen_bytes = probe.qlen_bytes[-1] if probe.qlen_bytes else 0.0
+    result.drops = net.total_drops()
+    result.burst_fcts_ns = [f.fct_ns for f in burst_flows if f.completed]
+    finished = [f.finish_ns for f in burst_flows if f.completed]
+    result.burst_end_ns = max(finished) if finished else config.duration_ns
+    return result

@@ -1,0 +1,170 @@
+"""Figs. 6, 7a, 7b, 7g: the web-search workload on the fat-tree.
+
+Poisson arrivals of web-search-distributed flows between random inter-rack
+host pairs, offered at a target ToR-uplink load.  Reported:
+
+* 99.9-percentile FCT slowdown per flow-size bin (Fig. 6, at 20 %/60 %),
+* short-flow and long-flow tail slowdown across loads (Fig. 7a/7b),
+* the CDF of switch buffer occupancy (Fig. 7g at 80 % load).
+
+Scaled-down topology defaults keep the paper's 4:1 ToR oversubscription.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analysis.fct import FctSummary, slowdown_by_size_bin, summarize_fct
+from repro.experiments.driver import FlowDriver
+from repro.sim.engine import Simulator
+from repro.sim.tracing import Probe
+from repro.topology.fattree import FatTreeParams, build_fattree
+from repro.transport.flow import Flow
+from repro.units import GBPS, MSEC, USEC
+from repro.workloads.arrivals import poisson_flows
+from repro.workloads.distributions import WEB_SEARCH, EmpiricalCdf
+
+
+def scaled_fattree(
+    hosts_per_tor: int = 4,
+    host_bw_bps: float = 10 * GBPS,
+    fabric_bw_bps: float = 10 * GBPS,
+    num_pods: int = 2,
+) -> FatTreeParams:
+    """A small fat-tree preserving the paper's 4:1 oversubscription
+    (hosts_per_tor · host_bw = 4 · aggs · fabric_bw / ... by default:
+    4 hosts x 10 G = 40 G down vs 2 x 10 G = 20 G up -> 2:1; pass
+    ``hosts_per_tor=8`` for the paper's 4:1)."""
+    return FatTreeParams(
+        num_pods=num_pods,
+        tors_per_pod=2,
+        aggs_per_pod=2,
+        num_cores=2,
+        hosts_per_tor=hosts_per_tor,
+        host_bw_bps=host_bw_bps,
+        fabric_bw_bps=fabric_bw_bps,
+    )
+
+
+@dataclass
+class WebsearchConfig:
+    """One (algorithm, load) cell of the Fig. 6/7 matrix."""
+
+    algorithm: str = "powertcp"
+    load: float = 0.6
+    params: Optional[FatTreeParams] = None
+    duration_ns: int = 20 * MSEC
+    drain_ns: int = 20 * MSEC
+    seed: int = 1
+    distribution: EmpiricalCdf = WEB_SEARCH
+    #: shrink flow sizes by this factor (shape-preserving) so enough flows
+    #: complete within a pure-Python event budget; FCT class/bin
+    #: boundaries are rescaled symmetrically in the analysis.
+    size_scale: float = 1.0
+    buffer_probe_interval_ns: int = 100 * USEC
+    mtu_payload: int = 1000
+    max_flows: Optional[int] = None
+    cc_params: Optional[dict] = None
+
+
+@dataclass
+class WebsearchResult:
+    """Completed flows plus derived FCT/buffer statistics."""
+
+    algorithm: str
+    load: float
+    base_rtt_ns: int = 0
+    host_bw_bps: float = 0.0
+    size_scale: float = 1.0
+    flows: List[Flow] = field(default_factory=list)
+    buffer_samples_bytes: List[float] = field(default_factory=list)
+    drops: int = 0
+    ideal_fn: Optional[object] = None  # Callable[[Flow], int] -> ideal FCT ns
+
+    def fct_summary(self, pct: float = 99.9) -> FctSummary:
+        """Short/medium/long percentile slowdowns."""
+        return summarize_fct(
+            self.algorithm,
+            self.flows,
+            self.base_rtt_ns,
+            self.host_bw_bps,
+            pct,
+            ideal_fn=self.ideal_fn,
+            size_scale=self.size_scale,
+        )
+
+    def size_bins(self, pct: float = 99.9) -> List[Tuple[int, Optional[float], int]]:
+        """Fig. 6 per-size-bin series (edges in original paper units)."""
+        return slowdown_by_size_bin(
+            self.flows,
+            self.base_rtt_ns,
+            self.host_bw_bps,
+            pct,
+            ideal_fn=self.ideal_fn,
+            size_scale=self.size_scale,
+        )
+
+
+def run_websearch(config: WebsearchConfig) -> WebsearchResult:
+    """Run one load point of the web-search workload."""
+    params = config.params or scaled_fattree()
+    sim = Simulator()
+    net = build_fattree(sim, params)
+    driver = FlowDriver(
+        net,
+        config.algorithm,
+        mtu_payload=config.mtu_payload,
+        cc_params=config.cc_params,
+    )
+
+    rng = random.Random(config.seed)
+    distribution = (
+        config.distribution.scaled(config.size_scale)
+        if config.size_scale != 1.0
+        else config.distribution
+    )
+    requests = poisson_flows(
+        rng,
+        params,
+        distribution,
+        config.load,
+        config.duration_ns,
+        max_flows=config.max_flows,
+    )
+    for request in requests:
+        driver.start_flow(
+            request.src, request.dst, request.size_bytes, at_ns=request.start_ns
+        )
+
+    # Buffer occupancy across ToR switches (Fig. 7g samples the switches
+    # the workload stresses).
+    tors = net.extras["tors"]
+    buffer_probes = [
+        Probe(
+            sim,
+            config.buffer_probe_interval_ns,
+            (lambda t: (lambda: t.buffer.used))(tor),
+            until_ns=config.duration_ns,
+        ).start()
+        for tor in tors
+    ]
+
+    driver.run(until_ns=config.duration_ns + config.drain_ns)
+
+    result = WebsearchResult(
+        algorithm=config.algorithm,
+        load=config.load,
+        base_rtt_ns=net.base_rtt_ns,
+        host_bw_bps=params.host_bw_bps,
+        size_scale=config.size_scale,
+    )
+    result.ideal_fn = lambda flow: net.ideal_fct_ns(
+        flow.src, flow.dst, flow.size_bytes, config.mtu_payload
+    )
+    result.flows = driver.flows
+    result.drops = net.total_drops()
+    for probe in buffer_probes:
+        result.buffer_samples_bytes.extend(probe.values)
+    return result

@@ -1,0 +1,91 @@
+"""The simplified control-law family of Eq. 2 / Appendix C.
+
+Every law is described by its equilibrium target ``e`` and its feedback
+``f(q, q̇)``; the per-update multiplicative factor applied to the window is
+``e / f`` (plus additive increase).  The paper's taxonomy:
+
+=============  ===========  ==========================  =================
+law            type         e                           f(q, q̇)
+=============  ===========  ==========================  =================
+queue-length   voltage      b·τ                         q + b·τ
+delay          voltage      τ                           q/b + τ
+RTT-gradient   current      1                           q̇/b + 1
+power          power        b²·τ                        (q̇+µ)·(q+b·τ)
+=============  ===========  ==========================  =================
+
+Units here are *bytes* and *seconds* with bandwidth in bytes/second (the
+fluid model has no packets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+VOLTAGE = "voltage"
+CURRENT = "current"
+POWER = "power"
+
+
+@dataclass(frozen=True)
+class ControlLaw:
+    """One row of the taxonomy table.
+
+    ``e_fn(b, tau)`` returns the equilibrium target; ``f_fn(q, qdot, mu,
+    b, tau)`` the feedback.  ``mu`` is the bottleneck transmission rate
+    (``b`` while the queue is backlogged).
+    """
+
+    name: str
+    kind: str
+    e_fn: Callable[[float, float], float]
+    f_fn: Callable[[float, float, float, float, float], float]
+
+    def e(self, b: float, tau: float) -> float:
+        """Equilibrium target."""
+        return self.e_fn(b, tau)
+
+    def f(self, q: float, qdot: float, mu: float, b: float, tau: float) -> float:
+        """Feedback signal."""
+        return self.f_fn(q, qdot, mu, b, tau)
+
+    def multiplicative_factor(
+        self, q: float, qdot: float, mu: float, b: float, tau: float
+    ) -> float:
+        """``f / e`` — the *decrease* factor the window is divided by.
+
+        This is the quantity plotted in Fig. 2: > 1 shrinks the window,
+        < 1 grows it.
+        """
+        return self.f(q, qdot, mu, b, tau) / self.e(b, tau)
+
+
+QUEUE_LAW = ControlLaw(
+    name="queue-length",
+    kind=VOLTAGE,
+    e_fn=lambda b, tau: b * tau,
+    f_fn=lambda q, qdot, mu, b, tau: q + b * tau,
+)
+
+DELAY_LAW = ControlLaw(
+    name="delay",
+    kind=VOLTAGE,
+    e_fn=lambda b, tau: tau,
+    f_fn=lambda q, qdot, mu, b, tau: q / b + tau,
+)
+
+GRADIENT_LAW = ControlLaw(
+    name="rtt-gradient",
+    kind=CURRENT,
+    e_fn=lambda b, tau: 1.0,
+    f_fn=lambda q, qdot, mu, b, tau: qdot / b + 1.0,
+)
+
+POWER_LAW = ControlLaw(
+    name="power",
+    kind=POWER,
+    e_fn=lambda b, tau: b * b * tau,
+    f_fn=lambda q, qdot, mu, b, tau: (qdot + mu) * (q + b * tau),
+)
+
+ALL_LAWS = (QUEUE_LAW, DELAY_LAW, GRADIENT_LAW, POWER_LAW)

@@ -1,0 +1,120 @@
+"""Fig. 2 reaction curves: what each law class can and cannot see.
+
+* Fig. 2a — multiplicative decrease vs **queue buildup rate**: voltage
+  laws are flat (oblivious), the gradient law is linear in the rate.
+* Fig. 2b — multiplicative decrease vs **queue length**: the gradient law
+  is flat (oblivious), voltage laws grow with the queue.
+* Fig. 2c — three concrete cases showing the two blind spots are
+  *orthogonal*: voltage cannot distinguish case-2 from case-3 (same queue
+  length), current cannot distinguish case-1 from case-3 (same buildup
+  rate); only power separates all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.fluid.laws import (
+    ControlLaw,
+    DELAY_LAW,
+    GRADIENT_LAW,
+    POWER_LAW,
+    QUEUE_LAW,
+)
+
+
+def decrease_vs_buildup_rate(
+    *,
+    bandwidth_Bps: float,
+    tau_s: float,
+    queue_bytes: float,
+    rate_multiples: Sequence[float],
+    laws: Sequence[ControlLaw] = (QUEUE_LAW, GRADIENT_LAW),
+) -> Dict[str, List[float]]:
+    """Fig. 2a series: MD factor as the queue builds at ``r × b``.
+
+    A buildup rate of ``r × b`` means arrivals of ``(1 + r) · b`` while
+    the link drains at ``b``.
+    """
+    series: Dict[str, List[float]] = {law.name: [] for law in laws}
+    for r in rate_multiples:
+        qdot = r * bandwidth_Bps
+        for law in laws:
+            series[law.name].append(
+                law.multiplicative_factor(
+                    queue_bytes, qdot, bandwidth_Bps, bandwidth_Bps, tau_s
+                )
+            )
+    return series
+
+
+def decrease_vs_queue_length(
+    *,
+    bandwidth_Bps: float,
+    tau_s: float,
+    queue_lengths_bytes: Sequence[float],
+    buildup_rate_multiple: float = 0.0,
+    laws: Sequence[ControlLaw] = (QUEUE_LAW, GRADIENT_LAW),
+) -> Dict[str, List[float]]:
+    """Fig. 2b series: MD factor as a function of standing queue length."""
+    series: Dict[str, List[float]] = {law.name: [] for law in laws}
+    qdot = buildup_rate_multiple * bandwidth_Bps
+    for q in queue_lengths_bytes:
+        for law in laws:
+            series[law.name].append(
+                law.multiplicative_factor(
+                    q, qdot, bandwidth_Bps, bandwidth_Bps, tau_s
+                )
+            )
+    return series
+
+
+@dataclass
+class CaseReaction:
+    """MD factors of the three law classes for one (q, q̇) scenario."""
+
+    label: str
+    queue_bytes: float
+    buildup_rate_multiple: float
+    voltage: float
+    current: float
+    power: float
+
+
+def three_case_comparison(
+    *,
+    bandwidth_Bps: float,
+    tau_s: float,
+    cases: Sequence[Tuple[str, float, float]] = None,
+) -> List[CaseReaction]:
+    """Fig. 2c: the orthogonal-blindness demonstration.
+
+    Default cases mirror the figure: case-1 — small queue building fast;
+    case-2 — large queue draining at full rate; case-3 — large queue
+    building fast.  (q expressed in BDP fractions, q̇ in multiples of b.)
+    """
+    bdp = bandwidth_Bps * tau_s
+    if cases is None:
+        cases = (
+            ("case-1: q=0.5·BDP building at 8x", 0.5 * bdp, 8.0),
+            ("case-2: q=1.0·BDP draining at max", 1.0 * bdp, -1.0),
+            ("case-3: q=1.0·BDP building at 8x", 1.0 * bdp, 8.0),
+        )
+    reactions = []
+    for label, q, r in cases:
+        qdot = r * bandwidth_Bps
+        # While draining at max rate nothing arrives: µ = b still (the
+        # link transmits from the backlog).
+        mu = bandwidth_Bps
+        reactions.append(
+            CaseReaction(
+                label=label,
+                queue_bytes=q,
+                buildup_rate_multiple=r,
+                voltage=QUEUE_LAW.multiplicative_factor(q, qdot, mu, bandwidth_Bps, tau_s),
+                current=GRADIENT_LAW.multiplicative_factor(q, qdot, mu, bandwidth_Bps, tau_s),
+                power=POWER_LAW.multiplicative_factor(q, qdot, mu, bandwidth_Bps, tau_s),
+            )
+        )
+    return reactions

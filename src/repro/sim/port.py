@@ -1,0 +1,271 @@
+"""Egress ports: serialization, queueing, ECN marking, and INT stamping.
+
+An :class:`EgressPort` models one output of a switch (or the host NIC): a
+set of strict-priority FIFO queues drained at the port's line rate, a link
+to a peer node (propagation delay), optional membership in a switch-wide
+:class:`~repro.sim.buffer.SharedBuffer` governed by Dynamic Thresholds,
+optional ECN marking, and the INT stamping PowerTCP/HPCC rely on.
+
+Telemetry semantics follow the paper exactly: the per-hop record carries
+the egress queue length, timestamp, cumulative transmitted bytes, and
+bandwidth, all taken *when the packet is scheduled for transmission*
+(i.e. at the moment it starts serializing).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import DATA, HopRecord, Packet
+from repro.units import tx_time_ns
+
+NUM_PRIORITIES = 8
+
+_port_counter = 0
+
+
+def _next_port_id() -> int:
+    global _port_counter
+    _port_counter += 1
+    return _port_counter
+
+
+class EcnConfig:
+    """RED-style ECN marking thresholds on the instantaneous queue.
+
+    ``kmin == kmax`` degenerates to the DCTCP step mark at threshold K.
+    Otherwise the marking probability ramps linearly from 0 at ``kmin``
+    to ``pmax`` at ``kmax`` and is 1 above ``kmax`` (DCQCN's configuration).
+    """
+
+    __slots__ = ("kmin", "kmax", "pmax")
+
+    def __init__(self, kmin: int, kmax: int, pmax: float):
+        if kmin > kmax:
+            raise ValueError(f"kmin {kmin} > kmax {kmax}")
+        if not 0.0 <= pmax <= 1.0:
+            raise ValueError(f"pmax must be in [0,1], got {pmax}")
+        self.kmin = kmin
+        self.kmax = kmax
+        self.pmax = pmax
+
+    @staticmethod
+    def step(threshold: int) -> "EcnConfig":
+        """DCTCP-style deterministic marking above ``threshold`` bytes."""
+        return EcnConfig(threshold, threshold, 1.0)
+
+    def should_mark(self, qlen: int, rng: random.Random) -> bool:
+        """Marking decision for a packet arriving to a queue of ``qlen`` bytes."""
+        if qlen <= self.kmin:
+            return False
+        if qlen >= self.kmax:
+            return True
+        fraction = (qlen - self.kmin) / (self.kmax - self.kmin)
+        return rng.random() < fraction * self.pmax
+
+
+class EgressPort:
+    """One serializing output port.
+
+    Parameters
+    ----------
+    sim:
+        the event engine.
+    rate_bps:
+        line rate in bits per second.
+    prop_delay_ns:
+        one-way propagation delay of the attached link.
+    peer:
+        object with a ``receive(packet)`` method (a Switch or Host); may be
+        attached later via :meth:`connect`.
+    buffer:
+        optional shared switch buffer enforcing Dynamic Thresholds.  Ports
+        without a buffer (host NICs) never drop.
+    ecn:
+        optional ECN marking configuration applied to ECN-capable packets.
+    int_stamping:
+        whether this port appends INT records to INT-enabled packets.
+    record_queuing:
+        when True, per-packet queueing delays are appended to
+        ``queuing_delays_ns`` (used for the Fig. 8b tail-latency metric).
+    """
+
+    __slots__ = (
+        "sim",
+        "rate_bps",
+        "prop_delay_ns",
+        "peer",
+        "buffer",
+        "ecn",
+        "int_stamping",
+        "name",
+        "port_id",
+        "rng",
+        "queues",
+        "qlen_bytes",
+        "tx_bytes",
+        "busy",
+        "paused",
+        "drops",
+        "marks",
+        "max_qlen_bytes",
+        "record_queuing",
+        "queuing_delays_ns",
+        "_pending_head",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        prop_delay_ns: int,
+        *,
+        peer=None,
+        buffer=None,
+        ecn: Optional[EcnConfig] = None,
+        int_stamping: bool = False,
+        name: str = "",
+        rng: Optional[random.Random] = None,
+        record_queuing: bool = False,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if prop_delay_ns < 0:
+            raise ValueError(f"negative propagation delay: {prop_delay_ns}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.prop_delay_ns = prop_delay_ns
+        self.peer = peer
+        self.buffer = buffer
+        self.ecn = ecn
+        self.int_stamping = int_stamping
+        self.name = name
+        self.port_id = _next_port_id()
+        # The RNG (ECN marking decisions) is seeded from the *name*, which
+        # is stable across runs; the global port_id counter is not, and
+        # seeding from it would make identical runs diverge.
+        self.rng = rng if rng is not None else random.Random(name or "port")
+        self.queues: List[deque] = [deque() for _ in range(NUM_PRIORITIES)]
+        self.qlen_bytes = 0
+        self.tx_bytes = 0
+        self.busy = False
+        self.paused = False
+        self.drops = 0
+        self.marks = 0
+        self.max_qlen_bytes = 0
+        self.record_queuing = record_queuing
+        self.queuing_delays_ns: List[int] = []
+        self._pending_head: Optional[Packet] = None
+
+    # ------------------------------------------------------------------
+    def connect(self, peer, prop_delay_ns: Optional[int] = None) -> None:
+        """Attach the downstream node, optionally overriding the link delay."""
+        self.peer = peer
+        if prop_delay_ns is not None:
+            self.prop_delay_ns = prop_delay_ns
+
+    # ------------------------------------------------------------------
+    # Enqueue path
+    # ------------------------------------------------------------------
+    def enqueue(self, pkt: Packet) -> bool:
+        """Admit a packet; returns False if it was dropped.
+
+        DT admission (when a shared buffer is attached) only polices DATA
+        packets — small control packets (ACK/CNP/grant) are always admitted,
+        mirroring how RDMA deployments protect control traffic.
+        """
+        if self.buffer is not None and pkt.kind == DATA:
+            if not self.buffer.admits(self.qlen_bytes, pkt.size):
+                self.drops += 1
+                self.buffer.on_drop()
+                return False
+            self.buffer.on_enqueue(pkt.size)
+        elif self.buffer is not None:
+            self.buffer.on_enqueue(pkt.size)
+
+        if self.ecn is not None and pkt.ecn_capable:
+            if self.ecn.should_mark(self.qlen_bytes, self.rng):
+                pkt.ecn_marked = True
+                self.marks += 1
+
+        pkt.enqueue_ts = self.sim.now
+        self.queues[pkt.priority].append(pkt)
+        self.qlen_bytes += pkt.size
+        if self.qlen_bytes > self.max_qlen_bytes:
+            self.max_qlen_bytes = self.qlen_bytes
+        if not self.busy and not self.paused:
+            self._start_tx()
+        return True
+
+    # ------------------------------------------------------------------
+    # Dequeue path
+    # ------------------------------------------------------------------
+    def _pop_next(self) -> Optional[Packet]:
+        for queue in self.queues:
+            if queue:
+                return queue.popleft()
+        return None
+
+    def _stamp_qlen(self, pkt: Packet) -> int:
+        """Queue length reported in INT records (overridden by VOQ ports)."""
+        return self.qlen_bytes
+
+    def _start_tx(self) -> None:
+        pkt = self._pop_next()
+        if pkt is None:
+            return
+        self.busy = True
+        self.qlen_bytes -= pkt.size
+        now = self.sim.now
+        self.tx_bytes += pkt.size
+        if self.int_stamping and pkt.int_enabled:
+            pkt.stamp_int(
+                HopRecord(
+                    qlen=self._stamp_qlen(pkt),
+                    ts_ns=now,
+                    tx_bytes=self.tx_bytes,
+                    bandwidth_bps=self.rate_bps,
+                    port_id=self.port_id,
+                )
+            )
+        if self.record_queuing and pkt.kind == DATA:
+            self.queuing_delays_ns.append(now - pkt.enqueue_ts)
+        serialization = tx_time_ns(pkt.size, self.rate_bps)
+        self.sim.after(serialization, self._finish_tx, pkt)
+
+    def _finish_tx(self, pkt: Packet) -> None:
+        if self.buffer is not None:
+            self.buffer.on_dequeue(pkt.size)
+        if self.peer is not None:
+            self.sim.after(self.prop_delay_ns, self.peer.receive, pkt)
+        self.busy = False
+        if not self.paused and self.qlen_bytes > 0:
+            self._start_tx()
+
+    # ------------------------------------------------------------------
+    # Pause / resume (used by the circuit port during "nights")
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Stop starting new transmissions (the in-flight one completes)."""
+        self.paused = True
+
+    def resume(self) -> None:
+        """Resume draining the queues."""
+        self.paused = False
+        if not self.busy and self.qlen_bytes > 0:
+            self._start_tx()
+
+    # ------------------------------------------------------------------
+    @property
+    def utilization_bytes(self) -> int:
+        """Cumulative bytes transmitted (basis of throughput sampling)."""
+        return self.tx_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EgressPort({self.name or self.port_id}, "
+            f"{self.rate_bps/1e9:g}Gbps, qlen={self.qlen_bytes}B)"
+        )

@@ -1,0 +1,69 @@
+"""Output-queued switch with ECMP forwarding.
+
+A switch owns a set of :class:`~repro.sim.port.EgressPort` objects sharing
+one :class:`~repro.sim.buffer.SharedBuffer` (Dynamic Thresholds).  Routing
+is a precomputed table: destination host id -> tuple of candidate egress
+ports.  When several candidates exist (fat-tree uplinks) the port is picked
+by a per-flow hash, i.e. flow-level ECMP: all packets of one flow take one
+path, so INT hop indices are stable across the flow's lifetime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.sim.buffer import SharedBuffer
+from repro.sim.packet import Packet
+from repro.sim.port import EgressPort
+
+_HASH_MIX = 0x9E3779B1  # Fibonacci hashing constant; cheap deterministic mix
+
+
+class Switch:
+    """A store-and-forward switch node."""
+
+    __slots__ = ("sim", "switch_id", "name", "buffer", "ports", "routes", "rx_packets")
+
+    def __init__(
+        self,
+        sim,
+        switch_id: int,
+        name: str = "",
+        buffer: Optional[SharedBuffer] = None,
+    ):
+        self.sim = sim
+        self.switch_id = switch_id
+        self.name = name or f"switch-{switch_id}"
+        self.buffer = buffer
+        self.ports: list[EgressPort] = []
+        self.routes: Dict[int, Tuple[EgressPort, ...]] = {}
+        self.rx_packets = 0
+
+    def add_port(self, port: EgressPort) -> EgressPort:
+        """Register an egress port (its shared buffer is wired here)."""
+        if self.buffer is not None and port.buffer is None:
+            port.buffer = self.buffer
+        self.ports.append(port)
+        return port
+
+    def set_route(self, dst: int, ports: Sequence[EgressPort]) -> None:
+        """Set the candidate egress ports for destination host ``dst``."""
+        if not ports:
+            raise ValueError(f"no ports given for destination {dst}")
+        self.routes[dst] = tuple(ports)
+
+    def route_for(self, pkt: Packet) -> EgressPort:
+        """ECMP selection: deterministic per (flow, switch)."""
+        options = self.routes[pkt.dst]
+        if len(options) == 1:
+            return options[0]
+        index = ((pkt.flow_id ^ self.switch_id) * _HASH_MIX) & 0xFFFFFFFF
+        return options[index % len(options)]
+
+    def receive(self, pkt: Packet) -> None:
+        """Forward an arriving packet to the routed egress port."""
+        self.rx_packets += 1
+        self.route_for(pkt).enqueue(pkt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Switch({self.name}, ports={len(self.ports)})"

@@ -1,0 +1,131 @@
+"""Periodic probes for time-series metrics.
+
+The paper's time-series figures (Fig. 4 incast reaction, Fig. 5 fairness,
+Fig. 8a RDCN throughput/VOQ) all sample queue lengths and throughput on a
+fixed interval.  :class:`Probe` samples an arbitrary callable;
+:class:`PortProbe` derives queue length and throughput for one egress port;
+:class:`CounterRateProbe` turns any monotonically increasing byte counter
+into a rate series.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.port import EgressPort
+from repro.units import BITS_PER_BYTE, SEC
+
+
+class Probe:
+    """Sample ``fn()`` every ``interval_ns`` into parallel arrays."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval_ns: int,
+        fn: Callable[[], float],
+        *,
+        until_ns: Optional[int] = None,
+    ):
+        if interval_ns <= 0:
+            raise ValueError(f"interval must be positive, got {interval_ns}")
+        self.sim = sim
+        self.interval_ns = interval_ns
+        self.fn = fn
+        self.until_ns = until_ns
+        self.times_ns: List[int] = []
+        self.values: List[float] = []
+        self._started = False
+
+    def start(self) -> "Probe":
+        """Begin sampling at the current simulation time."""
+        if not self._started:
+            self._started = True
+            self.sim.at(self.sim.now, self._sample)
+        return self
+
+    def _sample(self) -> None:
+        self.times_ns.append(self.sim.now)
+        self.values.append(self.fn())
+        next_time = self.sim.now + self.interval_ns
+        if self.until_ns is None or next_time <= self.until_ns:
+            self.sim.at(next_time, self._sample)
+
+
+class CounterRateProbe:
+    """Convert a cumulative byte counter into a throughput series (bits/s)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval_ns: int,
+        counter_fn: Callable[[], int],
+        *,
+        until_ns: Optional[int] = None,
+    ):
+        self.sim = sim
+        self.interval_ns = interval_ns
+        self.counter_fn = counter_fn
+        self.until_ns = until_ns
+        self.times_ns: List[int] = []
+        self.rates_bps: List[float] = []
+        self._last_count = 0
+        self._started = False
+
+    def start(self) -> "CounterRateProbe":
+        """Begin sampling; the first window starts now."""
+        if not self._started:
+            self._started = True
+            self._last_count = self.counter_fn()
+            self.sim.after(self.interval_ns, self._sample)
+        return self
+
+    def _sample(self) -> None:
+        count = self.counter_fn()
+        delta = count - self._last_count
+        self._last_count = count
+        self.times_ns.append(self.sim.now)
+        self.rates_bps.append(delta * BITS_PER_BYTE * SEC / self.interval_ns)
+        next_time = self.sim.now + self.interval_ns
+        if self.until_ns is None or next_time <= self.until_ns:
+            self.sim.at(next_time, self._sample)
+
+
+class PortProbe:
+    """Queue length + throughput series for one egress port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: EgressPort,
+        interval_ns: int,
+        *,
+        until_ns: Optional[int] = None,
+    ):
+        self.port = port
+        self.qlen = Probe(sim, interval_ns, lambda: port.qlen_bytes, until_ns=until_ns)
+        self.throughput = CounterRateProbe(
+            sim, interval_ns, lambda: port.tx_bytes, until_ns=until_ns
+        )
+
+    def start(self) -> "PortProbe":
+        """Begin sampling both series."""
+        self.qlen.start()
+        self.throughput.start()
+        return self
+
+    @property
+    def times_ns(self) -> List[int]:
+        """Sample times of the queue-length series."""
+        return self.qlen.times_ns
+
+    @property
+    def qlen_bytes(self) -> List[float]:
+        """Sampled instantaneous queue lengths."""
+        return self.qlen.values
+
+    @property
+    def throughput_bps(self) -> List[float]:
+        """Per-interval average throughput in bits/s."""
+        return self.throughput.rates_bps

@@ -1,0 +1,28 @@
+"""Topology builders for the paper's three network settings.
+
+* :func:`repro.topology.dumbbell.build_dumbbell` — single-bottleneck model
+  used throughout §2/§3 analysis and for controlled microbenchmarks;
+* :func:`repro.topology.fattree.build_fattree` — the §4.1 oversubscribed
+  fat-tree (2 cores, 4 pods × [2 ToR + 2 agg], 256 servers by default);
+* :func:`repro.topology.rdcn.build_rdcn` — the §5 reconfigurable DCN:
+  ToRs joined by a rotating optical circuit switch plus a 25 Gbps packet
+  network.
+"""
+
+from repro.topology.network import Network
+from repro.topology.dumbbell import DumbbellParams, build_dumbbell
+from repro.topology.fattree import FatTreeParams, build_fattree
+from repro.topology.parkinglot import ParkingLotParams, build_parking_lot
+from repro.topology.rdcn import RdcnParams, build_rdcn
+
+__all__ = [
+    "DumbbellParams",
+    "FatTreeParams",
+    "Network",
+    "ParkingLotParams",
+    "RdcnParams",
+    "build_dumbbell",
+    "build_fattree",
+    "build_parking_lot",
+    "build_rdcn",
+]

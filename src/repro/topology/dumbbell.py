@@ -1,0 +1,127 @@
+"""Dumbbell topology: N senders, M receivers, one shared bottleneck.
+
+This is the paper's analytical single-bottleneck model (§2.1) made
+concrete: every left-side host reaches every right-side host through one
+``bottleneck_bw`` link, so the queue the control laws fight over is a
+single labeled port (``net.port("bottleneck")``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.buffer import SharedBuffer
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.port import EgressPort
+from repro.sim.switch import Switch
+from repro.topology.network import Network, path_base_rtt_ns
+from repro.units import GBPS, USEC
+
+
+@dataclass
+class DumbbellParams:
+    """Configuration of the dumbbell (defaults match §2's running example:
+    a 100 Gbps bottleneck with ~20 µs base RTT)."""
+
+    left_hosts: int = 2
+    right_hosts: int = 1
+    host_bw_bps: float = 100 * GBPS
+    bottleneck_bw_bps: float = 100 * GBPS
+    host_link_delay_ns: int = 1 * USEC
+    bottleneck_delay_ns: int = 4 * USEC
+    buffer_bytes: int = 4_000_000
+    dt_alpha: float = 1.0
+    mtu_payload: int = 1000
+    int_stamping: bool = True
+
+
+def build_dumbbell(sim: Simulator, params: Optional[DumbbellParams] = None) -> Network:
+    """Build a dumbbell.  Host ids: left hosts first, then right hosts."""
+    p = params or DumbbellParams()
+    net = Network(sim, name="dumbbell")
+    net.host_bw_bps = p.host_bw_bps
+
+    left = Switch(sim, switch_id=0, name="left", buffer=SharedBuffer(p.buffer_bytes, p.dt_alpha))
+    right = Switch(sim, switch_id=1, name="right", buffer=SharedBuffer(p.buffer_bytes, p.dt_alpha))
+    net.add_switch(left)
+    net.add_switch(right)
+
+    def make_host(host_id: int, switch: Switch) -> Host:
+        host = Host(sim, host_id)
+        nic = EgressPort(
+            sim,
+            p.host_bw_bps,
+            p.host_link_delay_ns,
+            peer=switch,
+            name=f"nic-{host_id}",
+        )
+        host.attach_nic(nic)
+        downlink = switch.add_port(
+            EgressPort(
+                sim,
+                p.host_bw_bps,
+                p.host_link_delay_ns,
+                peer=host,
+                int_stamping=p.int_stamping,
+                name=f"{switch.name}-down-{host_id}",
+            )
+        )
+        switch.set_route(host_id, (downlink,))
+        net.add_host(host)
+        return host
+
+    left_hosts = [make_host(i, left) for i in range(p.left_hosts)]
+    right_hosts = [
+        make_host(p.left_hosts + i, right) for i in range(p.right_hosts)
+    ]
+
+    bottleneck = left.add_port(
+        EgressPort(
+            sim,
+            p.bottleneck_bw_bps,
+            p.bottleneck_delay_ns,
+            peer=right,
+            int_stamping=p.int_stamping,
+            name="bottleneck",
+        )
+    )
+    reverse = right.add_port(
+        EgressPort(
+            sim,
+            p.bottleneck_bw_bps,
+            p.bottleneck_delay_ns,
+            peer=left,
+            int_stamping=p.int_stamping,
+            name="bottleneck-reverse",
+        )
+    )
+    for host in right_hosts:
+        left.set_route(host.host_id, (bottleneck,))
+    for host in left_hosts:
+        right.set_route(host.host_id, (reverse,))
+
+    net.label_port("bottleneck", bottleneck)
+    net.label_port("bottleneck-reverse", reverse)
+    net.base_rtt_ns = path_base_rtt_ns(
+        [p.host_bw_bps, p.bottleneck_bw_bps, p.host_bw_bps],
+        [p.host_link_delay_ns, p.bottleneck_delay_ns, p.host_link_delay_ns],
+        p.mtu_payload,
+    )
+    cross_profile = (
+        (p.host_bw_bps, p.bottleneck_bw_bps, p.host_bw_bps),
+        (p.host_link_delay_ns, p.bottleneck_delay_ns, p.host_link_delay_ns),
+    )
+    local_profile = (
+        (p.host_bw_bps, p.host_bw_bps),
+        (p.host_link_delay_ns, p.host_link_delay_ns),
+    )
+
+    def path_profile(src: int, dst: int):
+        same_side = (src < p.left_hosts) == (dst < p.left_hosts)
+        return local_profile if same_side else cross_profile
+
+    net.path_profile_fn = path_profile
+    net.extras["params"] = p
+    return net

@@ -1,0 +1,322 @@
+"""The paper's evaluation topology (§4.1): an oversubscribed fat-tree.
+
+Default parameters are the paper's: 2 core switches, 4 pods of
+[2 ToRs + 2 aggregation switches], 32 servers per ToR (256 total),
+25 Gbps server links, 100 Gbps fabric links (4:1 oversubscription at the
+ToR), 5 µs propagation on core links and 1 µs elsewhere.  Buffers are
+shared per switch with Dynamic Thresholds, sized by a bytes-per-Gbps
+ratio modeled on Intel Tofino.
+
+Scaled-down instances for the pure-Python event budget are produced by
+passing smaller :class:`FatTreeParams`; the structure (and therefore the
+congestion dynamics at ToR uplinks) is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.buffer import SharedBuffer
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.port import EgressPort
+from repro.sim.switch import Switch
+from repro.topology.network import Network, path_base_rtt_ns
+from repro.units import GBPS, USEC
+
+
+@dataclass
+class FatTreeParams:
+    """Fat-tree shape and link parameters (defaults = paper §4.1)."""
+
+    num_pods: int = 4
+    tors_per_pod: int = 2
+    aggs_per_pod: int = 2
+    num_cores: int = 2
+    hosts_per_tor: int = 32
+    host_bw_bps: float = 25 * GBPS
+    fabric_bw_bps: float = 100 * GBPS
+    host_link_delay_ns: int = 1 * USEC
+    tor_agg_delay_ns: int = 1 * USEC
+    agg_core_delay_ns: int = 5 * USEC
+    buffer_bytes_per_gbps: int = 7_000  # Tofino-like bandwidth-buffer ratio
+    dt_alpha: float = 1.0
+    mtu_payload: int = 1000
+    int_stamping: bool = True
+
+    @property
+    def num_tors(self) -> int:
+        """Total ToR count."""
+        return self.num_pods * self.tors_per_pod
+
+    @property
+    def num_hosts(self) -> int:
+        """Total server count."""
+        return self.num_tors * self.hosts_per_tor
+
+    def tor_of_host(self, host_id: int) -> int:
+        """Global ToR index of a host."""
+        return host_id // self.hosts_per_tor
+
+    def pod_of_host(self, host_id: int) -> int:
+        """Pod index of a host."""
+        return self.tor_of_host(host_id) // self.tors_per_pod
+
+    def oversubscription(self) -> float:
+        """Downlink-to-uplink capacity ratio at the ToR (paper: 4.0)."""
+        down = self.hosts_per_tor * self.host_bw_bps
+        up = self.aggs_per_pod * self.fabric_bw_bps
+        return down / up
+
+
+def _switch_buffer(p: FatTreeParams, total_bw_bps: float) -> SharedBuffer:
+    capacity = int(p.buffer_bytes_per_gbps * total_bw_bps / GBPS)
+    return SharedBuffer(max(capacity, 100_000), p.dt_alpha)
+
+
+def build_fattree(sim: Simulator, params: Optional[FatTreeParams] = None) -> Network:
+    """Construct the fat-tree and its ECMP routing tables.
+
+    Host ids are dense: pod-major, then ToR, then host.  Labeled ports:
+    ``tor{t}-up{a}`` for every ToR uplink (the oversubscribed links whose
+    load the paper's workload generator targets).
+    """
+    p = params or FatTreeParams()
+    net = Network(sim, name="fattree")
+    net.host_bw_bps = p.host_bw_bps
+
+    switch_ids = iter(range(1_000_000))
+
+    # --- nodes ------------------------------------------------------
+    tor_bw = p.hosts_per_tor * p.host_bw_bps + p.aggs_per_pod * p.fabric_bw_bps
+    agg_bw = (p.tors_per_pod + p.num_cores) * p.fabric_bw_bps
+    core_bw = p.num_pods * p.aggs_per_pod * p.fabric_bw_bps
+
+    tors: List[Switch] = [
+        net.add_switch(
+            Switch(sim, next(switch_ids), f"tor{t}", buffer=_switch_buffer(p, tor_bw))
+        )
+        for t in range(p.num_tors)
+    ]
+    aggs: List[List[Switch]] = [
+        [
+            net.add_switch(
+                Switch(
+                    sim,
+                    next(switch_ids),
+                    f"agg{pod}-{a}",
+                    buffer=_switch_buffer(p, agg_bw),
+                )
+            )
+            for a in range(p.aggs_per_pod)
+        ]
+        for pod in range(p.num_pods)
+    ]
+    cores: List[Switch] = [
+        net.add_switch(
+            Switch(sim, next(switch_ids), f"core{c}", buffer=_switch_buffer(p, core_bw))
+        )
+        for c in range(p.num_cores)
+    ]
+
+    # --- hosts and ToR downlinks -------------------------------------
+    for host_id in range(p.num_hosts):
+        tor = tors[p.tor_of_host(host_id)]
+        host = Host(sim, host_id)
+        host.attach_nic(
+            EgressPort(
+                sim,
+                p.host_bw_bps,
+                p.host_link_delay_ns,
+                peer=tor,
+                name=f"nic-{host_id}",
+            )
+        )
+        downlink = tor.add_port(
+            EgressPort(
+                sim,
+                p.host_bw_bps,
+                p.host_link_delay_ns,
+                peer=host,
+                int_stamping=p.int_stamping,
+                name=f"{tor.name}-down-{host_id}",
+            )
+        )
+        tor.set_route(host_id, (downlink,))
+        net.add_host(host)
+
+    # --- ToR <-> Agg links -------------------------------------------
+    tor_uplinks: List[List[EgressPort]] = [[] for _ in range(p.num_tors)]
+    agg_downlinks = {}  # (pod, a, tor_in_pod) -> port
+    for pod in range(p.num_pods):
+        for t in range(p.tors_per_pod):
+            tor_index = pod * p.tors_per_pod + t
+            tor = tors[tor_index]
+            for a, agg in enumerate(aggs[pod]):
+                up = tor.add_port(
+                    EgressPort(
+                        sim,
+                        p.fabric_bw_bps,
+                        p.tor_agg_delay_ns,
+                        peer=agg,
+                        int_stamping=p.int_stamping,
+                        name=f"tor{tor_index}-up{a}",
+                    )
+                )
+                tor_uplinks[tor_index].append(up)
+                net.label_port(f"tor{tor_index}-up{a}", up)
+                down = agg.add_port(
+                    EgressPort(
+                        sim,
+                        p.fabric_bw_bps,
+                        p.tor_agg_delay_ns,
+                        peer=tor,
+                        int_stamping=p.int_stamping,
+                        name=f"agg{pod}-{a}-down{t}",
+                    )
+                )
+                agg_downlinks[(pod, a, t)] = down
+
+    # --- Agg <-> Core links ------------------------------------------
+    agg_uplinks = {}  # (pod, a) -> list of ports to cores
+    core_downlinks = {}  # (c, pod) -> list of ports (one per agg)
+    for pod in range(p.num_pods):
+        for a, agg in enumerate(aggs[pod]):
+            ups = []
+            for c, core in enumerate(cores):
+                up = agg.add_port(
+                    EgressPort(
+                        sim,
+                        p.fabric_bw_bps,
+                        p.agg_core_delay_ns,
+                        peer=core,
+                        int_stamping=p.int_stamping,
+                        name=f"agg{pod}-{a}-up{c}",
+                    )
+                )
+                ups.append(up)
+                down = core.add_port(
+                    EgressPort(
+                        sim,
+                        p.fabric_bw_bps,
+                        p.agg_core_delay_ns,
+                        peer=agg,
+                        int_stamping=p.int_stamping,
+                        name=f"core{c}-down{pod}-{a}",
+                    )
+                )
+                core_downlinks.setdefault((c, pod), []).append(down)
+            agg_uplinks[(pod, a)] = ups
+
+    # --- routing tables ----------------------------------------------
+    for host_id in range(p.num_hosts):
+        dst_tor = p.tor_of_host(host_id)
+        dst_pod = p.pod_of_host(host_id)
+        dst_tor_in_pod = dst_tor % p.tors_per_pod
+        for tor_index, tor in enumerate(tors):
+            if tor_index == dst_tor:
+                continue  # downlink route already set
+            tor.set_route(host_id, tuple(tor_uplinks[tor_index]))
+        for pod in range(p.num_pods):
+            for a, agg in enumerate(aggs[pod]):
+                if pod == dst_pod:
+                    agg.set_route(host_id, (agg_downlinks[(pod, a, dst_tor_in_pod)],))
+                else:
+                    agg.set_route(host_id, tuple(agg_uplinks[(pod, a)]))
+        for c, core in enumerate(cores):
+            core.set_route(host_id, tuple(core_downlinks[(c, dst_pod)]))
+
+    # --- per-pair base RTTs for ideal-FCT denominators ----------------
+    same_tor_rtt = path_base_rtt_ns(
+        [p.host_bw_bps, p.host_bw_bps],
+        [p.host_link_delay_ns, p.host_link_delay_ns],
+        p.mtu_payload,
+    )
+    same_pod_rtt = path_base_rtt_ns(
+        [p.host_bw_bps, p.fabric_bw_bps, p.fabric_bw_bps, p.host_bw_bps],
+        [
+            p.host_link_delay_ns,
+            p.tor_agg_delay_ns,
+            p.tor_agg_delay_ns,
+            p.host_link_delay_ns,
+        ],
+        p.mtu_payload,
+    )
+
+    def path_rtt(src: int, dst: int) -> int:
+        if p.tor_of_host(src) == p.tor_of_host(dst):
+            return same_tor_rtt
+        if p.pod_of_host(src) == p.pod_of_host(dst):
+            return same_pod_rtt
+        return net.base_rtt_ns
+
+    net.path_rtt_fn = path_rtt
+
+    _profiles = {
+        "tor": (
+            (p.host_bw_bps, p.host_bw_bps),
+            (p.host_link_delay_ns, p.host_link_delay_ns),
+        ),
+        "pod": (
+            (p.host_bw_bps, p.fabric_bw_bps, p.fabric_bw_bps, p.host_bw_bps),
+            (
+                p.host_link_delay_ns,
+                p.tor_agg_delay_ns,
+                p.tor_agg_delay_ns,
+                p.host_link_delay_ns,
+            ),
+        ),
+        "inter": (
+            (
+                p.host_bw_bps,
+                p.fabric_bw_bps,
+                p.fabric_bw_bps,
+                p.fabric_bw_bps,
+                p.fabric_bw_bps,
+                p.host_bw_bps,
+            ),
+            (
+                p.host_link_delay_ns,
+                p.tor_agg_delay_ns,
+                p.agg_core_delay_ns,
+                p.agg_core_delay_ns,
+                p.tor_agg_delay_ns,
+                p.host_link_delay_ns,
+            ),
+        ),
+    }
+
+    def path_profile(src: int, dst: int):
+        if p.tor_of_host(src) == p.tor_of_host(dst):
+            return _profiles["tor"]
+        if p.pod_of_host(src) == p.pod_of_host(dst):
+            return _profiles["pod"]
+        return _profiles["inter"]
+
+    net.path_profile_fn = path_profile
+
+    # --- base RTT: worst case is the inter-pod path -------------------
+    net.base_rtt_ns = path_base_rtt_ns(
+        [
+            p.host_bw_bps,
+            p.fabric_bw_bps,
+            p.fabric_bw_bps,
+            p.fabric_bw_bps,
+            p.fabric_bw_bps,
+            p.host_bw_bps,
+        ],
+        [
+            p.host_link_delay_ns,
+            p.tor_agg_delay_ns,
+            p.agg_core_delay_ns,
+            p.agg_core_delay_ns,
+            p.tor_agg_delay_ns,
+            p.host_link_delay_ns,
+        ],
+        p.mtu_payload,
+    )
+    net.extras["params"] = p
+    net.extras["tor_uplinks"] = tor_uplinks
+    net.extras["tors"] = tors
+    return net

@@ -1,0 +1,161 @@
+"""The built-network container shared by all topology builders."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.packet import ACK_BYTES, HEADER_BYTES
+from repro.sim.port import EcnConfig, EgressPort
+from repro.sim.switch import Switch
+from repro.units import tx_time_ns
+
+
+def path_base_rtt_ns(
+    forward_rates_bps: Sequence[float],
+    prop_delays_ns: Sequence[int],
+    mtu_payload: int = 1000,
+) -> int:
+    """Base RTT of a path with no queueing.
+
+    Forward direction serializes a full MTU at every hop; the reverse
+    direction serializes the (much smaller) ACK over the same hops.  Both
+    directions pay the propagation delays.
+    """
+    if len(forward_rates_bps) != len(prop_delays_ns):
+        raise ValueError("one propagation delay per hop required")
+    mtu_wire = mtu_payload + HEADER_BYTES
+    rtt = 2 * sum(prop_delays_ns)
+    for rate in forward_rates_bps:
+        rtt += tx_time_ns(mtu_wire, rate) + tx_time_ns(ACK_BYTES, rate)
+    return rtt
+
+
+def path_ideal_fct_ns(
+    forward_rates_bps: Sequence[float],
+    prop_delays_ns: Sequence[int],
+    size_bytes: int,
+    mtu_payload: int = 1000,
+) -> int:
+    """Store-and-forward lower bound on the FCT of a ``size_bytes`` flow.
+
+    FCT is measured receiver-side (time until the last byte arrives), so
+    this bound is *one-way*: the head packet (at most one MTU, possibly
+    smaller) is serialized at every hop, the remaining bytes stream
+    behind it at the path's minimum rate.  This is the denominator of FCT
+    *slowdown* — no run can beat it, so slowdowns are always >= 1.
+    """
+    if len(forward_rates_bps) != len(prop_delays_ns):
+        raise ValueError("one propagation delay per hop required")
+    head_payload = min(size_bytes, mtu_payload)
+    head_wire = head_payload + HEADER_BYTES
+    total = sum(prop_delays_ns)
+    for rate in forward_rates_bps:
+        total += tx_time_ns(head_wire, rate)
+    remaining = size_bytes - head_payload
+    if remaining > 0:
+        bottleneck = min(forward_rates_bps)
+        full_packets = remaining // mtu_payload
+        tail = remaining - full_packets * mtu_payload
+        stream_bytes = full_packets * (mtu_payload + HEADER_BYTES)
+        if tail:
+            stream_bytes += tail + HEADER_BYTES
+        total += tx_time_ns(stream_bytes, bottleneck)
+    return total
+
+
+class Network:
+    """A wired topology: hosts, switches, and path metadata.
+
+    ``base_rtt_ns`` is the maximum base RTT across host pairs (propagation
+    plus per-hop MTU serialization) — the τ both HPCC and PowerTCP are
+    configured with in the paper ("base-RTT set to the maximum RTT in our
+    topology").
+    """
+
+    def __init__(self, sim: Simulator, name: str = "net"):
+        self.sim = sim
+        self.name = name
+        self.hosts: List[Host] = []
+        self.switches: List[Switch] = []
+        self.host_bw_bps: float = 0.0
+        self.base_rtt_ns: int = 0
+        #: per-pair base RTT (src, dst) -> ns; defaults to base_rtt_ns.
+        #: Used for *ideal-FCT* denominators, so slowdown is >= 1 even on
+        #: shorter-than-worst-case paths.  CC configuration still uses the
+        #: network-wide max, as the paper does.
+        self.path_rtt_fn = None
+        #: per-pair hop profile (src, dst) -> (rates_bps, prop_delays_ns)
+        #: for exact ideal-FCT computation; optional.
+        self.path_profile_fn = None
+        #: optional interesting ports registered by builders, keyed by label
+        #: (e.g. "bottleneck", "tor0-up0") for probes and experiments.
+        self.labeled_ports: Dict[str, EgressPort] = {}
+        #: builder-specific extras (circuit controller, schedule, ...).
+        self.extras: Dict[str, object] = {}
+
+    def add_host(self, host: Host) -> Host:
+        """Register a host (ids must match list positions)."""
+        assert host.host_id == len(self.hosts), "host ids must be dense"
+        self.hosts.append(host)
+        return host
+
+    def add_switch(self, switch: Switch) -> Switch:
+        """Register a switch."""
+        self.switches.append(switch)
+        return switch
+
+    def host(self, host_id: int) -> Host:
+        """Look up a host by id."""
+        return self.hosts[host_id]
+
+    def port(self, label: str) -> EgressPort:
+        """Look up a labeled port (e.g. the bottleneck)."""
+        return self.labeled_ports[label]
+
+    def label_port(self, label: str, port: EgressPort) -> EgressPort:
+        """Register a port of interest under ``label``."""
+        port.name = port.name or label
+        self.labeled_ports[label] = port
+        return port
+
+    @property
+    def num_hosts(self) -> int:
+        """Number of hosts."""
+        return len(self.hosts)
+
+    def path_rtt_ns(self, src: int, dst: int) -> int:
+        """Base RTT of the (src, dst) path; the network max if unknown."""
+        if self.path_rtt_fn is not None:
+            return self.path_rtt_fn(src, dst)
+        return self.base_rtt_ns
+
+    def ideal_fct_ns(
+        self, src: int, dst: int, size_bytes: int, mtu_payload: int = 1000
+    ) -> int:
+        """Store-and-forward lower-bound FCT for a flow on this network.
+
+        Uses the exact hop profile when the builder registered one; falls
+        back to a single-hop model at the host line rate otherwise.
+        """
+        if self.path_profile_fn is not None:
+            rates, props = self.path_profile_fn(src, dst)
+            return path_ideal_fct_ns(rates, props, size_bytes, mtu_payload)
+        return self.base_rtt_ns + tx_time_ns(size_bytes, self.host_bw_bps)
+
+    def total_drops(self) -> int:
+        """Packets dropped across all switch ports (DT rejections)."""
+        return sum(p.drops for s in self.switches for p in s.ports)
+
+    def apply_ecn(self, ecn_fn: Callable[[float], EcnConfig]) -> None:
+        """Configure ECN marking on every switch port from its line rate."""
+        for switch in self.switches:
+            for port in switch.ports:
+                port.ecn = ecn_fn(port.rate_bps)
+
+    def enable_int(self, enabled: bool = True) -> None:
+        """Toggle INT stamping on all switch ports."""
+        for switch in self.switches:
+            for port in switch.ports:
+                port.int_stamping = enabled

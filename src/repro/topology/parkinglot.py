@@ -1,0 +1,192 @@
+"""Parking-lot topology: a chain of switches with per-segment cross traffic.
+
+Built to make §3.5's multi-bottleneck claim executable: "in multi-
+bottleneck scenarios, the control law precisely reacts to the *most
+bottlenecked* link when using INT but reacts to the *sum* of queuing
+delays when using RTT."
+
+Layout (``segments`` = 2 shown)::
+
+    E0 ──► S0 ══════► S1 ══════► S2 ──► sink hosts
+           ▲  link0   ▲  link1   │
+       cross-src0  cross-src1    ▼
+                             cross sinks
+
+One *end-to-end* sender E0 crosses every segment link; each segment also
+carries local cross traffic entering at its head switch and leaving at
+the next switch's local sink.  Segment link rates are configurable so one
+link can be made the clear bottleneck.
+
+Host numbering: 0 = end-to-end source; 1..segments = cross sources;
+then the end-to-end sink, then one cross sink per segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.buffer import SharedBuffer
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.port import EgressPort
+from repro.sim.switch import Switch
+from repro.topology.network import Network, path_base_rtt_ns, path_ideal_fct_ns
+from repro.units import GBPS, USEC
+
+
+@dataclass
+class ParkingLotParams:
+    """Chain shape and rates.  ``segment_bw_bps[i]`` is link i's rate."""
+
+    segments: int = 2
+    host_bw_bps: float = 10 * GBPS
+    segment_bw_bps: Optional[List[float]] = None
+    host_link_delay_ns: int = 1 * USEC
+    segment_delay_ns: int = 2 * USEC
+    buffer_bytes: int = 4_000_000
+    dt_alpha: float = 1.0
+    mtu_payload: int = 1000
+    int_stamping: bool = True
+
+    def __post_init__(self):
+        if self.segments < 1:
+            raise ValueError("need at least one segment")
+        if self.segment_bw_bps is None:
+            self.segment_bw_bps = [self.host_bw_bps] * self.segments
+        if len(self.segment_bw_bps) != self.segments:
+            raise ValueError("one rate per segment required")
+
+    # Host-id helpers -------------------------------------------------
+    @property
+    def e2e_src(self) -> int:
+        """The end-to-end sender's host id."""
+        return 0
+
+    def cross_src(self, segment: int) -> int:
+        """Cross-traffic source feeding segment ``segment``."""
+        return 1 + segment
+
+    @property
+    def e2e_dst(self) -> int:
+        """The end-to-end sink's host id."""
+        return 1 + self.segments
+
+    def cross_dst(self, segment: int) -> int:
+        """Cross-traffic sink of segment ``segment``."""
+        return 2 + self.segments + segment
+
+    @property
+    def num_hosts(self) -> int:
+        """Total host count."""
+        return 2 + 2 * self.segments
+
+
+def build_parking_lot(
+    sim: Simulator, params: Optional[ParkingLotParams] = None
+) -> Network:
+    """Build the chain; segment link i is labeled ``link{i}``."""
+    p = params or ParkingLotParams()
+    net = Network(sim, name="parking-lot")
+    net.host_bw_bps = p.host_bw_bps
+
+    switches = [
+        net.add_switch(
+            Switch(sim, i, f"s{i}", buffer=SharedBuffer(p.buffer_bytes, p.dt_alpha))
+        )
+        for i in range(p.segments + 1)
+    ]
+
+    def add_host(host_id: int, switch: Switch) -> Host:
+        host = Host(sim, host_id)
+        host.attach_nic(
+            EgressPort(
+                sim, p.host_bw_bps, p.host_link_delay_ns, peer=switch,
+                name=f"nic-{host_id}",
+            )
+        )
+        downlink = switch.add_port(
+            EgressPort(
+                sim, p.host_bw_bps, p.host_link_delay_ns, peer=host,
+                int_stamping=p.int_stamping, name=f"{switch.name}-down-{host_id}",
+            )
+        )
+        switch.set_route(host_id, (downlink,))
+        return host
+
+    # Hosts must be added in id order (Network asserts density).
+    hosts_plan = [(p.e2e_src, switches[0])]
+    hosts_plan += [(p.cross_src(i), switches[i]) for i in range(p.segments)]
+    hosts_plan += [(p.e2e_dst, switches[p.segments])]
+    hosts_plan += [(p.cross_dst(i), switches[i + 1]) for i in range(p.segments)]
+    hosts_plan.sort(key=lambda pair: pair[0])
+    host_switch = {}
+    for host_id, switch in hosts_plan:
+        net.add_host(add_host(host_id, switch))
+        host_switch[host_id] = switch
+
+    # Segment links (forward) and their reverse twins for ACKs.
+    for i in range(p.segments):
+        forward = switches[i].add_port(
+            EgressPort(
+                sim, p.segment_bw_bps[i], p.segment_delay_ns,
+                peer=switches[i + 1], int_stamping=p.int_stamping,
+                name=f"link{i}",
+            )
+        )
+        reverse = switches[i + 1].add_port(
+            EgressPort(
+                sim, p.segment_bw_bps[i], p.segment_delay_ns,
+                peer=switches[i], int_stamping=p.int_stamping,
+                name=f"link{i}-rev",
+            )
+        )
+        net.label_port(f"link{i}", forward)
+        net.label_port(f"link{i}-rev", reverse)
+
+    # Routing: every switch forwards "rightward" to hosts attached at or
+    # beyond the next switch, "leftward" for the way back.
+    def switch_index_of(host_id: int) -> int:
+        return switches.index(host_switch[host_id])
+
+    for host_id in range(p.num_hosts):
+        target = switch_index_of(host_id)
+        for index, switch in enumerate(switches):
+            if index == target:
+                continue  # downlink route already installed
+            if index < target:
+                next_port = next(
+                    port for port in switch.ports if port.name == f"link{index}"
+                )
+            else:
+                next_port = next(
+                    port
+                    for port in switch.ports
+                    if port.name == f"link{index - 1}-rev"
+                )
+            switch.set_route(host_id, (next_port,))
+
+    # Base RTT: the end-to-end path (the longest one).
+    e2e_rates = [p.host_bw_bps] + list(p.segment_bw_bps) + [p.host_bw_bps]
+    e2e_props = (
+        [p.host_link_delay_ns]
+        + [p.segment_delay_ns] * p.segments
+        + [p.host_link_delay_ns]
+    )
+    net.base_rtt_ns = path_base_rtt_ns(e2e_rates, e2e_props, p.mtu_payload)
+
+    def path_profile(src: int, dst: int):
+        lo = min(switch_index_of(src), switch_index_of(dst))
+        hi = max(switch_index_of(src), switch_index_of(dst))
+        rates = [p.host_bw_bps] + list(p.segment_bw_bps[lo:hi]) + [p.host_bw_bps]
+        props = (
+            [p.host_link_delay_ns]
+            + [p.segment_delay_ns] * (hi - lo)
+            + [p.host_link_delay_ns]
+        )
+        return rates, props
+
+    net.path_profile_fn = path_profile
+    net.extras["params"] = p
+    net.extras["switches"] = switches
+    return net

@@ -1,0 +1,13 @@
+"""Reliable transport: window/pacing senders, cumulative-ACK receivers.
+
+The paper's deployment target is RDMA NICs, whose loss recovery is
+go-back-N; this package implements exactly that: cumulative ACKs, no SACK,
+window rewind on triple-duplicate ACK or RTO.  Congestion control is
+pluggable via :class:`repro.cc.base.CongestionControl`.
+"""
+
+from repro.transport.flow import Flow
+from repro.transport.sender import Sender
+from repro.transport.receiver import Receiver
+
+__all__ = ["Flow", "Receiver", "Sender"]

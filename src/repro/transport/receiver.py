@@ -1,0 +1,90 @@
+"""Cumulative-ACK receiver with INT echo and optional DCQCN notification.
+
+Per the paper's feedback design, the receiver copies the INT metadata of
+each arriving data packet into the ACK; the ACK is itself INT-enabled so
+switches on the reverse path append their telemetry too ("...inserted by
+all the switches along the path from sender to receiver and back to
+sender").
+
+Out-of-order segments are acknowledged but not buffered (go-back-N
+semantics, matching RDMA NIC behaviour).
+
+For DCQCN the receiver doubles as the *notification point*: when a
+congestion-marked packet arrives it returns a CNP, rate-limited to one per
+``cnp_interval_ns`` (50 µs in the DCQCN paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.packet import DATA, Packet
+from repro.transport.flow import Flow
+
+DCQCN_CNP_INTERVAL_NS = 50_000
+
+
+class Receiver:
+    """Transport endpoint on the flow's destination host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        flow: Flow,
+        *,
+        echo_int: bool = True,
+        stamp_acks: bool = True,
+        cnp_interval_ns: Optional[int] = None,
+        on_complete: Optional[Callable[[Flow], None]] = None,
+    ):
+        self.sim = sim
+        self.host = host
+        self.flow = flow
+        self.echo_int = echo_int
+        self.stamp_acks = stamp_acks
+        self.cnp_interval_ns = cnp_interval_ns
+        self.on_complete = on_complete
+        self.rcv_nxt = 0
+        self.out_of_order = 0
+        self._last_cnp_ns: Optional[int] = None
+
+    def start(self) -> None:
+        """Register with the destination host."""
+        self.host.register(self.flow.flow_id, self)
+
+    def on_packet(self, pkt: Packet) -> None:
+        """Host-side dispatch entry: data segments arrive here."""
+        if pkt.kind != DATA:
+            return
+        if pkt.seq == self.rcv_nxt:
+            self.rcv_nxt = pkt.end_seq
+            self.flow.bytes_received = self.rcv_nxt
+        elif pkt.seq > self.rcv_nxt:
+            # Go-back-N: the gap forces the sender to rewind; do not buffer.
+            self.out_of_order += 1
+
+        self._maybe_send_cnp(pkt)
+
+        ack = Packet.ack(pkt, self.rcv_nxt, now=self.sim.now, echo_int=self.echo_int)
+        if self.stamp_acks and self.echo_int and ack.int_hops is not None:
+            ack.int_enabled = True
+        self.host.send(ack)
+
+        if self.rcv_nxt >= self.flow.size_bytes and self.flow.finish_ns is None:
+            self.flow.finish_ns = self.sim.now
+            if self.on_complete is not None:
+                self.on_complete(self.flow)
+
+    def _maybe_send_cnp(self, pkt: Packet) -> None:
+        if self.cnp_interval_ns is None or not pkt.ecn_marked:
+            return
+        now = self.sim.now
+        if self._last_cnp_ns is None or now - self._last_cnp_ns >= self.cnp_interval_ns:
+            self._last_cnp_ns = now
+            self.host.send(Packet.cnp(self.flow.flow_id, self.flow.dst, self.flow.src))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Receiver(flow={self.flow.flow_id}, rcv_nxt={self.rcv_nxt})"

@@ -1,0 +1,222 @@
+"""Window-based paced sender with go-back-N loss recovery.
+
+Senders emit MTU-sized segments subject to two independent gates, matching
+the NIC model the paper assumes:
+
+* **window gate** — bytes in flight must stay below the congestion window;
+* **pacing gate** — segments leave at most at ``pacing_rate_bps``.
+
+Congestion control is a pluggable per-flow object (see
+:mod:`repro.cc.base`) that adjusts ``cwnd`` and ``pacing_rate_bps`` on every
+ACK.  Per the paper, flows start at line rate with
+``cwnd_init = HostBw * tau`` so a new flow discovers the bottleneck state
+within its first RTT.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.host import Host
+from repro.sim.packet import ACK, CNP, Packet
+from repro.transport.flow import Flow
+from repro.units import MSEC, tx_time_ns
+
+DEFAULT_MTU_PAYLOAD = 1000
+DUP_ACK_THRESHOLD = 3
+
+
+class Sender:
+    """Transport endpoint on the flow's source host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        flow: Flow,
+        cc,
+        *,
+        base_rtt_ns: int,
+        host_bw_bps: Optional[float] = None,
+        mtu_payload: int = DEFAULT_MTU_PAYLOAD,
+        int_enabled: bool = False,
+        ecn_capable: bool = False,
+        priority: int = 0,
+        rto_ns: Optional[int] = None,
+        on_complete: Optional[Callable[[Flow], None]] = None,
+    ):
+        self.sim = sim
+        self.host = host
+        self.flow = flow
+        self.cc = cc
+        self.base_rtt_ns = base_rtt_ns
+        self.host_bw_bps = host_bw_bps if host_bw_bps is not None else host.nic.rate_bps
+        self.mtu_payload = mtu_payload
+        self.int_enabled = int_enabled
+        self.ecn_capable = ecn_capable
+        self.priority = priority
+        self.rto_ns = rto_ns if rto_ns is not None else max(10 * base_rtt_ns, 4 * MSEC)
+        self.on_complete = on_complete
+
+        # Congestion state (owned by the CC object after on_start).
+        self.cwnd: float = float(mtu_payload)
+        self.pacing_rate_bps: float = self.host_bw_bps
+
+        # Reliability state.
+        self.snd_nxt = 0
+        self.snd_una = 0
+        self.dup_acks = 0
+        self.dup_ack_threshold = DUP_ACK_THRESHOLD
+        # Go-back-N retransmits data the receiver may already have; the
+        # duplicate ACKs it elicits must not trigger another rewind, or a
+        # single reordering event becomes a permanent retransmission storm.
+        # Recovery ends when snd_una passes the rewind-time snd_nxt.
+        self._recover_high = 0
+        self.last_rtt_ns: Optional[int] = None
+        self.done = False
+
+        self._next_pace_ns = 0
+        self._pace_event: Optional[Event] = None
+        self._rto_event: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Unacknowledged bytes."""
+        return self.snd_nxt - self.snd_una
+
+    def start(self) -> None:
+        """Register with the host and begin transmitting."""
+        self.host.register(self.flow.flow_id, self)
+        self.flow.start_ns = self.sim.now
+        self.cc.on_start(self)
+        self._try_send()
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def _send_limit(self) -> int:
+        """Highest byte offset the sender may currently transmit up to.
+
+        The base transport may send the whole flow (window permitting);
+        receiver-driven transports (HOMA) override this with the granted
+        prefix.
+        """
+        return self.flow.size_bytes
+
+    def _try_send(self) -> None:
+        if self.done:
+            return
+        now = self.sim.now
+        size = self._send_limit()
+        while self.snd_nxt < size and self.inflight < self.cwnd:
+            if now < self._next_pace_ns:
+                self._arm_pacer()
+                return
+            payload = min(self.mtu_payload, size - self.snd_nxt)
+            pkt = Packet.data(
+                self.flow.flow_id,
+                self.flow.src,
+                self.flow.dst,
+                self.snd_nxt,
+                payload,
+                priority=self.priority,
+                int_enabled=self.int_enabled,
+                ecn_capable=self.ecn_capable,
+                ts_tx=now,
+            )
+            self.host.send(pkt)
+            self.snd_nxt += payload
+            gap = tx_time_ns(pkt.size, self.pacing_rate_bps)
+            base = self._next_pace_ns if self._next_pace_ns > now else now
+            self._next_pace_ns = base + gap
+            if self._rto_event is None:
+                self._arm_rto()
+
+    def _arm_pacer(self) -> None:
+        if self._pace_event is None or self._pace_event.cancelled:
+            self._pace_event = self.sim.at(self._next_pace_ns, self._pace_fire)
+
+    def _pace_fire(self) -> None:
+        self._pace_event = None
+        self._try_send()
+
+    # ------------------------------------------------------------------
+    # Acknowledgments
+    # ------------------------------------------------------------------
+    def on_packet(self, pkt: Packet) -> None:
+        """Host-side dispatch entry: ACKs and CNPs arrive here."""
+        if pkt.kind == ACK:
+            self._on_ack(pkt)
+        elif pkt.kind == CNP:
+            self.cc.on_cnp(self)
+
+    def _on_ack(self, ack: Packet) -> None:
+        if self.done:
+            return
+        self.last_rtt_ns = self.sim.now - ack.ts_echo
+        if ack.ack_seq > self.snd_una:
+            self.snd_una = ack.ack_seq
+            self.dup_acks = 0
+            self._arm_rto(restart=True)
+            self.cc.on_ack(self, ack)
+            if self.snd_una >= self.flow.size_bytes:
+                self._complete()
+            else:
+                self._try_send()
+        else:
+            self.dup_acks += 1
+            self.cc.on_ack(self, ack)
+            in_recovery = self.snd_una < self._recover_high
+            if self.dup_acks >= self.dup_ack_threshold and not in_recovery:
+                self._recover_high = self.snd_nxt
+                self._go_back_n(loss_signal=True)
+            else:
+                self._try_send()
+
+    # ------------------------------------------------------------------
+    # Loss recovery (go-back-N, as on RDMA NICs)
+    # ------------------------------------------------------------------
+    def _go_back_n(self, loss_signal: bool) -> None:
+        self.flow.retransmissions += 1
+        self.dup_acks = 0
+        self.snd_nxt = self.snd_una
+        self._next_pace_ns = self.sim.now
+        if loss_signal:
+            self.cc.on_loss(self)
+        self._arm_rto(restart=True)
+        self._try_send()
+
+    def _arm_rto(self, restart: bool = False) -> None:
+        if restart and self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+        if self._rto_event is None or self._rto_event.cancelled:
+            self._rto_event = self.sim.after(self.rto_ns, self._on_rto)
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self.done or self.inflight == 0:
+            return
+        self.cc.on_timeout(self)
+        self._go_back_n(loss_signal=False)
+
+    # ------------------------------------------------------------------
+    def _complete(self) -> None:
+        self.done = True
+        self.flow.sender_done_ns = self.sim.now
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+        if self._pace_event is not None:
+            self._pace_event.cancel()
+            self._pace_event = None
+        if self.on_complete is not None:
+            self.on_complete(self.flow)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Sender(flow={self.flow.flow_id}, una={self.snd_una}, "
+            f"nxt={self.snd_nxt}, cwnd={self.cwnd:.0f})"
+        )

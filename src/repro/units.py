@@ -1,0 +1,59 @@
+"""Unit conventions and conversion helpers.
+
+The whole simulator uses one consistent unit system:
+
+* **time** — integer nanoseconds.  An integer clock makes event ordering
+  exact and reproducible (no floating-point drift between runs).
+* **bandwidth** — bits per second, as a float (e.g. ``100e9`` for 100 Gbps).
+* **data sizes** — bytes, as integers.
+
+This module centralizes the constants and the conversions between them so
+the rest of the code never hand-rolls a ``* 8 / rate`` expression.
+"""
+
+from __future__ import annotations
+
+# Time constants (nanoseconds).
+NSEC = 1
+USEC = 1_000
+MSEC = 1_000_000
+SEC = 1_000_000_000
+
+# Bandwidth constants (bits per second).
+KBPS = 1e3
+MBPS = 1e6
+GBPS = 1e9
+
+BITS_PER_BYTE = 8
+
+
+def tx_time_ns(size_bytes: int, rate_bps: float) -> int:
+    """Serialization delay of ``size_bytes`` on a link of ``rate_bps``.
+
+    Rounded up to a whole nanosecond so that a transmitter never finishes
+    "early", which would let a queue drain faster than the physical rate.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    ns = size_bytes * BITS_PER_BYTE * SEC / rate_bps
+    whole = int(ns)
+    if ns > whole:
+        whole += 1
+    return whole
+
+
+def bytes_in_time(duration_ns: int, rate_bps: float) -> int:
+    """How many whole bytes a link of ``rate_bps`` carries in ``duration_ns``."""
+    return int(duration_ns * rate_bps / (BITS_PER_BYTE * SEC))
+
+
+def bdp_bytes(rate_bps: float, rtt_ns: int) -> int:
+    """Bandwidth-delay product in bytes for a path of ``rtt_ns``."""
+    return int(rate_bps * rtt_ns / (BITS_PER_BYTE * SEC))
+
+
+def rate_bps_from(size_bytes: int, duration_ns: int) -> float:
+    """Average rate in bits/s of ``size_bytes`` over ``duration_ns``."""
+    if duration_ns <= 0:
+        raise ValueError(f"duration must be positive, got {duration_ns}")
+    return size_bytes * BITS_PER_BYTE * SEC / duration_ns

@@ -1,0 +1,26 @@
+"""Traffic generation: flow-size distributions and arrival processes.
+
+* :data:`repro.workloads.distributions.WEB_SEARCH` — the DCTCP web-search
+  flow-size distribution the paper evaluates with (§4.1);
+* :mod:`repro.workloads.arrivals` — Poisson open-loop arrivals calibrated
+  to a target load on the fat-tree's ToR uplinks;
+* :mod:`repro.workloads.incast` — the synthetic distributed-file-system
+  query workload that creates fan-in bursts (§4.1);
+* :mod:`repro.workloads.permutation` — ToR-pair traffic for the RDCN
+  case study (§5).
+"""
+
+from repro.workloads.distributions import WEB_SEARCH, EmpiricalCdf
+from repro.workloads.arrivals import FlowRequest, poisson_flows
+from repro.workloads.incast import IncastEvent, incast_events
+from repro.workloads.permutation import pair_flows
+
+__all__ = [
+    "EmpiricalCdf",
+    "FlowRequest",
+    "IncastEvent",
+    "WEB_SEARCH",
+    "incast_events",
+    "pair_flows",
+    "poisson_flows",
+]

@@ -1,0 +1,90 @@
+"""Poisson open-loop flow arrivals calibrated to a target network load.
+
+The paper's realistic-workload experiments offer web-search flows at an
+"average load (on the ToR uplinks) in the range of 20 % − 95 %".  Every
+inter-rack flow crosses exactly one source-ToR uplink, so for a fat-tree
+with per-ToR uplink capacity ``C_up`` the flow arrival rate that offers
+load ρ is::
+
+    λ = ρ · num_tors · C_up / E[flow size in bits]
+
+Source/destination pairs are drawn uniformly among *inter-rack* host pairs
+(the intra-rack case would bypass the oversubscribed uplinks the load is
+defined over).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.topology.fattree import FatTreeParams
+from repro.units import BITS_PER_BYTE, SEC
+from repro.workloads.distributions import EmpiricalCdf
+
+
+@dataclass
+class FlowRequest:
+    """One scheduled flow: who sends how much to whom, starting when."""
+
+    start_ns: int
+    src: int
+    dst: int
+    size_bytes: int
+
+
+def inter_rack_pair(
+    rng: random.Random, num_hosts: int, hosts_per_tor: int
+) -> tuple:
+    """Uniform (src, dst) pair with src and dst in different racks."""
+    src = rng.randrange(num_hosts)
+    while True:
+        dst = rng.randrange(num_hosts)
+        if dst // hosts_per_tor != src // hosts_per_tor:
+            return src, dst
+
+
+def fattree_load_to_rate(params: FatTreeParams, load: float) -> float:
+    """Flow arrival rate (flows/s per byte of mean size) numerator:
+    offered bits/s across all ToR uplinks at ``load``."""
+    uplink_bps = params.aggs_per_pod * params.fabric_bw_bps
+    return load * params.num_tors * uplink_bps
+
+
+def poisson_flows(
+    rng: random.Random,
+    params: FatTreeParams,
+    distribution: EmpiricalCdf,
+    load: float,
+    duration_ns: int,
+    *,
+    start_ns: int = 0,
+    max_flows: Optional[int] = None,
+) -> List[FlowRequest]:
+    """Generate web-search-style Poisson arrivals for the fat-tree.
+
+    Flow inter-arrival times are exponential with the rate that offers
+    ``load`` on the ToR uplinks; sizes are i.i.d. from ``distribution``;
+    endpoints are uniform inter-rack pairs.
+    """
+    if not 0.0 < load < 1.5:
+        raise ValueError(f"load should be a fraction like 0.6, got {load}")
+    mean_bits = distribution.mean_bytes() * BITS_PER_BYTE
+    rate_per_sec = fattree_load_to_rate(params, load) / mean_bits
+    mean_gap_ns = SEC / rate_per_sec
+
+    requests: List[FlowRequest] = []
+    t = float(start_ns)
+    end = start_ns + duration_ns
+    while True:
+        t += rng.expovariate(1.0) * mean_gap_ns
+        if t >= end:
+            break
+        src, dst = inter_rack_pair(rng, params.num_hosts, params.hosts_per_tor)
+        requests.append(
+            FlowRequest(int(t), src, dst, distribution.sample(rng))
+        )
+        if max_flows is not None and len(requests) >= max_flows:
+            break
+    return requests

@@ -1,0 +1,92 @@
+"""Empirical flow-size distributions.
+
+:data:`WEB_SEARCH` is the web-search workload of the DCTCP paper
+(Alizadeh et al. 2010), in the tabulated form used by the HPCC and
+PowerTCP evaluations: heavy-tailed, with ~60 % of flows under 200 KB but
+most *bytes* in multi-megabyte flows — the paper calls it
+"buffer-intensive".  Sizes span 1 B to 30 MB, matching the x-axis of the
+paper's Fig. 6.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Sequence, Tuple
+
+
+class EmpiricalCdf:
+    """Piecewise-linear inverse-CDF sampler over (size, cum_prob) points."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if len(points) < 2:
+            raise ValueError("need at least two CDF points")
+        sizes = [float(s) for s, _ in points]
+        probs = [float(p) for _, p in points]
+        if sorted(sizes) != sizes or sorted(probs) != probs:
+            raise ValueError("CDF points must be sorted in size and probability")
+        if probs[0] != 0.0 or probs[-1] != 1.0:
+            raise ValueError("CDF must start at probability 0 and end at 1")
+        self.sizes = sizes
+        self.probs = probs
+
+    def quantile(self, u: float) -> float:
+        """Inverse CDF by linear interpolation; ``u`` in [0, 1]."""
+        if not 0.0 <= u <= 1.0:
+            raise ValueError(f"u must be in [0,1], got {u}")
+        index = bisect.bisect_left(self.probs, u)
+        if index == 0:
+            return self.sizes[0]
+        p0, p1 = self.probs[index - 1], self.probs[index]
+        s0, s1 = self.sizes[index - 1], self.sizes[index]
+        if p1 == p0:
+            return s1
+        return s0 + (s1 - s0) * (u - p0) / (p1 - p0)
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one flow size in bytes (at least 1)."""
+        return max(1, int(round(self.quantile(rng.random()))))
+
+    def mean_bytes(self) -> float:
+        """Exact mean of the piecewise-linear distribution."""
+        total = 0.0
+        for i in range(1, len(self.sizes)):
+            mass = self.probs[i] - self.probs[i - 1]
+            midpoint = (self.sizes[i] + self.sizes[i - 1]) / 2.0
+            total += mass * midpoint
+        return total
+
+    def scaled(self, factor: float) -> "EmpiricalCdf":
+        """The same distribution with all sizes multiplied by ``factor``.
+
+        Used to shrink the workload for the pure-Python event budget while
+        preserving its shape; analysis bins are rescaled symmetrically
+        (see ``size_scale`` in :mod:`repro.analysis.fct`).
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return EmpiricalCdf(
+            [(max(s * factor, 1.0), p) for s, p in zip(self.sizes, self.probs)]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EmpiricalCdf({len(self.sizes)} points, mean={self.mean_bytes():.0f}B)"
+
+
+#: DCTCP web-search flow sizes (bytes, cumulative probability).
+WEB_SEARCH = EmpiricalCdf(
+    [
+        (1, 0.0),
+        (10_000, 0.15),
+        (20_000, 0.20),
+        (30_000, 0.30),
+        (50_000, 0.40),
+        (80_000, 0.53),
+        (200_000, 0.60),
+        (1_000_000, 0.70),
+        (2_000_000, 0.80),
+        (5_000_000, 0.90),
+        (10_000_000, 0.97),
+        (30_000_000, 1.0),
+    ]
+)

@@ -1,0 +1,94 @@
+"""The paper's synthetic incast workload (§4.1).
+
+"The synthetic workload represents a distributed file system where each
+server requests a file from a set of servers chosen uniformly at random
+from a different rack.  All the servers which receive the request respond
+at the same time by transmitting the requested part of the file.  As a
+result, each file request creates an incast scenario."
+
+An :class:`IncastEvent` is one such query: ``fanout`` responders each send
+``request_size / fanout`` bytes to the requester simultaneously.  The
+paper sweeps the request *rate* (Fig. 7c/d — incast frequency) and the
+request *size* (Fig. 7e/f — congestion duration).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.units import SEC
+
+
+@dataclass
+class IncastEvent:
+    """One file request: ``responders`` all answer ``requester`` at once."""
+
+    start_ns: int
+    requester: int
+    responders: Sequence[int]
+    bytes_per_responder: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Aggregate response size (the request size)."""
+        return self.bytes_per_responder * len(self.responders)
+
+
+def incast_events(
+    rng: random.Random,
+    *,
+    num_hosts: int,
+    hosts_per_tor: int,
+    request_rate_per_sec: float,
+    request_size_bytes: int,
+    fanout: int,
+    duration_ns: int,
+    start_ns: int = 0,
+) -> List[IncastEvent]:
+    """Poisson query arrivals at ``request_rate_per_sec`` over the cluster.
+
+    Responders are sampled uniformly from racks other than the
+    requester's, so every response crosses the oversubscribed fabric.
+    """
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    if request_rate_per_sec <= 0:
+        raise ValueError("request rate must be positive")
+    events: List[IncastEvent] = []
+    mean_gap_ns = SEC / request_rate_per_sec
+    bytes_per_responder = max(1, request_size_bytes // fanout)
+    t = float(start_ns)
+    end = start_ns + duration_ns
+    while True:
+        t += rng.expovariate(1.0) * mean_gap_ns
+        if t >= end:
+            break
+        requester = rng.randrange(num_hosts)
+        rack = requester // hosts_per_tor
+        candidates = [
+            h for h in range(num_hosts) if h // hosts_per_tor != rack
+        ]
+        responders = rng.sample(candidates, min(fanout, len(candidates)))
+        events.append(
+            IncastEvent(int(t), requester, responders, bytes_per_responder)
+        )
+    return events
+
+
+def synchronized_incast(
+    requester: int,
+    responders: Sequence[int],
+    total_bytes: int,
+    start_ns: int = 0,
+) -> IncastEvent:
+    """A single deterministic N:1 incast (the Fig. 4 microbenchmark)."""
+    if not responders:
+        raise ValueError("need at least one responder")
+    return IncastEvent(
+        start_ns,
+        requester,
+        list(responders),
+        max(1, total_bytes // len(responders)),
+    )

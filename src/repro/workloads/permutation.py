@@ -1,0 +1,61 @@
+"""ToR-pair traffic for the RDCN case study (§5).
+
+The Fig. 8 scenario watches one ToR pair: hosts under the source ToR run
+long flows to distinct hosts under the destination ToR.  With enough
+parallel flows the pair can fill the 100 Gbps circuit during its day
+(hosts are 25 Gbps each) and falls back to the 25 Gbps packet network
+between days.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def pair_flows(
+    src_tor: int,
+    dst_tor: int,
+    hosts_per_tor: int,
+    *,
+    flows_per_pair: int,
+    size_bytes: int,
+) -> List[Tuple[int, int, int]]:
+    """(src_host, dst_host, size) tuples for one ToR pair.
+
+    Flows are spread over distinct host pairs round-robin so no host NIC
+    is double-booked until ``flows_per_pair > hosts_per_tor``.
+    """
+    if src_tor == dst_tor:
+        raise ValueError("source and destination ToR must differ")
+    if flows_per_pair < 1:
+        raise ValueError("need at least one flow")
+    flows = []
+    for i in range(flows_per_pair):
+        src = src_tor * hosts_per_tor + (i % hosts_per_tor)
+        dst = dst_tor * hosts_per_tor + (i % hosts_per_tor)
+        flows.append((src, dst, size_bytes))
+    return flows
+
+
+def all_pairs_flows(
+    num_tors: int,
+    hosts_per_tor: int,
+    *,
+    flows_per_pair: int,
+    size_bytes: int,
+) -> List[Tuple[int, int, int]]:
+    """Pair flows for every ordered ToR pair (uniform RDCN demand)."""
+    flows = []
+    for src_tor in range(num_tors):
+        for dst_tor in range(num_tors):
+            if src_tor != dst_tor:
+                flows.extend(
+                    pair_flows(
+                        src_tor,
+                        dst_tor,
+                        hosts_per_tor,
+                        flows_per_pair=flows_per_pair,
+                        size_bytes=size_bytes,
+                    )
+                )
+    return flows

@@ -1,0 +1,78 @@
+"""Unit tests for the control-law taxonomy (Eq. 2 / Appendix C)."""
+
+import pytest
+
+from repro.fluid.laws import (
+    ALL_LAWS,
+    DELAY_LAW,
+    GRADIENT_LAW,
+    POWER_LAW,
+    QUEUE_LAW,
+)
+
+B = 100e9 / 8.0  # bytes/s
+TAU = 20e-6
+BDP = B * TAU
+
+
+def test_equilibrium_targets():
+    assert QUEUE_LAW.e(B, TAU) == pytest.approx(BDP)
+    assert DELAY_LAW.e(B, TAU) == pytest.approx(TAU)
+    assert GRADIENT_LAW.e(B, TAU) == 1.0
+    assert POWER_LAW.e(B, TAU) == pytest.approx(B * B * TAU)
+
+
+def test_feedback_at_equilibrium_equals_target():
+    """At (q=0, q̇=0, µ=b) every law's feedback equals its target: the
+    multiplicative factor is exactly 1 — no reaction at equilibrium."""
+    for law in ALL_LAWS:
+        factor = law.multiplicative_factor(0.0, 0.0, B, B, TAU)
+        assert factor == pytest.approx(1.0), law.name
+
+
+def test_voltage_law_reacts_to_queue_not_gradient():
+    with_queue = QUEUE_LAW.multiplicative_factor(BDP, 0.0, B, B, TAU)
+    assert with_queue == pytest.approx(2.0)
+    # Changing the buildup rate changes nothing (Fig. 2a).
+    fast_buildup = QUEUE_LAW.multiplicative_factor(BDP, 8 * B, B, B, TAU)
+    assert fast_buildup == with_queue
+
+
+def test_gradient_law_reacts_to_rate_not_queue():
+    building = GRADIENT_LAW.multiplicative_factor(0.0, 8 * B, B, B, TAU)
+    assert building == pytest.approx(9.0)  # 1 + 8
+    # Changing the queue length changes nothing (Fig. 2b).
+    with_queue = GRADIENT_LAW.multiplicative_factor(10 * BDP, 8 * B, B, B, TAU)
+    assert with_queue == building
+
+
+def test_delay_and_queue_laws_are_equivalent():
+    """Both voltage laws produce the same multiplicative factor: RTT is
+    q/b + tau, i.e. queue length in time units."""
+    for q in (0.0, 0.3 * BDP, 2.0 * BDP):
+        assert QUEUE_LAW.multiplicative_factor(
+            q, 0.0, B, B, TAU
+        ) == pytest.approx(DELAY_LAW.multiplicative_factor(q, 0.0, B, B, TAU))
+
+
+def test_power_law_separates_both_dimensions():
+    base = POWER_LAW.multiplicative_factor(0.5 * BDP, 0.0, B, B, TAU)
+    more_queue = POWER_LAW.multiplicative_factor(1.0 * BDP, 0.0, B, B, TAU)
+    more_rate = POWER_LAW.multiplicative_factor(0.5 * BDP, 2 * B, B, B, TAU)
+    assert more_queue > base
+    assert more_rate > base
+
+
+def test_power_is_product_of_voltage_and_current_factors():
+    q, qdot = 0.7 * BDP, 3 * B
+    voltage_factor = QUEUE_LAW.multiplicative_factor(q, qdot, B, B, TAU)
+    current_factor = GRADIENT_LAW.multiplicative_factor(q, qdot, B, B, TAU)
+    power_factor = POWER_LAW.multiplicative_factor(q, qdot, B, B, TAU)
+    assert power_factor == pytest.approx(voltage_factor * current_factor)
+
+
+def test_law_kinds():
+    assert QUEUE_LAW.kind == "voltage"
+    assert DELAY_LAW.kind == "voltage"
+    assert GRADIENT_LAW.kind == "current"
+    assert POWER_LAW.kind == "power"

@@ -1,0 +1,85 @@
+"""Fluid-model integration and Fig. 3 phase-portrait tests."""
+
+import pytest
+
+from repro.fluid.laws import GRADIENT_LAW, POWER_LAW, QUEUE_LAW
+from repro.fluid.model import FluidParams, simulate
+from repro.fluid.phase import default_initial_grid, phase_portrait
+
+
+def params(beta_fraction=0.01):
+    p = FluidParams()
+    p.beta_bytes = beta_fraction * p.bdp_bytes
+    return p
+
+
+def test_power_law_converges_to_paper_equilibrium():
+    """Theorem 1: (w_e, q_e) = (b·tau + beta, beta)."""
+    p = params()
+    trace = simulate(POWER_LAW, p, 3 * p.bdp_bytes, 2 * p.bdp_bytes, 100 * p.tau_s)
+    assert trace.final_window == pytest.approx(p.bdp_bytes + p.beta_bytes, rel=0.02)
+    assert trace.final_queue == pytest.approx(p.beta_bytes, rel=0.1)
+
+
+def test_queue_law_converges_to_same_equilibrium():
+    p = params()
+    trace = simulate(QUEUE_LAW, p, 3 * p.bdp_bytes, 2 * p.bdp_bytes, 200 * p.tau_s)
+    assert trace.final_window == pytest.approx(p.bdp_bytes + p.beta_bytes, rel=0.02)
+
+
+def test_gradient_law_final_state_depends_on_start():
+    p = params()
+    low = simulate(GRADIENT_LAW, p, 1.2 * p.bdp_bytes, 0.1 * p.bdp_bytes, 100 * p.tau_s)
+    high = simulate(GRADIENT_LAW, p, 4 * p.bdp_bytes, 3 * p.bdp_bytes, 100 * p.tau_s)
+    # No unique equilibrium (paper Fig. 3b): different fixed points.
+    assert abs(low.final_window - high.final_window) > 0.2 * p.bdp_bytes
+
+
+def test_queue_never_negative_window_never_below_one():
+    p = params()
+    trace = simulate(QUEUE_LAW, p, 0.1 * p.bdp_bytes, 0.0, 50 * p.tau_s)
+    assert min(trace.queue_bytes) >= 0.0
+    assert min(trace.window_bytes) >= 1.0
+
+
+def test_inflight_definition():
+    p = params()
+    trace = simulate(POWER_LAW, p, 2 * p.bdp_bytes, 1 * p.bdp_bytes, 5 * p.tau_s)
+    for w, q, infl in zip(
+        trace.window_bytes, trace.queue_bytes, trace.inflight_bytes
+    ):
+        assert infl == pytest.approx(min(w, p.bdp_bytes) + q)
+
+
+# ----------------------------------------------------------------------
+# Fig. 3: the three panels' qualitative claims
+# ----------------------------------------------------------------------
+def test_fig3a_voltage_unique_equilibrium_but_loss():
+    portrait = phase_portrait(QUEUE_LAW, params())
+    assert portrait.equilibrium_spread() < 0.05
+    assert portrait.fraction_with_loss() > 0.5  # "almost every initial point"
+
+
+def test_fig3b_current_no_unique_equilibrium():
+    portrait = phase_portrait(GRADIENT_LAW, params())
+    assert portrait.equilibrium_spread() > 0.5
+
+
+def test_fig3c_power_unique_equilibrium_no_loss():
+    portrait = phase_portrait(POWER_LAW, params())
+    assert portrait.equilibrium_spread() < 0.05
+    assert portrait.fraction_with_loss() == 0.0
+    assert portrait.worst_throughput_loss() < 0.01
+
+
+def test_initial_grid_spans_under_and_overshoot():
+    grid = default_initial_grid(100.0)
+    windows = [w for w, _ in grid]
+    assert min(windows) < 100.0 < max(windows)
+
+
+def test_feedback_delay_preserves_power_equilibrium():
+    p = params()
+    p.feedback_delay_s = p.tau_s / 2
+    trace = simulate(POWER_LAW, p, 2 * p.bdp_bytes, 1 * p.bdp_bytes, 150 * p.tau_s)
+    assert trace.final_window == pytest.approx(p.bdp_bytes + p.beta_bytes, rel=0.05)

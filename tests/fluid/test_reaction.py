@@ -1,0 +1,71 @@
+"""Additional reaction-curve tests (Fig. 2 module edge cases)."""
+
+import pytest
+
+from repro.fluid.laws import DELAY_LAW, GRADIENT_LAW, POWER_LAW, QUEUE_LAW
+from repro.fluid.reaction import (
+    CaseReaction,
+    decrease_vs_buildup_rate,
+    decrease_vs_queue_length,
+    three_case_comparison,
+)
+
+B = 100e9 / 8.0
+TAU = 20e-6
+BDP = B * TAU
+
+
+def test_custom_law_selection():
+    series = decrease_vs_buildup_rate(
+        bandwidth_Bps=B,
+        tau_s=TAU,
+        queue_bytes=0.0,
+        rate_multiples=[0, 1],
+        laws=(DELAY_LAW, POWER_LAW),
+    )
+    assert set(series) == {"delay", "power"}
+
+
+def test_zero_queue_zero_rate_is_neutral_everywhere():
+    rate_series = decrease_vs_buildup_rate(
+        bandwidth_Bps=B, tau_s=TAU, queue_bytes=0.0, rate_multiples=[0],
+        laws=(QUEUE_LAW, GRADIENT_LAW, POWER_LAW),
+    )
+    for name, values in rate_series.items():
+        assert values[0] == pytest.approx(1.0), name
+
+
+def test_queue_length_series_with_buildup():
+    """A non-zero buildup rate shifts the gradient law but not the
+    queue law's dependence shape."""
+    series = decrease_vs_queue_length(
+        bandwidth_Bps=B, tau_s=TAU,
+        queue_lengths_bytes=[0.0, BDP],
+        buildup_rate_multiple=1.0,
+    )
+    assert series["rtt-gradient"] == pytest.approx([2.0, 2.0])
+    assert series["queue-length"] == pytest.approx([1.0, 2.0])
+
+
+def test_three_cases_custom():
+    cases = three_case_comparison(
+        bandwidth_Bps=B,
+        tau_s=TAU,
+        cases=[("only", 0.5 * BDP, 2.0)],
+    )
+    assert len(cases) == 1
+    case = cases[0]
+    assert isinstance(case, CaseReaction)
+    assert case.voltage == pytest.approx(1.5)
+    assert case.current == pytest.approx(3.0)
+    assert case.power == pytest.approx(4.5)
+
+
+def test_power_md_zero_when_fully_draining():
+    """Draining at max rate with nothing arriving: current = 0, so the
+    power law's factor collapses to 0 — i.e. maximal window increase.
+    This is the case-2 behaviour that lets PowerTCP refill instantly."""
+    cases = three_case_comparison(bandwidth_Bps=B, tau_s=TAU)
+    case2 = cases[1]
+    assert case2.buildup_rate_multiple == -1.0
+    assert case2.power == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,136 @@
+"""Theorem 1-3 checks: stability, convergence, and the Fig. 2 reactions."""
+
+import math
+
+import pytest
+
+from repro.fluid.laws import GRADIENT_LAW, POWER_LAW, QUEUE_LAW
+from repro.fluid.model import FluidParams, simulate
+from repro.fluid.reaction import (
+    decrease_vs_buildup_rate,
+    decrease_vs_queue_length,
+    three_case_comparison,
+)
+from repro.fluid.stability import (
+    convergence_time_constant,
+    equilibrium,
+    gradient_law_equilibria_are_degenerate,
+    is_asymptotically_stable,
+    linearized_eigenvalues,
+    theoretical_time_constant_s,
+)
+
+B_BPS = 100e9 / 8.0
+TAU = 20e-6
+
+
+def params(beta_fraction=0.01):
+    p = FluidParams()
+    p.beta_bytes = beta_fraction * p.bdp_bytes
+    return p
+
+
+# ----------------------------------------------------------------------
+# Theorem 1 — stability
+# ----------------------------------------------------------------------
+def test_eigenvalues_are_negative():
+    p = params()
+    eig_q, eig_w = linearized_eigenvalues(p)
+    assert eig_q == pytest.approx(-1.0 / p.tau_s)
+    assert eig_w == pytest.approx(-p.gamma / p.tau_s)
+    assert is_asymptotically_stable(p)
+
+
+def test_stability_holds_for_any_positive_gamma_and_tau():
+    for gamma in (0.1, 0.5, 0.9, 1.0):
+        for tau in (1e-6, 20e-6, 1e-3):
+            p = FluidParams(gamma=gamma, tau_s=tau)
+            assert is_asymptotically_stable(p)
+
+
+def test_unique_equilibrium_matches_appendix():
+    p = params()
+    w_e, q_e = equilibrium(POWER_LAW, p)
+    assert w_e == pytest.approx(p.bdp_bytes + p.beta_bytes)
+    assert q_e == pytest.approx(p.beta_bytes)
+    assert equilibrium(QUEUE_LAW, p) == equilibrium(POWER_LAW, p)
+
+
+def test_gradient_law_has_no_unique_equilibrium():
+    p = params()
+    assert equilibrium(GRADIENT_LAW, p) is None
+    assert gradient_law_equilibria_are_degenerate(
+        p, [0.0, 0.1 * p.bdp_bytes, p.bdp_bytes, 10 * p.bdp_bytes]
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 2 — convergence with time constant δt/γ
+# ----------------------------------------------------------------------
+def test_convergence_time_constant_matches_theory():
+    p = params()
+    w_e = p.bdp_bytes + p.beta_bytes
+    trace = simulate(POWER_LAW, p, 4 * p.bdp_bytes, 3 * p.bdp_bytes, 60 * p.tau_s)
+    fitted = convergence_time_constant(trace.times_s, trace.window_bytes, w_e)
+    assert fitted == pytest.approx(theoretical_time_constant_s(p), rel=0.05)
+
+
+def test_convergence_faster_with_larger_gamma():
+    slow = FluidParams(gamma=0.3)
+    fast = FluidParams(gamma=0.9)
+    assert theoretical_time_constant_s(fast) < theoretical_time_constant_s(slow)
+
+
+def test_five_update_intervals_give_99_percent_decay():
+    """The paper: convergence within ~5 update intervals (γ=1)."""
+    p = FluidParams(gamma=1.0)
+    decay = math.exp(-5.0)
+    assert decay < 0.01  # e^{-5} = 0.67% residual error
+
+
+def test_fit_rejects_degenerate_input():
+    with pytest.raises(ValueError):
+        convergence_time_constant([0.0, 1.0], [1.0, 1.0], 1.0)
+
+
+# ----------------------------------------------------------------------
+# Fig. 2 reactions
+# ----------------------------------------------------------------------
+def test_fig2a_voltage_flat_current_linear():
+    rates = [0, 1, 2, 4, 8]
+    series = decrease_vs_buildup_rate(
+        bandwidth_Bps=B_BPS,
+        tau_s=TAU,
+        queue_bytes=0.5 * B_BPS * TAU,
+        rate_multiples=rates,
+    )
+    voltage = series["queue-length"]
+    current = series["rtt-gradient"]
+    assert max(voltage) == pytest.approx(min(voltage))  # oblivious
+    assert current == pytest.approx([1 + r for r in rates])
+
+
+def test_fig2b_current_flat_voltage_linear():
+    queues = [0.0, 0.2, 0.5, 1.0, 2.0]
+    bdp = B_BPS * TAU
+    series = decrease_vs_queue_length(
+        bandwidth_Bps=B_BPS,
+        tau_s=TAU,
+        queue_lengths_bytes=[q * bdp for q in queues],
+    )
+    current = series["rtt-gradient"]
+    voltage = series["queue-length"]
+    assert max(current) == pytest.approx(min(current))  # oblivious
+    assert voltage == pytest.approx([1 + q for q in queues])
+
+
+def test_fig2c_orthogonal_blindness():
+    cases = three_case_comparison(bandwidth_Bps=B_BPS, tau_s=TAU)
+    case1, case2, case3 = cases
+    # Voltage cannot tell case-2 from case-3 (same queue length).
+    assert case2.voltage == pytest.approx(case3.voltage)
+    # Current cannot tell case-1 from case-3 (same buildup rate).
+    assert case1.current == pytest.approx(case3.current)
+    # Power separates all three.
+    powers = {round(c.power, 9) for c in cases}
+    assert len(powers) == 3

@@ -1,0 +1,102 @@
+"""System-wide conservation invariants under randomized traffic.
+
+Whatever the algorithm does, the simulator must conserve bytes: every
+payload byte a receiver counts was sent exactly once in order, queues
+drain to zero after traffic ends, and the shared-buffer accounting
+returns to zero.  Run with randomized flow matrices across algorithms.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.driver import FlowDriver
+from repro.sim.engine import Simulator
+from repro.topology.dumbbell import DumbbellParams, build_dumbbell
+from repro.topology.fattree import build_fattree
+from repro.experiments.websearch import scaled_fattree
+from repro.units import GBPS, MSEC
+
+
+@pytest.mark.parametrize("algo", ["powertcp", "hpcc", "dcqcn", "homa"])
+@pytest.mark.parametrize("seed", [1, 2])
+def test_randomized_dumbbell_conservation(algo, seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    net = build_dumbbell(
+        sim,
+        DumbbellParams(
+            left_hosts=4,
+            right_hosts=2,
+            host_bw_bps=10 * GBPS,
+            bottleneck_bw_bps=10 * GBPS,
+        ),
+    )
+    driver = FlowDriver(net, algo)
+    flows = []
+    for _ in range(12):
+        src = rng.randrange(4)
+        dst = 4 + rng.randrange(2)
+        size = rng.randrange(1_000, 300_000)
+        start = rng.randrange(0, 2_000_000)
+        flows.append(driver.start_flow(src, dst, size, at_ns=start))
+    driver.run(until_ns=60 * MSEC)
+
+    for flow in flows:
+        assert flow.completed, (algo, seed, flow.flow_id)
+        assert flow.bytes_received == flow.size_bytes
+        assert flow.finish_ns >= flow.start_ns
+
+    # All queues drained, shared buffers back to zero.
+    for switch in net.switches:
+        assert switch.buffer.used == 0
+        for port in switch.ports:
+            assert port.qlen_bytes == 0
+    # The event heap holds only cancelled timers / idle pacers.
+    assert sim.peek_time() is None or sim.pending >= 0
+
+
+@pytest.mark.parametrize("algo", ["powertcp", "theta-powertcp"])
+def test_randomized_fattree_conservation(algo):
+    rng = random.Random(99)
+    sim = Simulator()
+    params = scaled_fattree()
+    net = build_fattree(sim, params)
+    driver = FlowDriver(net, algo)
+    flows = []
+    for _ in range(20):
+        src = rng.randrange(params.num_hosts)
+        dst = rng.randrange(params.num_hosts)
+        if src // params.hosts_per_tor == dst // params.hosts_per_tor:
+            continue
+        flows.append(
+            driver.start_flow(
+                src, dst, rng.randrange(1_000, 200_000),
+                at_ns=rng.randrange(0, 3_000_000),
+            )
+        )
+    driver.run(until_ns=80 * MSEC)
+    for flow in flows:
+        assert flow.completed, (algo, flow.flow_id)
+        assert flow.bytes_received == flow.size_bytes
+    assert all(s.buffer.used == 0 for s in net.switches)
+
+
+def test_tx_accounting_consistent_with_deliveries():
+    """Bottleneck tx bytes >= delivered payload (headers + retx overhead)."""
+    sim = Simulator()
+    net = build_dumbbell(
+        sim,
+        DumbbellParams(left_hosts=2, right_hosts=1, host_bw_bps=10 * GBPS,
+                       bottleneck_bw_bps=10 * GBPS),
+    )
+    driver = FlowDriver(net, "powertcp")
+    flows = [driver.start_flow(i, 2, 500_000, at_ns=0) for i in range(2)]
+    driver.run(until_ns=20 * MSEC)
+    delivered = sum(f.bytes_received for f in flows)
+    assert delivered == 1_000_000
+    bottleneck_tx = net.port("bottleneck").tx_bytes
+    assert bottleneck_tx >= delivered  # wire size includes headers
+    # Without drops the overhead is exactly the header fraction.
+    assert net.total_drops() == 0
+    assert bottleneck_tx <= delivered * 1.06

@@ -1,0 +1,72 @@
+"""Determinism: identical seeds must give bit-identical runs.
+
+Reproducibility is a stated goal of the paper's artifact ("in order to
+ensure reproducibility... we will make all our artefacts publicly
+available"); for a simulator that means the event order, and therefore
+every metric, is a pure function of the configuration and seed.
+"""
+
+from repro.experiments.incast import IncastConfig, run_incast
+from repro.experiments.websearch import WebsearchConfig, run_websearch
+from repro.sim.engine import Simulator
+from repro.topology.dumbbell import DumbbellParams, build_dumbbell
+from repro.experiments.driver import FlowDriver
+from repro.units import GBPS, MSEC
+
+
+def test_incast_runs_are_bit_identical():
+    a = run_incast(IncastConfig(algorithm="powertcp", fanout=6, duration_ns=2 * MSEC))
+    b = run_incast(IncastConfig(algorithm="powertcp", fanout=6, duration_ns=2 * MSEC))
+    assert a.qlen_bytes == b.qlen_bytes
+    assert a.throughput_bps == b.throughput_bps
+    assert a.burst_fcts_ns == b.burst_fcts_ns
+
+
+def test_websearch_event_counts_identical():
+    def run():
+        return run_websearch(
+            WebsearchConfig(
+                algorithm="hpcc",
+                load=0.4,
+                duration_ns=3 * MSEC,
+                drain_ns=8 * MSEC,
+                size_scale=1 / 16,
+                max_flows=30,
+                seed=11,
+            )
+        )
+
+    a, b = run(), run()
+    assert [f.fct_ns for f in a.flows] == [f.fct_ns for f in b.flows]
+    assert a.buffer_samples_bytes == b.buffer_samples_bytes
+
+
+def test_event_count_is_deterministic():
+    def run():
+        sim = Simulator()
+        net = build_dumbbell(
+            sim,
+            DumbbellParams(left_hosts=3, right_hosts=1, host_bw_bps=10 * GBPS,
+                           bottleneck_bw_bps=10 * GBPS),
+        )
+        driver = FlowDriver(net, "dcqcn")  # timers + RNG marking: worst case
+        for i in range(3):
+            driver.start_flow(i, 3, 200_000, at_ns=0)
+        driver.run(until_ns=10 * MSEC)
+        return sim.events_processed
+
+    assert run() == run()
+
+
+def test_different_seeds_differ():
+    a = run_websearch(
+        WebsearchConfig(algorithm="powertcp", load=0.4, duration_ns=3 * MSEC,
+                        drain_ns=8 * MSEC, size_scale=1 / 16, max_flows=30,
+                        seed=1)
+    )
+    b = run_websearch(
+        WebsearchConfig(algorithm="powertcp", load=0.4, duration_ns=3 * MSEC,
+                        drain_ns=8 * MSEC, size_scale=1 / 16, max_flows=30,
+                        seed=2)
+    )
+    assert [f.size_bytes for f in a.flows] != [f.size_bytes for f in b.flows]

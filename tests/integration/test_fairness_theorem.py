@@ -1,0 +1,61 @@
+"""Theorem 3: PowerTCP is β-weighted proportionally fair.
+
+Two checks on the packet simulator:
+
+* equal β -> equal long-run shares (Jain index ~ 1);
+* β in ratio 1:2 -> throughput in (approximately) ratio 1:2, since
+  ``(w_i)_e = (β̂ + b·τ)/β̂ · β_i`` (Appendix A).
+"""
+
+import pytest
+
+from repro.cc.registry import AlgorithmSpec
+from repro.core.powertcp import PowerTcp
+from repro.experiments.driver import FlowDriver
+from repro.experiments.fairness import FairnessConfig, run_fairness
+from repro.sim.engine import Simulator
+from repro.topology.dumbbell import DumbbellParams, build_dumbbell
+from repro.units import GBPS, MSEC
+
+
+def test_equal_beta_equal_shares():
+    result = run_fairness(FairnessConfig(algorithm="powertcp"))
+    assert result.final_epoch_jain() > 0.95
+
+
+def test_jain_improves_to_near_one_by_last_epoch():
+    result = run_fairness(FairnessConfig(algorithm="powertcp", num_flows=3))
+    assert all(j > 0.9 for j in result.epoch_jain)
+
+
+def test_weighted_fairness_follows_beta():
+    sim = Simulator()
+    net = build_dumbbell(
+        sim,
+        DumbbellParams(
+            left_hosts=2,
+            right_hosts=1,
+            host_bw_bps=10 * GBPS,
+            bottleneck_bw_bps=10 * GBPS,
+        ),
+    )
+    betas = {0: 500.0, 1: 1000.0}
+
+    spec = AlgorithmSpec(
+        name="powertcp-weighted",
+        make_cc=lambda flow, _net: PowerTcp(beta_bytes=betas[flow.src]),
+        needs_int=True,
+    )
+    driver = FlowDriver(net, spec)
+    flows = [driver.start_flow(i, 2, 10 ** 11, at_ns=0) for i in range(2)]
+    driver.run(until_ns=20 * MSEC)
+
+    # Discard the first quarter (convergence), compare long-run goodput.
+    received = [f.bytes_received for f in flows]
+    ratio = received[1] / received[0]
+    assert ratio == pytest.approx(2.0, rel=0.35)
+
+
+def test_theta_powertcp_also_fair():
+    result = run_fairness(FairnessConfig(algorithm="theta-powertcp"))
+    assert result.final_epoch_jain() > 0.9

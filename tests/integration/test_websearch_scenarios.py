@@ -1,0 +1,80 @@
+"""Fig. 6/7 integration: scaled web-search workload, relative FCT claims.
+
+These use small flow counts (CI budget), so assertions target robust
+orderings (long-flow tails, buffer occupancy) rather than exact tail
+percentiles; the full sweep lives in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.analysis.stats import percentile
+from repro.experiments.websearch import WebsearchConfig, run_websearch
+from repro.units import MSEC
+
+SCALE = 1 / 16
+
+
+def run(algo, load=0.6, flows=400, **kwargs):
+    return run_websearch(
+        WebsearchConfig(
+            algorithm=algo,
+            load=load,
+            duration_ns=20 * MSEC,
+            drain_ns=30 * MSEC,
+            size_scale=SCALE,
+            max_flows=flows,
+            **kwargs,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def at60():
+    return {algo: run(algo) for algo in ("powertcp", "hpcc")}
+
+
+def test_all_flows_complete(at60):
+    for algo, result in at60.items():
+        unfinished = [f for f in result.flows if not f.completed]
+        assert not unfinished, f"{algo}: {len(unfinished)} unfinished"
+
+
+def test_slowdowns_at_least_one(at60):
+    for algo, result in at60.items():
+        summary = result.fct_summary(pct=0)  # the minimum slowdown
+        assert summary.overall >= 1.0, algo
+
+
+def test_powertcp_beats_hpcc_on_long_flows(at60):
+    power = at60["powertcp"].fct_summary(pct=99)
+    hpcc = at60["hpcc"].fct_summary(pct=99)
+    assert power.long <= hpcc.long * 1.05
+
+
+def test_powertcp_short_flows_competitive(at60):
+    power = at60["powertcp"].fct_summary(pct=99)
+    hpcc = at60["hpcc"].fct_summary(pct=99)
+    assert power.short <= hpcc.short * 1.2
+
+
+def test_buffer_occupancy_tail_lower_for_powertcp(at60):
+    power_tail = percentile(at60["powertcp"].buffer_samples_bytes, 99)
+    hpcc_tail = percentile(at60["hpcc"].buffer_samples_bytes, 99)
+    # Fig. 7g: PowerTCP cuts the tail buffer occupancy vs HPCC.
+    assert power_tail <= hpcc_tail
+
+
+def test_size_bins_cover_all_completed_flows(at60):
+    result = at60["powertcp"]
+    bins = result.size_bins(pct=50)
+    binned = sum(count for _, _, count in bins)
+    completed = sum(1 for f in result.flows if f.completed)
+    assert binned == completed
+
+
+def test_load_increases_slowdown():
+    low = run("powertcp", load=0.2, flows=200)
+    high = run("powertcp", load=0.8, flows=200)
+    s_low = low.fct_summary(pct=90)
+    s_high = high.fct_summary(pct=90)
+    assert s_high.overall >= s_low.overall

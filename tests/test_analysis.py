@@ -1,0 +1,133 @@
+"""Tests for the analysis layer: percentiles, CDFs, FCT summaries, fairness."""
+
+import pytest
+
+from repro.analysis.fairness import average_goodput_bps, jain_index, throughput_shares
+from repro.analysis.fct import (
+    slowdown_by_size_bin,
+    slowdowns,
+    summarize_fct,
+)
+from repro.analysis.stats import cdf_points, mean, percentile
+from repro.transport.flow import Flow
+from repro.units import GBPS, USEC
+
+
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+def test_percentile_endpoints():
+    values = list(range(1, 101))
+    assert percentile(values, 0) == 1
+    assert percentile(values, 100) == 100
+    assert percentile(values, 50) == pytest.approx(50.5)
+
+
+def test_percentile_interpolates():
+    assert percentile([10, 20], 25) == pytest.approx(12.5)
+
+
+def test_percentile_single_value():
+    assert percentile([7.0], 99.9) == 7.0
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_cdf_points_monotone():
+    xs, ps = cdf_points([5, 1, 3])
+    assert xs == [1, 3, 5]
+    assert ps == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+
+def test_mean_helper():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    with pytest.raises(ValueError):
+        mean([])
+
+
+# ----------------------------------------------------------------------
+# FCT analysis
+# ----------------------------------------------------------------------
+def make_flow(flow_id, size, fct_ns, base_rtt=10 * USEC, bw=10 * GBPS):
+    flow = Flow(flow_id, 0, 1, size)
+    flow.start_ns = 0
+    flow.finish_ns = fct_ns
+    return flow
+
+
+def test_slowdowns_skips_incomplete():
+    done = make_flow(1, 1000, 100_000)
+    pending = Flow(2, 0, 1, 1000)
+    values = slowdowns([done, pending], 10 * USEC, 10 * GBPS)
+    assert len(values) == 1
+
+
+def test_slowdown_is_one_for_ideal_fct():
+    size = 100_000
+    flow = Flow(1, 0, 1, size)
+    flow.start_ns = 0
+    flow.finish_ns = flow.ideal_fct_ns(10 * USEC, 10 * GBPS)
+    assert flow.slowdown(10 * USEC, 10 * GBPS) == pytest.approx(1.0)
+
+
+def test_summary_classifies_sizes():
+    flows = [
+        make_flow(1, 5_000, 50_000),  # short
+        make_flow(2, 500_000, 1_000_000),  # medium
+        make_flow(3, 10_000_000, 50_000_000),  # long
+        make_flow(4, 50_000, 200_000),  # other (10K-100K)
+    ]
+    summary = summarize_fct("x", flows, 10 * USEC, 10 * GBPS, pct=50)
+    assert summary.short is not None
+    assert summary.medium is not None
+    assert summary.long is not None
+    assert summary.completed == 4
+
+
+def test_summary_handles_empty_classes():
+    flows = [make_flow(1, 5_000, 50_000)]
+    summary = summarize_fct("x", flows, 10 * USEC, 10 * GBPS)
+    assert summary.medium is None and summary.long is None
+    assert "short" in summary.row()
+
+
+def test_size_bins_partition():
+    flows = [
+        make_flow(1, 4_000, 40_000),
+        make_flow(2, 300_000, 900_000),
+        make_flow(3, 20_000_000, 90_000_000),
+    ]
+    bins = slowdown_by_size_bin(flows, 10 * USEC, 10 * GBPS, pct=50)
+    populated = [(edge, count) for edge, value, count in bins if count]
+    assert populated == [(5_000, 1), (400_000, 1), (30_000_000, 1)]
+
+
+# ----------------------------------------------------------------------
+# fairness
+# ----------------------------------------------------------------------
+def test_jain_equal_shares():
+    assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+
+def test_jain_single_hog():
+    assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+
+def test_jain_empty_raises():
+    with pytest.raises(ValueError):
+        jain_index([])
+
+
+def test_throughput_shares_conversion():
+    shares = throughput_shares({1: 1250}, 1000)  # 1250B in 1us
+    assert shares[1] == pytest.approx(10 * GBPS)
+
+
+def test_average_goodput():
+    flow = make_flow(1, 1_250_000, 1_000_000)  # 1.25MB in 1ms
+    assert average_goodput_bps(flow) == pytest.approx(10 * GBPS)

@@ -1,0 +1,72 @@
+"""Unit tests for the Dynamic Thresholds shared buffer."""
+
+import pytest
+
+from repro.sim.buffer import SharedBuffer
+
+
+def test_empty_buffer_admits():
+    buf = SharedBuffer(10_000, alpha=1.0)
+    assert buf.admits(qlen=0, size=1000)
+
+
+def test_threshold_shrinks_as_buffer_fills():
+    buf = SharedBuffer(10_000, alpha=1.0)
+    t0 = buf.threshold()
+    buf.on_enqueue(4_000)
+    assert buf.threshold() == t0 - 4_000
+
+
+def test_dt_admission_rule():
+    # alpha=1: a queue may grow while shorter than the remaining free space.
+    buf = SharedBuffer(10_000, alpha=1.0)
+    buf.on_enqueue(6_000)
+    assert buf.admits(qlen=3_999, size=1)  # 3999 < 4000 free
+    assert not buf.admits(qlen=4_000, size=1)
+
+
+def test_never_exceeds_capacity():
+    buf = SharedBuffer(2_000, alpha=100.0)  # huge alpha: capacity binds
+    buf.on_enqueue(1_500)
+    assert not buf.admits(qlen=0, size=600)
+    assert buf.admits(qlen=0, size=500)
+
+
+def test_alpha_scales_aggressiveness():
+    small = SharedBuffer(10_000, alpha=0.5)
+    large = SharedBuffer(10_000, alpha=2.0)
+    # Same state, different thresholds.
+    assert small.threshold() == 5_000
+    assert large.threshold() == 20_000
+
+
+def test_enqueue_dequeue_accounting():
+    buf = SharedBuffer(10_000)
+    buf.on_enqueue(3_000)
+    buf.on_enqueue(2_000)
+    assert buf.used == 5_000
+    buf.on_dequeue(3_000)
+    assert buf.used == 2_000
+    assert buf.free == 8_000
+
+
+def test_drop_counting():
+    buf = SharedBuffer(1_000)
+    buf.on_drop()
+    buf.on_drop()
+    assert buf.drops == 2
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        SharedBuffer(0)
+    with pytest.raises(ValueError):
+        SharedBuffer(1000, alpha=0)
+
+
+def test_total_admitted_tracks_all_traffic():
+    buf = SharedBuffer(10_000)
+    buf.on_enqueue(1_000)
+    buf.on_dequeue(1_000)
+    buf.on_enqueue(2_000)
+    assert buf.total_admitted == 3_000

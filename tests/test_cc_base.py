@@ -1,0 +1,136 @@
+"""Tests for the CC base-class helpers and the reTCP endpoint logic."""
+
+import pytest
+
+from repro.cc.base import (
+    DEFAULT_CAP_BDP_MULTIPLE,
+    MIN_WINDOW_MTU_FRACTION,
+    CongestionControl,
+    StaticWindow,
+)
+from repro.cc.retcp import ReTcp
+from repro.sim.circuit import CircuitSchedule
+from repro.sim.engine import Simulator
+from repro.units import GBPS, USEC
+
+
+class StubSender:
+    def __init__(self):
+        self.sim = Simulator()
+        self.base_rtt_ns = 20 * USEC
+        self.host_bw_bps = 10 * GBPS
+        self.mtu_payload = 1000
+        self.cwnd = 0.0
+        self.pacing_rate_bps = 0.0
+        self.done = False
+
+    def _try_send(self):
+        pass
+
+
+BDP = 25_000.0  # 10 Gbps x 20 us
+
+
+def test_host_bdp_bytes():
+    cc, sender = CongestionControl(), StubSender()
+    assert cc.host_bdp_bytes(sender) == pytest.approx(BDP)
+
+
+def test_set_window_clamps_floor():
+    cc, sender = CongestionControl(), StubSender()
+    cc.set_window(sender, 0.0)
+    assert sender.cwnd == MIN_WINDOW_MTU_FRACTION * sender.mtu_payload
+
+
+def test_set_window_clamps_cap():
+    cc, sender = CongestionControl(), StubSender()
+    cc.set_window(sender, 10 * BDP)
+    assert sender.cwnd == pytest.approx(DEFAULT_CAP_BDP_MULTIPLE * BDP)
+
+
+def test_set_window_pacing_follows_window():
+    cc, sender = CongestionControl(), StubSender()
+    cc.set_window(sender, BDP / 2)
+    assert sender.pacing_rate_bps == pytest.approx(5 * GBPS)
+
+
+def test_set_window_pacing_capped_at_line_rate():
+    cc, sender = CongestionControl(), StubSender()
+    cc.set_window(sender, 2 * BDP)
+    assert sender.pacing_rate_bps == sender.host_bw_bps
+
+
+def test_set_rate_clamps_and_sets_window():
+    cc, sender = CongestionControl(), StubSender()
+    cc.set_rate(sender, 100 * GBPS)
+    assert sender.pacing_rate_bps == sender.host_bw_bps
+    cc.set_rate(sender, 1 * GBPS, window_rtts=2.0)
+    assert sender.cwnd == pytest.approx(2 * 1e9 * 20e-6 / 8)
+
+
+def test_default_loss_halves():
+    cc, sender = CongestionControl(), StubSender()
+    cc.set_window(sender, BDP)
+    cc.on_loss(sender)
+    assert sender.cwnd == pytest.approx(BDP / 2)
+
+
+def test_default_timeout_collapses_to_one_mtu():
+    cc, sender = CongestionControl(), StubSender()
+    cc.set_window(sender, BDP)
+    cc.on_timeout(sender)
+    assert sender.cwnd == sender.mtu_payload
+
+
+def test_static_window_ignores_loss():
+    cc, sender = StaticWindow(bdp_multiple=1.0), StubSender()
+    cc.on_start(sender)
+    w0 = sender.cwnd
+    cc.on_loss(sender)
+    cc.on_timeout(sender)
+    assert sender.cwnd == w0
+
+
+# ----------------------------------------------------------------------
+# reTCP endpoint
+# ----------------------------------------------------------------------
+def make_retcp(prebuffer=0, flows_per_pair=2):
+    schedule = CircuitSchedule(3, day_ns=100_000, night_ns=20_000)
+    cc = ReTcp(
+        schedule, 0, 1, prebuffer_ns=prebuffer, flows_per_pair=flows_per_pair
+    )
+    sender = StubSender()
+    return cc, sender, schedule
+
+
+def test_retcp_night_window_is_fair_share():
+    cc, sender, schedule = make_retcp(flows_per_pair=2)
+    cc.on_start(sender)  # t=0 is night for pair (0,1): window starts 20us in
+    assert sender.cwnd == pytest.approx(BDP / 2, rel=0.01)
+
+
+def test_retcp_switches_to_day_window():
+    cc, sender, schedule = make_retcp()
+    cc.on_start(sender)
+    start, end = schedule.window_for(0, 1, 0)
+    sender.sim.run(until=start + 1)
+    assert sender.cwnd == pytest.approx(BDP, rel=0.01)
+    sender.sim.run(until=end + 1)
+    assert sender.cwnd < BDP  # back to the night share
+
+
+def test_retcp_prebuffer_advances_the_switch():
+    cc, sender, schedule = make_retcp(prebuffer=10_000)
+    cc.on_start(sender)
+    start, _ = schedule.window_for(0, 1, 0)
+    sender.sim.run(until=start - 5_000)  # inside the prebuffer window
+    assert sender.cwnd == pytest.approx(BDP, rel=0.01)
+
+
+def test_retcp_ignores_loss_signals():
+    cc, sender, _ = make_retcp()
+    cc.on_start(sender)
+    w0 = sender.cwnd
+    cc.on_loss(sender)
+    cc.on_timeout(sender)
+    assert sender.cwnd == w0

@@ -1,0 +1,42 @@
+"""Tests for the figure-regeneration CLI."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+def test_all_figures_registered():
+    for name in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7g", "fig8",
+                 "fig9", "fig10", "fig11"):
+        assert name in COMMANDS
+
+
+def test_list_prints_catalog(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4" in out and "fig8" in out
+
+
+def test_parser_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig99"])
+
+
+def test_fig2_runs(capsys):
+    assert main(["fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 2a" in out
+    assert "rtt-gradient" in out
+
+
+def test_fig3_runs(capsys):
+    assert main(["fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "power" in out
+
+
+def test_fig4_with_algorithm_filter(capsys):
+    assert main(["fig4", "--algorithms", "powertcp", "--duration-ms", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "powertcp" in out
+    assert "hpcc" not in out

@@ -1,0 +1,127 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.at(300, fired.append, "c")
+    sim.at(100, fired.append, "a")
+    sim.at(200, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.at(50, fired.append, label)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.at(123, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [123]
+    assert sim.now == 123
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.at(100, fired.append, "early")
+    sim.at(900, fired.append, "late")
+    sim.run(until=500)
+    assert fired == ["early"]
+    assert sim.now == 500  # clock advanced to the horizon
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_after_is_relative_to_now():
+    sim = Simulator()
+    times = []
+    sim.at(100, lambda: sim.after(50, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [150]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.at(100, fired.append, "x")
+    sim.at(50, event.cancel)
+    sim.run()
+    assert fired == []
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.at(100, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(50, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.after(-1, lambda: None)
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.after(10, chain, n + 1)
+
+    sim.at(0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 50
+
+
+def test_step_processes_single_event():
+    sim = Simulator()
+    fired = []
+    sim.at(10, fired.append, 1)
+    sim.at(20, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert fired == [1, 2]
+    assert not sim.step()
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    event = sim.at(10, lambda: None)
+    sim.at(20, lambda: None)
+    event.cancel()
+    assert sim.peek_time() == 20
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    for i in range(10):
+        sim.at(i, lambda: None)
+    processed = sim.run(max_events=4)
+    assert processed == 4
+    assert sim.events_processed == 4
+
+
+def test_run_returns_processed_count():
+    sim = Simulator()
+    sim.at(1, lambda: None)
+    sim.at(2, lambda: None)
+    assert sim.run() == 2

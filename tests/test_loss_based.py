@@ -1,0 +1,166 @@
+"""Tests for the loss-based laws (NewReno, CUBIC) and §2's standing-queue
+claim."""
+
+import pytest
+
+from repro.cc.cubic import Cubic
+from repro.cc.newreno import NewReno
+from repro.experiments.driver import FlowDriver
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.topology.dumbbell import DumbbellParams, build_dumbbell
+from repro.units import GBPS, MSEC, USEC
+
+
+class StubSender:
+    def __init__(self):
+        self.sim = Simulator()
+        self.base_rtt_ns = 20 * USEC
+        self.host_bw_bps = 10 * GBPS
+        self.mtu_payload = 1000
+        self.cwnd = 0.0
+        self.pacing_rate_bps = 0.0
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.last_rtt_ns = 20 * USEC
+        self.done = False
+
+
+def ack(seq):
+    pkt = Packet(1, 1, 1, 0)
+    pkt.ack_seq = seq
+    return pkt
+
+
+# ----------------------------------------------------------------------
+# NewReno unit behaviour
+# ----------------------------------------------------------------------
+def test_newreno_slow_start_doubles():
+    cc, sender = NewReno(), StubSender()
+    cc.on_start(sender)
+    w0 = sender.cwnd
+    sender.snd_una = w0  # a full window acked
+    cc.on_ack(sender, ack(int(w0)))
+    assert sender.cwnd == pytest.approx(2 * w0)
+
+
+def test_newreno_loss_halves_and_exits_slow_start():
+    cc, sender = NewReno(), StubSender()
+    cc.on_start(sender)
+    sender.cwnd = 100_000
+    cc.on_loss(sender)
+    assert sender.cwnd == pytest.approx(50_000)
+    assert cc.ssthresh == pytest.approx(50_000)
+
+
+def test_newreno_congestion_avoidance_linear():
+    cc, sender = NewReno(), StubSender()
+    cc.on_start(sender)
+    sender.cwnd = 100_000
+    cc.on_loss(sender)  # ssthresh = 50k, cwnd = 50k: now in CA
+    w0 = sender.cwnd
+    sender.snd_una = int(w0)
+    cc.on_ack(sender, ack(int(w0)))
+    # One full window acked -> ~one MTU of growth.
+    assert sender.cwnd == pytest.approx(w0 + sender.mtu_payload, rel=0.01)
+
+
+def test_newreno_timeout_collapses():
+    cc, sender = NewReno(), StubSender()
+    cc.on_start(sender)
+    sender.cwnd = 80_000
+    cc.on_timeout(sender)
+    assert sender.cwnd == sender.mtu_payload
+
+
+# ----------------------------------------------------------------------
+# CUBIC unit behaviour
+# ----------------------------------------------------------------------
+def test_cubic_pre_loss_grows_like_slow_start():
+    cc, sender = Cubic(), StubSender()
+    cc.on_start(sender)
+    w0 = sender.cwnd
+    sender.snd_una = int(w0)
+    cc.on_ack(sender, ack(int(w0)))
+    assert sender.cwnd == pytest.approx(2 * w0)
+
+
+def test_cubic_loss_reduces_by_beta():
+    cc, sender = Cubic(beta=0.3), StubSender()
+    cc.on_start(sender)
+    sender.cwnd = 100_000
+    cc.on_loss(sender)
+    assert sender.cwnd == pytest.approx(70_000)
+
+
+def test_cubic_recovers_toward_w_max():
+    cc, sender = Cubic(), StubSender()
+    cc.on_start(sender)
+    sender.cwnd = 100_000
+    cc.on_loss(sender)
+    low = sender.cwnd
+    # Ack steadily: the cubic curve climbs monotonically back toward
+    # W_max.  (Full recovery takes K ~ seconds with the standard C —
+    # CUBIC is built for WAN timescales, which is the point of §2.)
+    for i in range(1, 200):
+        sender.sim.at(i * 100_000, lambda: None)
+        sender.sim.run()
+        sender.snd_una += 10_000
+        cc.on_ack(sender, ack(sender.snd_una))
+    assert sender.cwnd > low
+    # The plateau target at t = K is exactly W_max.
+    assert cc._cubic_window_mtus(cc._k_s) == pytest.approx(cc._w_max_mtus)
+
+
+def test_cubic_fast_convergence_lowers_w_max():
+    cc, sender = Cubic(beta=0.3), StubSender()
+    cc.on_start(sender)
+    sender.cwnd = 100_000
+    cc.on_loss(sender)
+    first_w_max = cc._w_max_mtus
+    sender.cwnd = 50_000  # second loss at a smaller window
+    cc.on_loss(sender)
+    assert cc._w_max_mtus < first_w_max
+
+
+# ----------------------------------------------------------------------
+# §2's standing-queue claim, end to end
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algo", ["newreno", "cubic"])
+def test_loss_based_maintains_standing_queue(algo):
+    """NewReno/CUBIC must fill the buffer and oscillate (Appendix C),
+    unlike PowerTCP's near-zero queues."""
+    def run(algorithm):
+        sim = Simulator()
+        net = build_dumbbell(
+            sim,
+            DumbbellParams(
+                left_hosts=2,
+                right_hosts=1,
+                host_bw_bps=10 * GBPS,
+                bottleneck_bw_bps=10 * GBPS,
+                buffer_bytes=150_000,
+            ),
+        )
+        driver = FlowDriver(net, algorithm)
+        for src in range(2):
+            driver.start_flow(src, 2, 10 ** 10, at_ns=0)
+        driver.run(until_ns=20 * MSEC)
+        return net
+
+    lossy = run(algo)
+    power = run("powertcp")
+    # Loss-based law drops (queue hit the buffer) ...
+    assert lossy.total_drops() > 0, algo
+    # ... and keeps a much larger max queue than PowerTCP's steady state.
+    assert (
+        lossy.port("bottleneck").max_qlen_bytes
+        > power.port("bottleneck").max_qlen_bytes
+    )
+
+
+def test_registry_resolves_loss_based():
+    from repro.cc.registry import make_algorithm
+
+    assert make_algorithm("newreno").name == "newreno"
+    assert make_algorithm("cubic").name == "cubic"

@@ -1,0 +1,93 @@
+"""Unit tests for packets and INT records."""
+
+from repro.sim.packet import (
+    ACK,
+    ACK_BYTES,
+    CNP,
+    DATA,
+    GRANT,
+    HEADER_BYTES,
+    INT_HOP_BYTES,
+    HopRecord,
+    Packet,
+)
+
+
+def test_data_packet_fields():
+    pkt = Packet.data(7, 1, 2, seq=1000, payload=500, ts_tx=42)
+    assert pkt.kind == DATA
+    assert pkt.flow_id == 7
+    assert (pkt.src, pkt.dst) == (1, 2)
+    assert pkt.seq == 1000
+    assert pkt.end_seq == 1500
+    assert pkt.payload == 500
+    assert pkt.size == 500 + HEADER_BYTES
+    assert pkt.ts_tx == 42
+
+
+def test_data_packet_int_enabled_starts_empty():
+    pkt = Packet.data(1, 0, 1, 0, 100, int_enabled=True)
+    assert pkt.int_enabled
+    assert pkt.int_hops == []
+
+
+def test_data_packet_without_int_has_no_hops():
+    pkt = Packet.data(1, 0, 1, 0, 100)
+    assert not pkt.int_enabled
+    assert pkt.int_hops is None
+
+
+def test_stamp_int_appends_in_order():
+    pkt = Packet.data(1, 0, 1, 0, 100, int_enabled=True)
+    for port_id in (10, 20, 30):
+        pkt.stamp_int(HopRecord(0, 0, 0, 1e9, port_id))
+    assert [h.port_id for h in pkt.int_hops] == [10, 20, 30]
+
+
+def test_ack_reverses_direction_and_echoes():
+    data = Packet.data(9, 3, 8, seq=0, payload=1000, int_enabled=True, ts_tx=111)
+    data.stamp_int(HopRecord(500, 60, 9999, 25e9, 4))
+    ack = Packet.ack(data, ack_seq=1000, now=200)
+    assert ack.kind == ACK
+    assert (ack.src, ack.dst) == (8, 3)
+    assert ack.ack_seq == 1000
+    assert ack.acked_seq == 0
+    assert ack.ts_echo == 111  # the data transmit timestamp, for RTT
+    assert ack.int_hops is data.int_hops
+    assert ack.size == ACK_BYTES + INT_HOP_BYTES * 1
+
+
+def test_ack_without_echo_is_minimal():
+    data = Packet.data(9, 3, 8, 0, 1000, int_enabled=True)
+    data.stamp_int(HopRecord(0, 0, 0, 1e9, 1))
+    ack = Packet.ack(data, 1000, now=5, echo_int=False)
+    assert ack.int_hops is None
+    assert ack.size == ACK_BYTES
+
+
+def test_ack_carries_ecn_mark():
+    data = Packet.data(1, 0, 1, 0, 100, ecn_capable=True)
+    data.ecn_marked = True
+    ack = Packet.ack(data, 100, now=0)
+    assert ack.ecn_marked
+
+
+def test_cnp_direction():
+    cnp = Packet.cnp(5, src=2, dst=0)
+    assert cnp.kind == CNP
+    assert (cnp.src, cnp.dst) == (2, 0)
+    assert cnp.payload == 0
+
+
+def test_grant_transits_at_top_priority():
+    grant = Packet.grant(3, 9, 1, grant_bytes=48_000, sched_priority=5)
+    assert grant.kind == GRANT
+    assert grant.priority == 0  # wire priority
+    assert grant.sched_priority == 5  # rank for the granted data
+    assert grant.grant_bytes == 48_000
+
+
+def test_control_packets_have_zero_payload():
+    data = Packet.data(1, 0, 1, 0, 100)
+    ack = Packet.ack(data, 100, now=0)
+    assert ack.payload == 0

@@ -1,0 +1,106 @@
+"""Tests for the PFC (lossless fabric) substrate."""
+
+import pytest
+
+from repro.experiments.driver import FlowDriver
+from repro.sim.buffer import SharedBuffer
+from repro.sim.engine import Simulator
+from repro.sim.pfc import PfcController, enable_pfc
+from repro.sim.port import EgressPort
+from repro.sim.switch import Switch
+from repro.topology.dumbbell import DumbbellParams, build_dumbbell
+from repro.units import GBPS, MSEC
+
+
+def test_watermark_validation():
+    sim = Simulator()
+    switch = Switch(sim, 1, buffer=SharedBuffer(10_000))
+    with pytest.raises(ValueError):
+        PfcController(sim, switch, [], high_watermark=5_000, low_watermark=6_000)
+    with pytest.raises(ValueError):
+        PfcController(sim, switch, [], high_watermark=20_000, low_watermark=1_000)
+
+
+def test_requires_shared_buffer():
+    sim = Simulator()
+    switch = Switch(sim, 1)  # no buffer
+    with pytest.raises(ValueError):
+        PfcController(sim, switch, [], high_watermark=100, low_watermark=50)
+
+
+def test_pause_and_resume_cycle():
+    sim = Simulator()
+    buf = SharedBuffer(10_000)
+    switch = Switch(sim, 1, buffer=buf)
+    upstream = EgressPort(sim, GBPS, 500, peer=switch)
+    controller = PfcController(
+        sim, switch, [upstream], high_watermark=6_000, low_watermark=3_000
+    ).start()
+
+    buf.on_enqueue(7_000)  # past the high watermark
+    sim.run(until=10_000)
+    assert controller.paused
+    assert upstream.paused
+    assert controller.pause_events == 1
+
+    buf.on_dequeue(5_000)  # below the low watermark
+    sim.run(until=20_000)
+    assert not controller.paused
+    assert not upstream.paused
+    assert controller.resume_events == 1
+
+
+def test_hysteresis_avoids_flapping():
+    sim = Simulator()
+    buf = SharedBuffer(10_000)
+    switch = Switch(sim, 1, buffer=buf)
+    upstream = EgressPort(sim, GBPS, 500, peer=switch)
+    controller = PfcController(
+        sim, switch, [upstream], high_watermark=6_000, low_watermark=3_000
+    ).start()
+    buf.on_enqueue(7_000)
+    sim.run(until=5_000)
+    buf.on_dequeue(2_000)  # 5000: between watermarks -> still paused
+    sim.run(until=10_000)
+    assert controller.paused
+    assert controller.pause_events == 1
+
+
+def test_enable_pfc_makes_incast_lossless():
+    """With PFC, a burst that would overflow a tiny buffer instead pauses
+    the senders: zero drops end to end."""
+
+    def run(with_pfc):
+        sim = Simulator()
+        net = build_dumbbell(
+            sim,
+            DumbbellParams(
+                left_hosts=4,
+                right_hosts=1,
+                host_bw_bps=10 * GBPS,
+                bottleneck_bw_bps=10 * GBPS,
+                buffer_bytes=60_000,  # tiny: static senders overflow it
+            ),
+        )
+        if with_pfc:
+            # Watermarks must sit below DT's single-queue knee (capacity/2
+            # at alpha=1) with headroom for the pause reaction time.
+            enable_pfc(net, high_fraction=0.25, low_fraction=0.1)
+        driver = FlowDriver(net, "static", cc_params={"bdp_multiple": 4.0})
+        flows = [driver.start_flow(i, 4, 300_000, at_ns=0) for i in range(4)]
+        driver.run(until_ns=20 * MSEC)
+        return net, flows
+
+    lossy_net, lossy_flows = run(with_pfc=False)
+    lossless_net, lossless_flows = run(with_pfc=True)
+    assert lossy_net.total_drops() > 0  # the scenario is genuinely hot
+    assert lossless_net.total_drops() == 0
+    assert all(f.completed for f in lossless_flows)
+    assert lossless_net.extras["pfc_controllers"]
+
+
+def test_pfc_controllers_cover_all_buffered_switches():
+    sim = Simulator()
+    net = build_dumbbell(sim, DumbbellParams(left_hosts=2, right_hosts=2))
+    controllers = enable_pfc(net)
+    assert len(controllers) == 2  # one per switch

@@ -1,0 +1,152 @@
+"""Unit tests for the power computation (paper §3.1, Algorithm 1 lines 8-25)."""
+
+import pytest
+
+from repro.core.power import (
+    INTPowerEstimator,
+    MIN_NORM_POWER,
+    normalized_power_from_delay,
+    normalized_power_from_hop,
+)
+from repro.sim.packet import HopRecord
+from repro.units import GBPS, USEC
+
+B = 100 * GBPS
+TAU = 20 * USEC
+BDP = 250_000  # bytes, = 100 Gbps x 20 us
+
+
+def hop(qlen, ts, tx, b=B, port=1):
+    return HopRecord(qlen, ts, tx, b, port)
+
+
+def test_equilibrium_power_is_one():
+    # Link busy at exactly line rate, zero queue: 12.5 GB/s for 10 us.
+    prev = hop(0, 0, 0)
+    cur = hop(0, 10_000, 125_000)
+    sample = normalized_power_from_hop(cur, prev, TAU)
+    assert sample.norm == pytest.approx(1.0)
+    assert sample.voltage_bytes == pytest.approx(BDP)
+    assert sample.current_Bps == pytest.approx(12.5e9)
+
+
+def test_queue_buildup_raises_power():
+    # Same tx rate but the queue grew by 50 KB in 10 us: current > b.
+    prev = hop(0, 0, 0)
+    cur = hop(50_000, 10_000, 125_000)
+    sample = normalized_power_from_hop(cur, prev, TAU)
+    # current = 12.5G + 5G = 17.5 GB/s; voltage = 300 KB.
+    assert sample.norm == pytest.approx((17.5e9 * 300_000) / (12.5e9 * BDP))
+    assert sample.norm > 1.0
+
+
+def test_standing_queue_raises_power_via_voltage():
+    # Static queue (q̇=0): power exceeds e purely through voltage.
+    prev = hop(100_000, 0, 0)
+    cur = hop(100_000, 10_000, 125_000)
+    sample = normalized_power_from_hop(cur, prev, TAU)
+    assert sample.norm == pytest.approx(350_000 / BDP)
+
+
+def test_draining_queue_lowers_power():
+    # Queue drains at the full line rate: nothing arrives, current ~ 0.
+    prev = hop(125_000, 0, 0)
+    cur = hop(0, 10_000, 125_000)
+    sample = normalized_power_from_hop(cur, prev, TAU)
+    assert sample.norm == pytest.approx(0.0, abs=1e-9)
+
+
+def test_idle_link_power_below_one():
+    # Transmitting at half rate, empty queue: norm = 0.5.
+    prev = hop(0, 0, 0)
+    cur = hop(0, 10_000, 62_500)
+    sample = normalized_power_from_hop(cur, prev, TAU)
+    assert sample.norm == pytest.approx(0.5)
+
+
+def test_zero_dt_returns_none():
+    record = hop(0, 5, 100)
+    assert normalized_power_from_hop(record, record, TAU) is None
+
+
+def test_power_is_orthogonal_to_case_confusion():
+    """The Fig. 2c argument: power separates all three cases."""
+    # case-1: small queue building; case-2: big queue draining;
+    # case-3: big queue building.
+    c1 = normalized_power_from_hop(hop(50_000, 10_000, 125_000), hop(25_000, 0, 0), TAU)
+    c2 = normalized_power_from_hop(hop(75_000, 10_000, 125_000), hop(100_000, 0, 0), TAU)
+    c3 = normalized_power_from_hop(hop(125_000, 10_000, 125_000), hop(100_000, 0, 0), TAU)
+    values = {round(c.norm, 6) for c in (c1, c2, c3)}
+    assert len(values) == 3
+
+
+# ----------------------------------------------------------------------
+# Estimator (smoothing + max across hops)
+# ----------------------------------------------------------------------
+def test_estimator_needs_two_samples():
+    est = INTPowerEstimator(TAU)
+    assert est.update([hop(0, 0, 0)]) is None
+    assert est.update([hop(0, 10_000, 125_000)]) is not None
+
+
+def test_estimator_takes_max_across_hops():
+    est = INTPowerEstimator(TAU)
+    est.update([hop(0, 0, 0, port=1), hop(0, 0, 0, port=2)])
+    # Port 1 at equilibrium; port 2 heavily congested.
+    smoothed = est.update(
+        [hop(0, 10_000, 125_000, port=1), hop(200_000, 10_000, 125_000, port=2)]
+    )
+    # The congested hop dominates: smoothed must exceed equilibrium-only.
+    assert smoothed > 1.0
+
+
+def test_estimator_smoothing_window():
+    est = INTPowerEstimator(TAU)
+    est.update([hop(0, 0, 0)])
+    # dt = tau: smoothed == the instantaneous value.
+    value = est.update([hop(0, TAU, int(12.5e9 * TAU / 1e9))])
+    assert value == pytest.approx(1.0, rel=1e-6)
+
+
+def test_estimator_smooths_partially_for_small_dt():
+    est = INTPowerEstimator(TAU)
+    est.update([hop(0, 0, 0)])
+    # One-tenth of tau at double line rate (norm=2): EWMA pulls 1/10 of the way.
+    est_value = est.update([hop(0, 2_000, 50_000)])
+    assert est_value == pytest.approx((1.0 * 18_000 + 2.0 * 2_000) / 20_000)
+
+
+def test_estimator_floor():
+    est = INTPowerEstimator(TAU)
+    est.update([hop(0, 0, 0)])
+    for i in range(1, 100):
+        est.update([hop(0, i * TAU, 0)])  # idle link, norm -> 0
+    assert est.smoothed == MIN_NORM_POWER
+
+
+def test_estimator_handles_none_hops():
+    est = INTPowerEstimator(TAU)
+    assert est.update(None) is None
+    assert est.update([]) is None
+
+
+# ----------------------------------------------------------------------
+# θ variant (Eq. 8)
+# ----------------------------------------------------------------------
+def test_delay_power_at_base_rtt_is_one():
+    assert normalized_power_from_delay(TAU, TAU, 1_000, TAU) == pytest.approx(1.0)
+
+
+def test_delay_power_grows_with_rtt():
+    norm = normalized_power_from_delay(2 * TAU, 2 * TAU, 1_000, TAU)
+    assert norm == pytest.approx(2.0)
+
+
+def test_delay_power_includes_gradient():
+    # RTT grew by 1000 ns over 1000 ns: gradient 1 -> doubles the signal.
+    norm = normalized_power_from_delay(TAU + 1_000, TAU, 1_000, TAU)
+    assert norm == pytest.approx(2 * (TAU + 1_000) / TAU, rel=1e-6)
+
+
+def test_delay_power_zero_dt_none():
+    assert normalized_power_from_delay(TAU, TAU, 0, TAU) is None

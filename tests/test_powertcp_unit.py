@@ -1,0 +1,197 @@
+"""Unit tests for the PowerTCP and θ-PowerTCP control laws.
+
+These drive the CC objects against a stub sender (no network) so each
+piece of Algorithm 1/2 is checked in isolation; end-to-end behaviour is
+covered by the integration tests.
+"""
+
+import pytest
+
+from repro.core.powertcp import PowerTcp
+from repro.core.theta import ThetaPowerTcp
+from repro.sim.engine import Simulator
+from repro.sim.packet import HopRecord, Packet
+from repro.units import GBPS, USEC
+
+TAU = 20 * USEC
+HOST_BW = 100 * GBPS
+BDP = 250_000.0
+
+
+class StubSender:
+    def __init__(self):
+        self.sim = Simulator()
+        self.base_rtt_ns = TAU
+        self.host_bw_bps = HOST_BW
+        self.mtu_payload = 1000
+        self.cwnd = 0.0
+        self.pacing_rate_bps = 0.0
+        self.snd_nxt = 0
+        self.snd_una = 0
+        self.last_rtt_ns = None
+        self.done = False
+
+
+def ack_with_hops(hops, ack_seq=0):
+    pkt = Packet(1, 1, 1, 0)
+    pkt.ack_seq = ack_seq
+    pkt.int_hops = hops
+    return pkt
+
+
+def hop(qlen, ts, tx, port=1):
+    return HopRecord(qlen, ts, tx, HOST_BW, port)
+
+
+def test_initial_window_is_line_rate_bdp():
+    cc = PowerTcp()
+    sender = StubSender()
+    cc.on_start(sender)
+    assert sender.cwnd == pytest.approx(BDP)
+    assert sender.pacing_rate_bps == HOST_BW
+
+
+def test_beta_is_bdp_over_expected_flows():
+    cc = PowerTcp(expected_flows=10)
+    sender = StubSender()
+    cc.on_start(sender)
+    assert cc.beta_bytes == pytest.approx(BDP / 10)
+
+
+def test_explicit_beta_respected():
+    cc = PowerTcp(beta_bytes=1234.0)
+    sender = StubSender()
+    cc.on_start(sender)
+    assert cc.beta_bytes == 1234.0
+
+
+def test_gamma_validation():
+    with pytest.raises(ValueError):
+        PowerTcp(gamma=0.0)
+    with pytest.raises(ValueError):
+        PowerTcp(gamma=1.5)
+    with pytest.raises(ValueError):
+        PowerTcp(expected_flows=0)
+
+
+def test_first_ack_is_a_no_op():
+    cc = PowerTcp()
+    sender = StubSender()
+    cc.on_start(sender)
+    w0 = sender.cwnd
+    cc.on_ack(sender, ack_with_hops([hop(0, 0, 0)]))
+    assert sender.cwnd == w0  # no dt yet
+
+
+def test_window_shrinks_under_congestion():
+    cc = PowerTcp(beta_bytes=0.0)
+    sender = StubSender()
+    cc.on_start(sender)
+    cc.on_ack(sender, ack_with_hops([hop(0, 0, 0)]))
+    # Queue of 1 BDP building: normalized power >> 1.
+    congested = hop(250_000, TAU, int(12.5e9 * TAU / 1e9))
+    w0 = sender.cwnd
+    cc.on_ack(sender, ack_with_hops([congested], ack_seq=1000))
+    assert sender.cwnd < w0
+
+
+def test_window_update_matches_control_law():
+    gamma = 0.9
+    cc = PowerTcp(gamma=gamma, beta_bytes=0.0)
+    sender = StubSender()
+    cc.on_start(sender)
+    cc.on_ack(sender, ack_with_hops([hop(0, 0, 0)]))
+    # One full-tau sample at exactly double power (rate 2b, q=0).
+    double = hop(0, TAU, 2 * int(12.5e9 * TAU / 1e9))
+    w_old = cc._cwnd_old
+    w_prev = sender.cwnd
+    cc.on_ack(sender, ack_with_hops([double], ack_seq=1000))
+    # smoothed power = 2 after a full-tau window.
+    expected = gamma * (w_old / 2.0) + (1 - gamma) * w_prev
+    assert sender.cwnd == pytest.approx(expected, rel=1e-6)
+
+
+def test_update_old_once_per_rtt():
+    cc = PowerTcp()
+    sender = StubSender()
+    sender.snd_nxt = 50_000
+    cc.on_start(sender)
+    cc.on_ack(sender, ack_with_hops([hop(0, 0, 0)]))
+    cc.on_ack(sender, ack_with_hops([hop(0, 1_000, 12_500)], ack_seq=1_000))
+    first_record = cc._cwnd_old
+    assert cc._last_update_seq == 50_000
+    # ACKs below the recorded snd_nxt do not refresh cwnd_old.
+    cc.on_ack(sender, ack_with_hops([hop(0, 2_000, 25_000)], ack_seq=10_000))
+    assert cc._last_update_seq == 50_000
+    # An ACK past snd_nxt does.
+    sender.snd_nxt = 90_000
+    cc.on_ack(sender, ack_with_hops([hop(0, 3_000, 37_500)], ack_seq=60_000))
+    assert cc._last_update_seq == 90_000
+
+
+def test_window_capped():
+    cc = PowerTcp(beta_bytes=0.0)
+    sender = StubSender()
+    cc.on_start(sender)
+    cc.on_ack(sender, ack_with_hops([hop(0, 0, 0)]))
+    # Nearly idle link: normalized power ~ MIN floor -> large increase,
+    # but never past the cap (2x host BDP by default).
+    idle = hop(0, TAU, 1_000)
+    cc.on_ack(sender, ack_with_hops([idle], ack_seq=1000))
+    assert sender.cwnd <= 2 * BDP + 1
+
+
+# ----------------------------------------------------------------------
+# θ-PowerTCP
+# ----------------------------------------------------------------------
+def make_theta_sender():
+    cc = ThetaPowerTcp(beta_bytes=0.0)
+    sender = StubSender()
+    cc.on_start(sender)
+    return cc, sender
+
+
+def ack(seq=0):
+    pkt = Packet(1, 1, 1, 0)
+    pkt.ack_seq = seq
+    return pkt
+
+
+def test_theta_needs_two_rtt_samples():
+    cc, sender = make_theta_sender()
+    w0 = sender.cwnd
+    sender.last_rtt_ns = TAU
+    cc.on_ack(sender, ack())
+    assert sender.cwnd == w0
+
+
+def test_theta_reacts_to_inflated_rtt():
+    cc, sender = make_theta_sender()
+    sender.last_rtt_ns = TAU
+    cc.on_ack(sender, ack())
+    sender.sim.at(TAU, lambda: None)
+    sender.sim.run()
+    sender.last_rtt_ns = 3 * TAU  # queueing delay of 2 tau
+    w0 = sender.cwnd
+    cc.on_ack(sender, ack(seq=1000))
+    assert sender.cwnd < w0
+
+
+def test_theta_updates_once_per_rtt():
+    cc, sender = make_theta_sender()
+    sender.snd_nxt = 100_000
+    sender.last_rtt_ns = TAU
+    cc.on_ack(sender, ack())
+    sender.sim.at(1_000, lambda: None)
+    sender.sim.run()
+    sender.last_rtt_ns = 2 * TAU
+    cc.on_ack(sender, ack(seq=1_000))
+    w_after_first_update = sender.cwnd
+    marker = cc._last_update_seq
+    assert marker == 100_000
+    # Another ACK within the same RTT: smoothing continues, window frozen.
+    sender.sim.at(2_000, lambda: None)
+    sender.sim.run()
+    sender.last_rtt_ns = 2 * TAU
+    cc.on_ack(sender, ack(seq=50_000))
+    assert sender.cwnd == w_after_first_update

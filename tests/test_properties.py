@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import percentile
+from repro.core.power import normalized_power_from_hop
+from repro.fluid.laws import GRADIENT_LAW, POWER_LAW, QUEUE_LAW
+from repro.sim.buffer import SharedBuffer
+from repro.sim.engine import Simulator
+from repro.sim.packet import HopRecord
+from repro.units import GBPS, USEC, tx_time_ns
+from repro.workloads.distributions import WEB_SEARCH
+
+
+# ----------------------------------------------------------------------
+# Engine: event ordering is a total order
+# ----------------------------------------------------------------------
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_engine_processes_any_schedule_in_order(times):
+    sim = Simulator()
+    fired = []
+    for i, t in enumerate(times):
+        sim.at(t, fired.append, (t, i))
+    sim.run()
+    assert fired == sorted(fired)  # by time, then insertion order
+    assert len(fired) == len(times)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 10**6), st.booleans()), min_size=1, max_size=100
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_engine_cancellation_is_exact(events):
+    sim = Simulator()
+    fired = []
+    handles = []
+    for t, cancel in events:
+        handles.append((sim.at(t, fired.append, t), cancel))
+    for handle, cancel in handles:
+        if cancel:
+            handle.cancel()
+    sim.run()
+    expected = sorted(t for (t, cancel) in events if not cancel)
+    assert sorted(fired) == expected
+
+
+# ----------------------------------------------------------------------
+# Dynamic Thresholds: accounting never goes negative or over capacity
+# ----------------------------------------------------------------------
+@given(
+    st.integers(1_000, 100_000),
+    st.floats(0.1, 8.0),
+    st.lists(st.integers(1, 2_000), min_size=1, max_size=300),
+)
+@settings(max_examples=50, deadline=None)
+def test_buffer_accounting_invariants(capacity, alpha, sizes):
+    buf = SharedBuffer(capacity, alpha)
+    queued = []
+    for size in sizes:
+        if buf.admits(0, size):
+            buf.on_enqueue(size)
+            queued.append(size)
+        else:
+            buf.on_drop()
+        assert 0 <= buf.used <= buf.capacity
+    for size in queued:
+        buf.on_dequeue(size)
+    assert buf.used == 0
+
+
+# ----------------------------------------------------------------------
+# Power (Property 1 algebra): positivity and monotonicity
+# ----------------------------------------------------------------------
+@given(
+    st.integers(0, 10**6),  # prev qlen
+    st.integers(0, 10**6),  # cur qlen
+    st.integers(1_000, 10**7),  # dt ns
+    st.integers(0, 10**7),  # tx bytes in dt
+)
+@settings(max_examples=100, deadline=None)
+def test_power_sign_follows_current(q0, q1, dt, tx):
+    prev = HopRecord(q0, 0, 0, 100 * GBPS, 1)
+    cur = HopRecord(q1, dt, tx, 100 * GBPS, 1)
+    sample = normalized_power_from_hop(cur, prev, 20 * USEC)
+    # current = q̇ + µ; with tx >= 0, power is negative only if the queue
+    # drains faster than the link transmits (impossible physically, but
+    # the estimator must stay finite either way).
+    assert sample is not None
+    if q1 >= q0:
+        assert sample.norm >= 0.0
+
+
+@given(st.integers(0, 10**6), st.integers(1_000, 10**6))
+@settings(max_examples=100, deadline=None)
+def test_power_monotone_in_queue_length(qlen, dt):
+    tau = 20 * USEC
+    rate_bytes = int(12.5e9 * dt / 1e9)
+    base = normalized_power_from_hop(
+        HopRecord(qlen, dt, rate_bytes, 100 * GBPS, 1),
+        HopRecord(qlen, 0, 0, 100 * GBPS, 1),
+        tau,
+    )
+    higher = normalized_power_from_hop(
+        HopRecord(qlen + 10_000, dt, rate_bytes, 100 * GBPS, 1),
+        HopRecord(qlen + 10_000, 0, 0, 100 * GBPS, 1),
+        tau,
+    )
+    assert higher.norm >= base.norm
+
+
+# ----------------------------------------------------------------------
+# Control laws: multiplicative factor is 1 exactly at equilibrium
+# ----------------------------------------------------------------------
+@given(st.floats(1e8, 1e10), st.floats(1e-6, 1e-3))
+@settings(max_examples=100, deadline=None)
+def test_laws_neutral_at_equilibrium(b, tau):
+    for law in (QUEUE_LAW, GRADIENT_LAW, POWER_LAW):
+        factor = law.multiplicative_factor(0.0, 0.0, b, b, tau)
+        assert abs(factor - 1.0) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# Percentile: bounds and monotonicity
+# ----------------------------------------------------------------------
+@given(st.lists(st.floats(-1e9, 1e9), min_size=1, max_size=500))
+@settings(max_examples=100, deadline=None)
+def test_percentile_within_bounds(values):
+    for pct in (0, 25, 50, 75, 99.9, 100):
+        v = percentile(values, pct)
+        assert min(values) <= v <= max(values)
+
+
+@given(st.lists(st.floats(0, 1e9), min_size=2, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_percentile_monotone_in_pct(values):
+    results = [percentile(values, p) for p in (0, 10, 50, 90, 100)]
+    assert results == sorted(results)
+
+
+# ----------------------------------------------------------------------
+# Workload distribution: samples within support, quantile monotone
+# ----------------------------------------------------------------------
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=100, deadline=None)
+def test_websearch_sample_in_support(seed):
+    rng = random.Random(seed)
+    size = WEB_SEARCH.sample(rng)
+    assert 1 <= size <= 30_000_000
+
+
+@given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+@settings(max_examples=100, deadline=None)
+def test_websearch_quantile_monotone(u1, u2):
+    lo, hi = sorted((u1, u2))
+    assert WEB_SEARCH.quantile(lo) <= WEB_SEARCH.quantile(hi)
+
+
+# ----------------------------------------------------------------------
+# tx_time: additivity (serializing a+b takes within 1ns of a then b)
+# ----------------------------------------------------------------------
+@given(st.integers(1, 10**6), st.integers(1, 10**6), st.floats(1e9, 4e11))
+@settings(max_examples=100, deadline=None)
+def test_tx_time_superadditive_within_rounding(a, b, rate):
+    together = tx_time_ns(a + b, rate)
+    apart = tx_time_ns(a, rate) + tx_time_ns(b, rate)
+    assert together <= apart <= together + 2  # ceil rounding at most 1ns each

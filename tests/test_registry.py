@@ -1,0 +1,84 @@
+"""Tests for the algorithm registry (name -> spec wiring)."""
+
+import pytest
+
+from repro.cc.registry import PAPER_ALGORITHMS, make_algorithm
+from repro.cc.hpcc import Hpcc
+from repro.core.powertcp import PowerTcp
+from repro.core.theta import ThetaPowerTcp
+
+
+def test_all_paper_algorithms_resolve():
+    for name in PAPER_ALGORITHMS:
+        spec = make_algorithm(name)
+        assert spec.name == name
+
+
+def test_unknown_name_raises():
+    with pytest.raises(KeyError):
+        make_algorithm("bbr")
+
+
+def test_powertcp_aliases():
+    assert make_algorithm("powertcp-int").name == "powertcp"
+    assert make_algorithm("PowerTCP").name == "powertcp"
+    assert make_algorithm("theta").name == "theta-powertcp"
+    assert make_algorithm("powertcp-delay").name == "theta-powertcp"
+
+
+def test_int_flags():
+    assert make_algorithm("powertcp").needs_int
+    assert make_algorithm("hpcc").needs_int
+    assert not make_algorithm("theta-powertcp").needs_int
+    assert not make_algorithm("timely").needs_int
+
+
+def test_dcqcn_spec_has_ecn_and_cnp():
+    spec = make_algorithm("dcqcn")
+    assert spec.needs_ecn
+    assert spec.cnp_interval_ns == 50_000
+    assert spec.ecn_fn is not None
+
+
+def test_dctcp_spec_defers_ecn_to_harness():
+    spec = make_algorithm("dctcp")
+    assert spec.needs_ecn
+    assert spec.ecn_fn is None  # threshold depends on base RTT
+
+
+def test_homa_spec_is_receiver_driven():
+    spec = make_algorithm("homa", overcommitment=3)
+    assert spec.is_homa
+    assert spec.homa_overcommit == 3
+    assert spec.make_cc is None
+
+
+def test_cc_params_forwarded():
+    spec = make_algorithm("powertcp", gamma=0.5, expected_flows=4)
+    cc = spec.make_cc(None, None)
+    assert isinstance(cc, PowerTcp)
+    assert cc.gamma == 0.5
+    assert cc.expected_flows == 4
+
+
+def test_each_flow_gets_fresh_cc_instance():
+    spec = make_algorithm("hpcc")
+    a = spec.make_cc(None, None)
+    b = spec.make_cc(None, None)
+    assert isinstance(a, Hpcc) and isinstance(b, Hpcc)
+    assert a is not b
+
+
+def test_retcp_requires_rdcn_context():
+    from repro.sim.engine import Simulator
+    from repro.topology.rdcn import RdcnParams, build_rdcn
+    from repro.transport.flow import Flow
+    from repro.units import USEC
+
+    spec = make_algorithm("retcp", prebuffer_ns=600 * USEC, flows_per_pair=2)
+    sim = Simulator()
+    net = build_rdcn(sim, RdcnParams(num_tors=3, hosts_per_tor=2))
+    cc = spec.make_cc(Flow(1, 0, 2, 1000), net)
+    assert cc.src_tor == 0
+    assert cc.dst_tor == 1
+    assert cc.prebuffer_ns == 600 * USEC

@@ -1,0 +1,133 @@
+"""Sender loss-recovery edge cases — including the go-back-N dup-ACK
+storm regression (one reordering event must cost at most one rewind)."""
+
+from repro.cc.base import StaticWindow
+from repro.sim.engine import Simulator
+from repro.sim.packet import ACK, Packet
+from repro.transport.flow import Flow
+from repro.transport.sender import Sender
+from repro.units import GBPS, USEC
+
+
+class FakeHost:
+    """Collects sent packets instead of forwarding them."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.sent = []
+        self.nic = type("Nic", (), {"rate_bps": 10 * GBPS})()
+
+    def register(self, flow_id, endpoint):
+        pass
+
+    def unregister(self, flow_id):
+        pass
+
+    def send(self, pkt):
+        self.sent.append(pkt)
+
+
+def make_sender(size=100_000):
+    sim = Simulator()
+    host = FakeHost(sim)
+    flow = Flow(1, 0, 1, size)
+    sender = Sender(
+        sim,
+        host,
+        flow,
+        StaticWindow(bdp_multiple=1.0),
+        base_rtt_ns=20 * USEC,
+        host_bw_bps=10 * GBPS,
+    )
+    sender.start()
+    sim.run(until=sim.now)  # flush immediate sends
+    return sim, host, sender
+
+
+def ack(flow, ack_seq, acked_seq=0, ts_echo=0):
+    pkt = Packet(ACK, flow.flow_id, flow.dst, flow.src)
+    pkt.ack_seq = ack_seq
+    pkt.acked_seq = acked_seq
+    pkt.ts_echo = ts_echo
+    return pkt
+
+
+def test_new_ack_advances_and_resets_dupacks():
+    sim, host, sender = make_sender()
+    sim.run(until=100_000)
+    sender.dup_acks = 2
+    sender.on_packet(ack(sender.flow, 1000))
+    assert sender.snd_una == 1000
+    assert sender.dup_acks == 0
+
+
+def test_three_dup_acks_trigger_one_rewind():
+    sim, host, sender = make_sender()
+    sim.run(until=100_000)
+    sender.on_packet(ack(sender.flow, 1000))
+    nxt_before = sender.snd_nxt
+    for _ in range(3):
+        sender.on_packet(ack(sender.flow, 1000))
+    assert sender.flow.retransmissions == 1
+    assert sender.snd_nxt >= 1000  # rewound to una, then resumed
+
+
+def test_dup_acks_during_recovery_do_not_rewind_again():
+    """The storm regression: after a rewind, the duplicate ACKs elicited
+    by the retransmitted (already-received) data must not trigger another
+    rewind until snd_una passes the recovery point."""
+    sim, host, sender = make_sender()
+    sim.run(until=100_000)
+    sender.on_packet(ack(sender.flow, 1000))
+    for _ in range(3):
+        sender.on_packet(ack(sender.flow, 1000))
+    assert sender.flow.retransmissions == 1
+    # A flood of further dup ACKs while still below the recovery point.
+    for _ in range(20):
+        sender.on_packet(ack(sender.flow, 1000))
+    assert sender.flow.retransmissions == 1  # still just the one rewind
+
+    # Once una passes the recovery point, a fresh loss can recover again.
+    recover = sender._recover_high
+    sender.on_packet(ack(sender.flow, recover + 1000))
+    for _ in range(3):
+        sender.on_packet(ack(sender.flow, recover + 1000))
+    assert sender.flow.retransmissions == 2
+
+
+def test_rto_rewinds_without_dup_acks():
+    sim, host, sender = make_sender()
+    sent_before = len(host.sent)
+    sim.run(until=sender.rto_ns + 1_000_000)
+    assert sender.flow.retransmissions >= 1
+    assert len(host.sent) > sent_before
+
+
+def test_completion_cancels_timers():
+    sim, host, sender = make_sender(size=5_000)
+    sim.run(until=100_000)
+    sender.on_packet(ack(sender.flow, 5_000))
+    assert sender.done
+    assert sender._rto_event is None or sender._rto_event.cancelled
+    # No retransmission fires afterwards.
+    count = len(host.sent)
+    sim.run(until=sender.rto_ns * 3)
+    assert len(host.sent) == count
+
+
+def test_inflight_consistent_after_full_ack():
+    sim, host, sender = make_sender()
+    sim.run(until=200_000)
+    sender.on_packet(ack(sender.flow, sender.snd_nxt))
+    # The cumulative ACK opens the window, so new data may leave at once —
+    # but inflight can never be negative nor exceed window + one MTU.
+    assert 0 <= sender.inflight <= sender.cwnd + sender.mtu_payload
+
+
+def test_acks_after_done_are_ignored():
+    sim, host, sender = make_sender(size=5_000)
+    sim.run(until=100_000)
+    sender.on_packet(ack(sender.flow, 5_000))
+    sender.on_packet(ack(sender.flow, 5_000))  # late duplicate
+    assert sender.done
+    assert sender.flow.retransmissions == 0

@@ -1,0 +1,123 @@
+"""Unit tests for switch forwarding/ECMP and host dispatch."""
+
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.packet import Packet
+from repro.sim.port import EgressPort
+from repro.sim.switch import Switch
+from repro.units import GBPS
+
+
+class Sink:
+    def __init__(self, sim):
+        self.sim = sim
+        self.packets = []
+
+    def receive(self, pkt):
+        self.packets.append(pkt)
+
+
+def test_switch_forwards_on_route():
+    sim = Simulator()
+    switch = Switch(sim, 1)
+    sink = Sink(sim)
+    port = switch.add_port(EgressPort(sim, GBPS, 100, peer=sink))
+    switch.set_route(42, (port,))
+    switch.receive(Packet.data(1, 0, 42, 0, 100))
+    sim.run()
+    assert len(sink.packets) == 1
+
+
+def test_ecmp_is_deterministic_per_flow():
+    sim = Simulator()
+    switch = Switch(sim, 1)
+    ports = [switch.add_port(EgressPort(sim, GBPS, 100)) for _ in range(4)]
+    switch.set_route(9, tuple(ports))
+    pkt = Packet.data(77, 0, 9, 0, 100)
+    chosen = {switch.route_for(pkt) for _ in range(20)}
+    assert len(chosen) == 1  # same flow -> same port, always
+
+
+def test_ecmp_spreads_flows():
+    sim = Simulator()
+    switch = Switch(sim, 1)
+    ports = [switch.add_port(EgressPort(sim, GBPS, 100)) for _ in range(4)]
+    switch.set_route(9, tuple(ports))
+    used = {
+        switch.route_for(Packet.data(flow, 0, 9, 0, 100)) for flow in range(64)
+    }
+    assert len(used) == 4  # all uplinks see some flows
+
+
+def test_ecmp_differs_across_switches():
+    sim = Simulator()
+    assignments = []
+    for switch_id in range(2):
+        switch = Switch(sim, switch_id)
+        ports = [switch.add_port(EgressPort(sim, GBPS, 100)) for _ in range(2)]
+        switch.set_route(5, tuple(ports))
+        assignments.append(
+            tuple(
+                ports.index(switch.route_for(Packet.data(f, 0, 5, 0, 100)))
+                for f in range(32)
+            )
+        )
+    assert assignments[0] != assignments[1]
+
+
+def test_switch_shared_buffer_wiring():
+    from repro.sim.buffer import SharedBuffer
+
+    sim = Simulator()
+    buf = SharedBuffer(10_000)
+    switch = Switch(sim, 1, buffer=buf)
+    port = switch.add_port(EgressPort(sim, GBPS, 100))
+    assert port.buffer is buf
+
+
+def test_host_dispatch_by_flow_id():
+    sim = Simulator()
+    host = Host(sim, 0)
+    seen = []
+
+    class Endpoint:
+        def on_packet(self, pkt):
+            seen.append(pkt.flow_id)
+
+    host.register(3, Endpoint())
+    host.receive(Packet.data(3, 1, 0, 0, 100))
+    host.receive(Packet.data(4, 1, 0, 0, 100))  # unknown: dropped silently
+    assert seen == [3]
+
+
+def test_host_unregister():
+    sim = Simulator()
+    host = Host(sim, 0)
+
+    class Endpoint:
+        def on_packet(self, pkt):
+            raise AssertionError("should not be called")
+
+    host.register(3, Endpoint())
+    host.unregister(3)
+    host.receive(Packet.data(3, 1, 0, 0, 100))  # no exception
+
+
+def test_host_default_handler():
+    sim = Simulator()
+    host = Host(sim, 0)
+    seen = []
+    host.default_handler = seen.append
+    host.receive(Packet.data(99, 1, 0, 0, 100))
+    assert len(seen) == 1
+
+
+def test_host_send_requires_nic():
+    sim = Simulator()
+    host = Host(sim, 0)
+    try:
+        host.send(Packet.data(1, 0, 1, 0, 10))
+    except RuntimeError:
+        pass
+    else:
+        raise AssertionError("expected RuntimeError without NIC")

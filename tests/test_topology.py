@@ -1,0 +1,204 @@
+"""Topology builder tests: wiring, routing, base RTT, oversubscription."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.topology.dumbbell import DumbbellParams, build_dumbbell
+from repro.topology.fattree import FatTreeParams, build_fattree
+from repro.topology.rdcn import RdcnParams, build_rdcn
+from repro.units import GBPS, USEC
+
+
+# ----------------------------------------------------------------------
+# Dumbbell
+# ----------------------------------------------------------------------
+def test_dumbbell_host_count_and_ids():
+    sim = Simulator()
+    net = build_dumbbell(sim, DumbbellParams(left_hosts=3, right_hosts=2))
+    assert net.num_hosts == 5
+    assert [h.host_id for h in net.hosts] == list(range(5))
+
+
+def test_dumbbell_bottleneck_labeled():
+    sim = Simulator()
+    net = build_dumbbell(sim)
+    assert net.port("bottleneck").rate_bps == net.extras["params"].bottleneck_bw_bps
+
+
+def test_dumbbell_delivers_across_bottleneck():
+    sim = Simulator()
+    net = build_dumbbell(sim, DumbbellParams(left_hosts=1, right_hosts=1))
+    seen = []
+    net.host(1).default_handler = seen.append
+    net.host(0).send(Packet.data(1, 0, 1, 0, 1000))
+    sim.run()
+    assert len(seen) == 1
+
+
+def test_dumbbell_base_rtt_reasonable():
+    sim = Simulator()
+    p = DumbbellParams()
+    net = build_dumbbell(sim, p)
+    prop_rtt = 2 * (2 * p.host_link_delay_ns + p.bottleneck_delay_ns)
+    assert net.base_rtt_ns > prop_rtt  # includes serialization
+    assert net.base_rtt_ns < prop_rtt + 10 * USEC
+
+
+# ----------------------------------------------------------------------
+# Fat-tree
+# ----------------------------------------------------------------------
+def paper_scaled():
+    return FatTreeParams(
+        num_pods=2,
+        tors_per_pod=2,
+        aggs_per_pod=2,
+        num_cores=2,
+        hosts_per_tor=2,
+        host_bw_bps=10 * GBPS,
+        fabric_bw_bps=10 * GBPS,
+    )
+
+
+def test_fattree_paper_defaults():
+    p = FatTreeParams()
+    assert p.num_hosts == 256
+    assert p.num_tors == 8
+    assert p.oversubscription() == pytest.approx(4.0)
+
+
+def test_fattree_structure_counts():
+    sim = Simulator()
+    p = paper_scaled()
+    net = build_fattree(sim, p)
+    assert net.num_hosts == 8
+    # 4 ToRs + 4 aggs + 2 cores.
+    assert len(net.switches) == 10
+
+
+def test_fattree_all_pairs_reachable():
+    sim = Simulator()
+    p = paper_scaled()
+    net = build_fattree(sim, p)
+    received = []
+    for host in net.hosts:
+        host.default_handler = received.append
+    flow = 0
+    for src in range(p.num_hosts):
+        for dst in range(p.num_hosts):
+            if src != dst:
+                flow += 1
+                net.host(src).send(Packet.data(flow, src, dst, 0, 100))
+    sim.run()
+    assert len(received) == p.num_hosts * (p.num_hosts - 1)
+
+
+def test_fattree_delivery_to_correct_host():
+    sim = Simulator()
+    net = build_fattree(sim, paper_scaled())
+    seen = {}
+    for host in net.hosts:
+        seen[host.host_id] = []
+        host.default_handler = (lambda hid: (lambda p: seen[hid].append(p)))(
+            host.host_id
+        )
+    net.host(0).send(Packet.data(1, 0, 7, 0, 100))
+    sim.run()
+    assert len(seen[7]) == 1
+    assert all(not v for k, v in seen.items() if k != 7)
+
+
+def test_fattree_interpod_rtt_larger_than_intrapod():
+    p = FatTreeParams()
+    # The configured base RTT is the max (inter-pod) path.
+    sim = Simulator()
+    net = build_fattree(sim, p)
+    # 2 * (1 + 1 + 5 + 5 + 1 + 1) us propagation alone:
+    assert net.base_rtt_ns > 28 * USEC
+
+
+def test_fattree_uplinks_labeled():
+    sim = Simulator()
+    p = paper_scaled()
+    net = build_fattree(sim, p)
+    for t in range(p.num_tors):
+        for a in range(p.aggs_per_pod):
+            assert f"tor{t}-up{a}" in net.labeled_ports
+
+
+def test_fattree_tor_buffers_sized_by_bandwidth():
+    sim = Simulator()
+    p = paper_scaled()
+    net = build_fattree(sim, p)
+    tor_buf = net.extras["tors"][0].buffer
+    expected_bw = (
+        p.hosts_per_tor * p.host_bw_bps + p.aggs_per_pod * p.fabric_bw_bps
+    )
+    assert tor_buf.capacity == int(p.buffer_bytes_per_gbps * expected_bw / GBPS)
+
+
+# ----------------------------------------------------------------------
+# RDCN
+# ----------------------------------------------------------------------
+def small_rdcn():
+    return RdcnParams(num_tors=3, hosts_per_tor=2, prebuffer_ns=0)
+
+
+def test_rdcn_counts():
+    sim = Simulator()
+    net = build_rdcn(sim, small_rdcn())
+    assert net.num_hosts == 6
+    assert len(net.extras["circuit_ports"]) == 3
+
+
+def test_rdcn_night_traffic_uses_packet_network():
+    sim = Simulator()
+    net = build_rdcn(sim, small_rdcn())
+    seen = []
+    net.host(2).default_handler = seen.append  # host 2 is on ToR 1
+    # At t=0 (night) ToR 0's circuit is dark: must route via packet core.
+    net.host(0).send(Packet.data(1, 0, 2, 0, 1000))
+    sim.run(until=15 * USEC)
+    assert len(seen) == 1
+    assert net.extras["packet_switch"].rx_packets == 1
+
+
+def test_rdcn_day_traffic_uses_circuit():
+    sim = Simulator()
+    p = small_rdcn()
+    net = build_rdcn(sim, p)
+    schedule = net.extras["schedule"]
+    start, end = schedule.window_for(0, 1, 0)
+    seen = []
+    net.host(2).default_handler = seen.append
+    sim.at(start + 1000, net.host(0).send, Packet.data(1, 0, 2, 0, 1000))
+    sim.run(until=end)
+    assert len(seen) == 1
+    assert net.extras["packet_switch"].rx_packets == 0
+    assert net.extras["circuit_ports"][0].tx_bytes > 0
+
+
+def test_rdcn_prebuffer_steers_into_voq_early():
+    sim = Simulator()
+    p = RdcnParams(num_tors=3, hosts_per_tor=2, prebuffer_ns=15 * USEC)
+    net = build_rdcn(sim, p)
+    schedule = net.extras["schedule"]
+    start, _ = schedule.window_for(0, 1, 0)
+    # Send within the prebuffer window, before the day starts.
+    sim.at(start - 10 * USEC, net.host(0).send, Packet.data(1, 0, 2, 0, 1000))
+    sim.run(until=start - 1000)
+    circuit = net.extras["circuit_ports"][0]
+    assert circuit.voq_len_bytes(1) > 0  # waiting for the day
+    sim.run(until=start + 50 * USEC)
+    assert circuit.voq_len_bytes(1) == 0  # drained once the day opened
+
+
+def test_rdcn_local_traffic_stays_in_rack():
+    sim = Simulator()
+    net = build_rdcn(sim, small_rdcn())
+    seen = []
+    net.host(1).default_handler = seen.append
+    net.host(0).send(Packet.data(1, 0, 1, 0, 500))
+    sim.run(until=10 * USEC)
+    assert len(seen) == 1
+    assert net.extras["packet_switch"].rx_packets == 0

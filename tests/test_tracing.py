@@ -1,0 +1,61 @@
+"""Unit tests for the probe/time-series utilities."""
+
+from repro.sim.engine import Simulator
+from repro.sim.tracing import CounterRateProbe, PortProbe, Probe
+from repro.sim.packet import Packet
+from repro.sim.port import EgressPort
+from repro.units import GBPS
+
+
+def test_probe_samples_on_interval():
+    sim = Simulator()
+    values = iter(range(100))
+    probe = Probe(sim, 10, lambda: next(values), until_ns=50).start()
+    sim.run(until=100)
+    assert probe.times_ns == [0, 10, 20, 30, 40, 50]
+    assert probe.values == [0, 1, 2, 3, 4, 5]
+
+
+def test_probe_start_is_idempotent():
+    sim = Simulator()
+    probe = Probe(sim, 10, lambda: 1, until_ns=20)
+    probe.start()
+    probe.start()
+    sim.run(until=25)
+    assert probe.times_ns == [0, 10, 20]
+
+
+def test_counter_rate_probe_converts_to_bps():
+    sim = Simulator()
+    counter = {"v": 0}
+    probe = CounterRateProbe(sim, 1000, lambda: counter["v"], until_ns=3000).start()
+    sim.at(500, lambda: counter.__setitem__("v", 125))  # 125 B in window 1
+    sim.run(until=3500)
+    # 125 bytes over 1000 ns = 1 Gbps.
+    assert probe.rates_bps[0] == 1 * GBPS
+    assert probe.rates_bps[1] == 0.0
+
+
+def test_port_probe_tracks_queue_and_throughput():
+    sim = Simulator()
+
+    class Sink:
+        def receive(self, pkt):
+            pass
+
+    port = EgressPort(sim, 8 * GBPS, 0, peer=Sink())
+    probe = PortProbe(sim, port, 1000, until_ns=5000).start()
+    sim.at(100, port.enqueue, Packet.data(1, 0, 1, 0, 1000 - 48))
+    sim.run(until=6000)
+    assert max(probe.throughput_bps) > 0
+    assert len(probe.times_ns) == len(probe.qlen_bytes)
+
+
+def test_probe_rejects_bad_interval():
+    sim = Simulator()
+    try:
+        Probe(sim, 0, lambda: 1)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("expected ValueError")

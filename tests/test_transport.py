@@ -1,0 +1,149 @@
+"""Transport tests: reliable delivery, pacing, go-back-N, RTT echo."""
+
+import pytest
+
+from repro.cc.base import StaticWindow
+from repro.sim.engine import Simulator
+from repro.topology.dumbbell import DumbbellParams, build_dumbbell
+from repro.transport.flow import Flow
+from repro.transport.receiver import Receiver
+from repro.transport.sender import Sender
+from repro.units import GBPS, MSEC, USEC
+
+
+def make_net(left=2, right=1, **kwargs):
+    sim = Simulator()
+    params = DumbbellParams(
+        left_hosts=left,
+        right_hosts=right,
+        host_bw_bps=10 * GBPS,
+        bottleneck_bw_bps=10 * GBPS,
+        **kwargs,
+    )
+    return sim, build_dumbbell(sim, params)
+
+
+def launch(sim, net, flow, cc=None, **sender_kwargs):
+    receiver = Receiver(sim, net.host(flow.dst), flow)
+    sender = Sender(
+        sim,
+        net.host(flow.src),
+        flow,
+        cc or StaticWindow(),
+        base_rtt_ns=net.base_rtt_ns,
+        **sender_kwargs,
+    )
+    receiver.start()
+    sender.start()
+    return sender, receiver
+
+
+def test_flow_completes_and_fct_recorded():
+    sim, net = make_net()
+    flow = Flow(1, 0, 2, 100_000)
+    launch(sim, net, flow)
+    sim.run(until=5 * MSEC)
+    assert flow.completed
+    assert flow.finish_ns > flow.start_ns
+    assert flow.bytes_received == 100_000
+    assert flow.sender_done_ns >= flow.finish_ns  # ack comes after delivery
+
+
+def test_fct_close_to_ideal_for_unloaded_path():
+    sim, net = make_net()
+    flow = Flow(1, 0, 2, 1_000_000)
+    launch(sim, net, flow)
+    sim.run(until=20 * MSEC)
+    ideal = flow.ideal_fct_ns(net.base_rtt_ns, 10 * GBPS)
+    assert flow.completed
+    assert flow.fct_ns < 1.2 * ideal  # no congestion: near-ideal
+
+
+def test_sender_respects_window():
+    sim, net = make_net()
+    flow = Flow(1, 0, 2, 10_000_000)
+    sender, _ = launch(sim, net, flow, cc=StaticWindow(bdp_multiple=0.25))
+    sim.run(until=100 * USEC)
+    # Inflight can exceed the window by at most one MTU (packetization).
+    assert sender.inflight <= sender.cwnd + sender.mtu_payload
+
+
+def test_pacing_limits_rate():
+    sim, net = make_net()
+    flow = Flow(1, 0, 2, 10_000_000)
+
+    class SlowPace(StaticWindow):
+        def on_start(self, sender):
+            super().on_start(sender)
+            sender.pacing_rate_bps = 1 * GBPS  # 10x slower than the line
+
+    launch(sim, net, flow, cc=SlowPace(bdp_multiple=4.0))
+    sim.run(until=1 * MSEC)
+    # At 1 Gbps for 1 ms at most ~125 KB (+ window burst) can be sent.
+    assert flow.bytes_received < 200_000
+
+
+def test_rtt_measurement_close_to_base():
+    sim, net = make_net()
+    flow = Flow(1, 0, 2, 50_000)
+    sender, _ = launch(sim, net, flow)
+    sim.run(until=2 * MSEC)
+    assert sender.last_rtt_ns is not None
+    # Unloaded path: measured RTT within 50% of the configured base.
+    assert sender.last_rtt_ns <= 1.5 * net.base_rtt_ns
+
+
+def test_loss_recovery_via_go_back_n():
+    # A tiny shared buffer forces drops under a 2-sender burst.
+    sim, net = make_net(left=3, buffer_bytes=30_000)
+    flows = [Flow(i + 1, i, 3, 400_000) for i in range(3)]
+    for flow in flows:
+        launch(sim, net, flow, cc=StaticWindow(bdp_multiple=8.0))
+    sim.run(until=50 * MSEC)
+    assert net.total_drops() > 0  # the scenario actually stressed the buffer
+    for flow in flows:
+        assert flow.completed  # ...and everyone still finished
+    assert sum(f.retransmissions for f in flows) > 0
+
+
+def test_receiver_discards_out_of_order_but_acks():
+    sim, net = make_net()
+    flow = Flow(1, 0, 2, 10_000)
+    receiver = Receiver(sim, net.host(2), flow)
+    receiver.start()
+    from repro.sim.packet import Packet
+
+    # Deliver the second segment first.
+    receiver.on_packet(Packet.data(1, 0, 2, seq=1000, payload=1000))
+    assert receiver.rcv_nxt == 0
+    assert receiver.out_of_order == 1
+    receiver.on_packet(Packet.data(1, 0, 2, seq=0, payload=1000))
+    assert receiver.rcv_nxt == 1000  # gap still missing (go-back-N)
+
+
+def test_flow_slowdown_at_least_one():
+    sim, net = make_net()
+    flow = Flow(1, 0, 2, 200_000)
+    launch(sim, net, flow)
+    sim.run(until=5 * MSEC)
+    assert flow.slowdown(net.base_rtt_ns, 10 * GBPS) >= 1.0
+
+
+def test_flow_accessors_raise_before_completion():
+    flow = Flow(1, 0, 2, 1000)
+    with pytest.raises(ValueError):
+        _ = flow.fct_ns
+
+
+def test_completion_callback_fires_once():
+    sim, net = make_net()
+    flow = Flow(1, 0, 2, 10_000)
+    calls = []
+    receiver = Receiver(sim, net.host(2), flow, on_complete=calls.append)
+    sender = Sender(
+        sim, net.host(0), flow, StaticWindow(), base_rtt_ns=net.base_rtt_ns
+    )
+    receiver.start()
+    sender.start()
+    sim.run(until=2 * MSEC)
+    assert calls == [flow]

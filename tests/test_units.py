@@ -1,0 +1,62 @@
+"""Unit tests for unit conversions."""
+
+import pytest
+
+from repro.units import (
+    GBPS,
+    SEC,
+    USEC,
+    bdp_bytes,
+    bytes_in_time,
+    rate_bps_from,
+    tx_time_ns,
+)
+
+
+def test_tx_time_simple():
+    # 1000 bytes at 8 Gbps = 1000 ns exactly.
+    assert tx_time_ns(1000, 8e9) == 1000
+
+
+def test_tx_time_rounds_up():
+    # 1 byte at 100 Gbps = 0.08 ns -> 1 ns (never finish early).
+    assert tx_time_ns(1, 100 * GBPS) == 1
+
+
+def test_tx_time_zero_bytes():
+    assert tx_time_ns(0, GBPS) == 0
+
+
+def test_tx_time_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        tx_time_ns(100, 0)
+    with pytest.raises(ValueError):
+        tx_time_ns(100, -1)
+
+
+def test_bdp_100g_20us():
+    # The paper's running example: 100 Gbps, 20 us -> 250 KB.
+    assert bdp_bytes(100 * GBPS, 20 * USEC) == 250_000
+
+
+def test_bytes_in_time_roundtrip():
+    nbytes = bytes_in_time(1 * SEC, GBPS)
+    assert nbytes == GBPS / 8
+
+
+def test_rate_from_bytes_and_duration():
+    assert rate_bps_from(1250, 1000) == pytest.approx(10 * GBPS)
+
+
+def test_rate_from_rejects_nonpositive_duration():
+    with pytest.raises(ValueError):
+        rate_bps_from(100, 0)
+
+
+def test_tx_time_monotone_in_size():
+    times = [tx_time_ns(n, 25 * GBPS) for n in range(0, 5000, 123)]
+    assert times == sorted(times)
+
+
+def test_tx_time_inverse_in_rate():
+    assert tx_time_ns(1500, 10 * GBPS) > tx_time_ns(1500, 100 * GBPS)

@@ -1,0 +1,180 @@
+"""Tests for the traffic generators."""
+
+import random
+
+import pytest
+
+from repro.topology.fattree import FatTreeParams
+from repro.units import GBPS, MSEC, SEC
+from repro.workloads.arrivals import inter_rack_pair, poisson_flows
+from repro.workloads.distributions import WEB_SEARCH, EmpiricalCdf
+from repro.workloads.incast import incast_events, synchronized_incast
+from repro.workloads.permutation import all_pairs_flows, pair_flows
+
+
+# ----------------------------------------------------------------------
+# Flow-size distribution
+# ----------------------------------------------------------------------
+def test_websearch_quantiles_match_table():
+    assert WEB_SEARCH.quantile(0.0) == 1
+    assert WEB_SEARCH.quantile(0.15) == 10_000
+    assert WEB_SEARCH.quantile(0.60) == 200_000
+    assert WEB_SEARCH.quantile(1.0) == 30_000_000
+
+
+def test_websearch_interpolates_between_points():
+    # Halfway between P(0.6)=200K and P(0.7)=1M.
+    assert WEB_SEARCH.quantile(0.65) == pytest.approx(600_000)
+
+
+def test_websearch_mean_is_heavy_tailed():
+    mean = WEB_SEARCH.mean_bytes()
+    # Most flows are small but the mean is driven by the elephant tail.
+    assert 1_000_000 < mean < 5_000_000
+
+
+def test_sampling_respects_distribution():
+    rng = random.Random(42)
+    samples = [WEB_SEARCH.sample(rng) for _ in range(20_000)]
+    small = sum(1 for s in samples if s <= 10_000) / len(samples)
+    assert 0.13 < small < 0.17  # CDF says 15% at 10KB
+    assert max(samples) <= 30_000_000
+    assert min(samples) >= 1
+
+
+def test_cdf_validation():
+    with pytest.raises(ValueError):
+        EmpiricalCdf([(1, 0.0)])
+    with pytest.raises(ValueError):
+        EmpiricalCdf([(1, 0.5), (10, 1.0)])  # must start at 0
+    with pytest.raises(ValueError):
+        EmpiricalCdf([(10, 0.0), (1, 1.0)])  # sizes must be sorted
+    with pytest.raises(ValueError):
+        WEB_SEARCH.quantile(1.5)
+
+
+# ----------------------------------------------------------------------
+# Poisson arrivals
+# ----------------------------------------------------------------------
+def small_params():
+    return FatTreeParams(
+        num_pods=2,
+        tors_per_pod=2,
+        hosts_per_tor=4,
+        host_bw_bps=10 * GBPS,
+        fabric_bw_bps=10 * GBPS,
+    )
+
+
+def test_inter_rack_pairs_never_same_rack():
+    rng = random.Random(1)
+    for _ in range(500):
+        src, dst = inter_rack_pair(rng, 16, 4)
+        assert src // 4 != dst // 4
+
+
+def test_poisson_rate_tracks_load():
+    rng = random.Random(7)
+    p = small_params()
+    duration = 50 * MSEC
+    flows = poisson_flows(rng, p, WEB_SEARCH, 0.5, duration)
+    offered_bits = sum(f.size_bytes for f in flows) * 8
+    capacity_bits = p.num_tors * p.aggs_per_pod * p.fabric_bw_bps * duration / SEC
+    load = offered_bits / capacity_bits
+    assert 0.3 < load < 0.7  # noisy with few flows, but near 0.5
+
+
+def test_poisson_flows_sorted_and_bounded():
+    rng = random.Random(3)
+    p = small_params()
+    flows = poisson_flows(rng, p, WEB_SEARCH, 0.4, 10 * MSEC, max_flows=50)
+    assert len(flows) <= 50
+    times = [f.start_ns for f in flows]
+    assert times == sorted(times)
+    assert all(0 <= t < 10 * MSEC for t in times)
+
+
+def test_poisson_load_validation():
+    rng = random.Random(3)
+    with pytest.raises(ValueError):
+        poisson_flows(rng, small_params(), WEB_SEARCH, 0.0, MSEC)
+
+
+def test_poisson_reproducible_with_seed():
+    p = small_params()
+    a = poisson_flows(random.Random(9), p, WEB_SEARCH, 0.4, 5 * MSEC)
+    b = poisson_flows(random.Random(9), p, WEB_SEARCH, 0.4, 5 * MSEC)
+    assert [(f.start_ns, f.src, f.dst, f.size_bytes) for f in a] == [
+        (f.start_ns, f.src, f.dst, f.size_bytes) for f in b
+    ]
+
+
+# ----------------------------------------------------------------------
+# Incast
+# ----------------------------------------------------------------------
+def test_incast_responders_are_remote():
+    rng = random.Random(5)
+    events = incast_events(
+        rng,
+        num_hosts=16,
+        hosts_per_tor=4,
+        request_rate_per_sec=1e6,
+        request_size_bytes=1_000_000,
+        fanout=4,
+        duration_ns=100_000,
+    )
+    assert events
+    for event in events:
+        rack = event.requester // 4
+        assert all(r // 4 != rack for r in event.responders)
+        assert len(set(event.responders)) == len(event.responders)
+
+
+def test_incast_bytes_split_across_responders():
+    event = synchronized_incast(0, [4, 5, 6, 7], total_bytes=2_000_000)
+    assert event.bytes_per_responder == 500_000
+    assert event.total_bytes == 2_000_000
+
+
+def test_incast_validation():
+    rng = random.Random(5)
+    with pytest.raises(ValueError):
+        incast_events(
+            rng,
+            num_hosts=8,
+            hosts_per_tor=4,
+            request_rate_per_sec=0,
+            request_size_bytes=100,
+            fanout=2,
+            duration_ns=1000,
+        )
+    with pytest.raises(ValueError):
+        synchronized_incast(0, [], 1000)
+
+
+# ----------------------------------------------------------------------
+# RDCN permutation traffic
+# ----------------------------------------------------------------------
+def test_pair_flows_distinct_hosts():
+    flows = pair_flows(0, 1, 4, flows_per_pair=4, size_bytes=100)
+    srcs = [f[0] for f in flows]
+    dsts = [f[1] for f in flows]
+    assert len(set(srcs)) == 4
+    assert all(d // 4 == 1 for d in dsts)
+
+
+def test_pair_flows_wrap_when_oversubscribed():
+    flows = pair_flows(0, 1, 2, flows_per_pair=5, size_bytes=100)
+    assert len(flows) == 5  # wraps over the 2 hosts
+
+
+def test_all_pairs_count():
+    flows = all_pairs_flows(3, 2, flows_per_pair=1, size_bytes=10)
+    assert len(flows) == 3 * 2  # ordered pairs
+
+
+def test_pair_flows_validation():
+    with pytest.raises(ValueError):
+        pair_flows(1, 1, 4, flows_per_pair=1, size_bytes=10)
+    with pytest.raises(ValueError):
+        pair_flows(0, 1, 4, flows_per_pair=0, size_bytes=10)
