@@ -30,6 +30,19 @@ def emit(name: str, lines: Iterable[str]) -> None:
         handle.write(text + "\n")
 
 
+def grid_sweep(scenario, grid, base=None, seed=1):
+    """Run a parameter grid through the shared scenario SweepRunner.
+
+    Runs in-process (``jobs=1``) so every cell's raw experiment result
+    stays attached (``cell.result.raw``) for the benches' assertions.
+    Pin ``seed`` in ``base`` to bypass per-cell seed derivation when a
+    bench must reproduce the experiment module's historical defaults.
+    """
+    from repro.scenarios.sweep import run_sweep
+
+    return run_sweep(scenario, grid, base=base or {}, seed=seed)
+
+
 def once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing.
 

@@ -10,26 +10,20 @@ identical).  Claims reproduced:
 * HOMA sustains throughput but not queue length.
 """
 
-from benchharness import emit, fmt_kb, once
+from benchharness import emit, fmt_kb, grid_sweep, once
 
-from repro.experiments.incast import IncastConfig, run_incast
 from repro.units import MSEC
 
 ALGOS = ["powertcp", "theta-powertcp", "hpcc", "timely", "dcqcn", "homa"]
 
 
 def run_fanout(fanout, burst_bytes, duration_ns):
-    return {
-        algo: run_incast(
-            IncastConfig(
-                algorithm=algo,
-                fanout=fanout,
-                burst_bytes=burst_bytes,
-                duration_ns=duration_ns,
-            )
-        )
-        for algo in ALGOS
-    }
+    sweep = grid_sweep(
+        "incast",
+        grid={"algorithm": ALGOS},
+        base=dict(fanout=fanout, burst_bytes=burst_bytes, duration_ns=duration_ns),
+    )
+    return {cell.params["algorithm"]: cell.result.raw for cell in sweep.cells}
 
 
 def summarize(name, results):

@@ -11,9 +11,8 @@ the baselines on short-flow tails; PowerTCP does not penalize long flows;
 θ-PowerTCP deteriorates on medium/long flows; benefits grow with load.
 """
 
-from benchharness import emit, once
+from benchharness import emit, grid_sweep, once
 
-from repro.experiments.websearch import WebsearchConfig, run_websearch
 from repro.units import MSEC
 
 ALGOS = ["powertcp", "theta-powertcp", "hpcc", "dcqcn", "timely", "homa"]
@@ -23,19 +22,21 @@ FLOWS = 500
 
 
 def run_load(load):
-    results = {}
-    for algo in ALGOS:
-        results[algo] = run_websearch(
-            WebsearchConfig(
-                algorithm=algo,
-                load=load,
-                duration_ns=25 * MSEC,
-                drain_ns=40 * MSEC,
-                size_scale=SCALE,
-                max_flows=FLOWS,
-            )
-        )
-    return results
+    # seed pinned to the config default so the series match the
+    # pre-registry per-figure loops byte for byte.
+    sweep = grid_sweep(
+        "websearch",
+        grid={"algorithm": ALGOS},
+        base=dict(
+            load=load,
+            duration_ns=25 * MSEC,
+            drain_ns=40 * MSEC,
+            size_scale=SCALE,
+            max_flows=FLOWS,
+            seed=1,
+        ),
+    )
+    return {cell.params["algorithm"]: cell.result.raw for cell in sweep.cells}
 
 
 def summarize(name, results, load):

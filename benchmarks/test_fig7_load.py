@@ -5,9 +5,8 @@ Paper claims: PowerTCP's short-flow benefits over HPCC grow with load
 for long flows (7b).
 """
 
-from benchharness import emit, once
+from benchharness import emit, grid_sweep, once
 
-from repro.experiments.websearch import WebsearchConfig, run_websearch
 from repro.units import MSEC
 
 ALGOS = ["powertcp", "theta-powertcp", "hpcc"]
@@ -18,20 +17,23 @@ FLOWS = 400
 
 
 def run_matrix():
-    matrix = {}
-    for load in LOADS:
-        for algo in ALGOS:
-            matrix[(algo, load)] = run_websearch(
-                WebsearchConfig(
-                    algorithm=algo,
-                    load=load,
-                    duration_ns=20 * MSEC,
-                    drain_ns=40 * MSEC,
-                    size_scale=SCALE,
-                    max_flows=FLOWS,
-                )
-            )
-    return matrix
+    # One 3x4 grid through the shared runner (seed pinned to the config
+    # default so the series match the pre-registry nested loops).
+    sweep = grid_sweep(
+        "websearch",
+        grid={"algorithm": ALGOS, "load": LOADS},
+        base=dict(
+            duration_ns=20 * MSEC,
+            drain_ns=40 * MSEC,
+            size_scale=SCALE,
+            max_flows=FLOWS,
+            seed=1,
+        ),
+    )
+    return {
+        (cell.params["algorithm"], cell.params["load"]): cell.result.raw
+        for cell in sweep.cells
+    }
 
 
 def test_fig7ab_load_sweep(benchmark):

@@ -1,22 +1,27 @@
-"""Command-line interface: regenerate any paper figure from the shell.
+"""Command-line interface: scenarios, sweeps, and paper-figure aliases.
 
 Usage::
 
-    python -m repro fig4 [--algorithms powertcp,hpcc] [--fanout 10]
-    python -m repro fig6 --load 0.6
-    python -m repro fig8
     python -m repro list
+    python -m repro run websearch --algorithm hpcc --set load=0.4
+    python -m repro sweep websearch --algorithms powertcp,hpcc \
+        --loads 0.2,0.6 --jobs 4
+    python -m repro fig4 [--algorithms powertcp,hpcc] [--fanout 10]
 
-Each subcommand runs the same experiment code path as the corresponding
-benchmark target and prints the series the paper plots.  Scaled-down
-defaults keep runs interactive; flags expose the knobs.
+``run`` executes one registered scenario and prints its metrics;
+``sweep`` expands a parameter grid across worker processes (deterministic
+per-cell seeding) and persists JSON to ``benchmarks/results/``.  The
+legacy ``figN`` subcommands are thin aliases over the same experiment
+code paths and print the exact series the paper plots.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
+import json
 import sys
-from typing import List
+from typing import Dict, List
 
 from repro.analysis.stats import percentile
 from repro.experiments.fairness import FairnessConfig, run_fairness
@@ -36,6 +41,8 @@ from repro.fluid.reaction import (
     decrease_vs_queue_length,
     three_case_comparison,
 )
+from repro.scenarios import get_scenario, scenario_names
+from repro.scenarios.sweep import SweepRunner, SweepSpec
 from repro.units import GBPS, MSEC, USEC
 
 DEFAULT_ALGOS = ["powertcp", "theta-powertcp", "hpcc", "dcqcn", "timely", "homa"]
@@ -45,6 +52,9 @@ def _algos(args) -> List[str]:
     return args.algorithms.split(",") if args.algorithms else DEFAULT_ALGOS
 
 
+# ----------------------------------------------------------------------
+# Legacy figure aliases (same series as always)
+# ----------------------------------------------------------------------
 def cmd_fig2(args) -> None:
     """Fig. 2: reaction curves of the control-law taxonomy."""
     b_Bps = 100 * GBPS / 8.0
@@ -195,37 +205,208 @@ COMMANDS = {
 }
 
 
+# ----------------------------------------------------------------------
+# Scenario subcommands: run / sweep / list
+# ----------------------------------------------------------------------
+def _parse_value(text: str):
+    """Literal-eval a CLI value, falling back to the raw string."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _parse_overrides(pairs: List[str]) -> Dict:
+    """['load=0.4', 'algorithm=hpcc'] -> {'load': 0.4, 'algorithm': 'hpcc'}"""
+    overrides = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        overrides[key] = _parse_value(value)
+    return overrides
+
+
+def _fmt_metric(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _scenario_or_exit(name: str):
+    try:
+        return get_scenario(name)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0])
+
+
+def cmd_run(args) -> None:
+    """Run one registered scenario and print its metrics."""
+    scenario = _scenario_or_exit(args.scenario)
+    overrides = dict(scenario.tiny_overrides()) if args.tiny else {}
+    if args.algorithm:
+        overrides["algorithm"] = args.algorithm
+    overrides.update(_parse_overrides(args.set or []))
+    try:
+        config = scenario.configure(**overrides)
+    except ValueError as exc:  # unknown config field: a usage error
+        raise SystemExit(str(exc))
+    result = scenario.run(config=config)
+    if args.json:
+        print(json.dumps(result.to_json_dict(), indent=1, sort_keys=True))
+        return
+    prov = result.provenance
+    print(f"scenario={result.scenario} algorithm={prov['algorithm']} "
+          f"seed={prov['seed']}")
+    for key in sorted(result.metrics):
+        print(f"  {key:26s} {_fmt_metric(result.metrics[key])}")
+    print(f"  {'events_processed':26s} {prov['events_processed']}")
+    print(f"  {'wall_time_s':26s} {prov['wall_time_s']:.3f}")
+
+
+def cmd_sweep(args) -> None:
+    """Expand a parameter grid and run the cells across processes."""
+    grid: Dict[str, List] = {}
+    if args.algorithms:
+        grid["algorithm"] = args.algorithms.split(",")
+    if args.loads:
+        grid["load"] = [float(v) for v in args.loads.split(",")]
+    if args.fanouts:
+        grid["fanout"] = [int(v) for v in args.fanouts.split(",")]
+    for axis in args.grid or []:
+        key, sep, values = axis.partition("=")
+        if not sep or not values:
+            raise SystemExit(f"--grid expects key=v1,v2,..., got {axis!r}")
+        grid[key] = [_parse_value(v) for v in values.split(",")]
+    if not grid:
+        raise SystemExit(
+            "sweep needs at least one axis "
+            "(--algorithms/--loads/--fanouts/--grid)"
+        )
+    scenario = _scenario_or_exit(args.scenario)
+    base = dict(scenario.tiny_overrides()) if args.tiny else {}
+    base.update(_parse_overrides(args.set or []))
+    spec = SweepSpec(
+        scenario=args.scenario, grid=grid, base=base, seed=args.seed
+    )
+    try:
+        # The constructor validates grid axes and the job count.
+        runner = SweepRunner(spec, jobs=args.jobs)
+    except ValueError as exc:  # unknown/empty grid axis, bad jobs
+        raise SystemExit(str(exc))
+    sweep = runner.run()
+    for cell in sweep.cells:
+        params = " ".join(f"{k}={v}" for k, v in sorted(cell.params.items()))
+        metrics = " ".join(
+            f"{k}={_fmt_metric(v)}" for k, v in sorted(cell.result.metrics.items())
+        )
+        print(f"{params} | {metrics}")
+    path = sweep.persist(args.out)
+    print(f"wrote {path} ({len(sweep.cells)} cells, jobs={args.jobs})")
+
+
+def cmd_list(args) -> None:
+    """Print the scenario registry and the figure aliases."""
+    print("scenarios (python -m repro run|sweep <name>):")
+    for name in scenario_names():
+        scenario = get_scenario(name)
+        print(f"  {name:10s} {scenario.description}")
+        print(f"  {'':10s}   fields: {', '.join(scenario.config_fields())}")
+    print()
+    print("figure aliases (python -m repro <figN>):")
+    for name in sorted(COMMANDS):
+        print(f"  {name:7s} {COMMANDS[name].__doc__.strip()}")
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate PowerTCP (NSDI'22) paper figures.",
+        description="PowerTCP (NSDI'22) scenarios, sweeps, and paper figures.",
     )
-    parser.add_argument(
-        "figure",
-        choices=sorted(COMMANDS) + ["list"],
-        help="which figure to regenerate",
-    )
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    # figN aliases share the legacy flag set.
+    fig_flags = argparse.ArgumentParser(add_help=False)
+    fig_flags.add_argument(
         "--algorithms",
         help="comma-separated algorithm list (default: the paper's set)",
     )
-    parser.add_argument("--fanout", type=int, default=10, help="incast fan-in")
-    parser.add_argument("--load", type=float, default=0.6, help="network load")
-    parser.add_argument("--flows", type=int, default=300, help="flow budget")
-    parser.add_argument("--pct", type=float, default=99.0, help="tail percentile")
-    parser.add_argument(
+    fig_flags.add_argument("--fanout", type=int, default=10, help="incast fan-in")
+    fig_flags.add_argument("--load", type=float, default=0.6, help="network load")
+    fig_flags.add_argument("--flows", type=int, default=300, help="flow budget")
+    fig_flags.add_argument("--pct", type=float, default=99.0, help="tail percentile")
+    fig_flags.add_argument(
         "--duration-ms", type=int, default=4, help="simulated milliseconds"
+    )
+    for name in sorted(COMMANDS):
+        sub.add_parser(
+            name, parents=[fig_flags],
+            help=COMMANDS[name].__doc__.strip().rstrip("."),
+        )
+
+    sub.add_parser("list", help="list registered scenarios and figure aliases")
+
+    run_p = sub.add_parser("run", help="run one registered scenario")
+    run_p.add_argument("scenario", help="registered scenario name")
+    run_p.add_argument("--algorithm", help="congestion-control algorithm")
+    run_p.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="config override (repeatable)",
+    )
+    run_p.add_argument(
+        "--tiny", action="store_true",
+        help="start from the scenario's fast smoke configuration",
+    )
+    run_p.add_argument(
+        "--json", action="store_true", help="print the full ScenarioResult as JSON"
+    )
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a parameter grid across worker processes"
+    )
+    sweep_p.add_argument("scenario", help="registered scenario name")
+    sweep_p.add_argument(
+        "--algorithms", help="comma-separated values for the algorithm axis"
+    )
+    sweep_p.add_argument("--loads", help="comma-separated values for the load axis")
+    sweep_p.add_argument(
+        "--fanouts", help="comma-separated values for the fanout axis"
+    )
+    sweep_p.add_argument(
+        "--grid", action="append", metavar="KEY=V1,V2",
+        help="extra sweep axis over any config field (repeatable)",
+    )
+    sweep_p.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="base config override shared by all cells (repeatable)",
+    )
+    sweep_p.add_argument(
+        "--tiny", action="store_true",
+        help="start from the scenario's fast smoke configuration",
+    )
+    sweep_p.add_argument("--jobs", type=int, default=1, help="worker processes")
+    sweep_p.add_argument("--seed", type=int, default=1, help="sweep base seed")
+    sweep_p.add_argument(
+        "--out", help="JSON output path (default benchmarks/results/<scenario>_sweep.json)"
     )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.figure == "list":
-        for name in sorted(COMMANDS):
-            print(f"{name:7s} {COMMANDS[name].__doc__.strip()}")
-        return 0
-    COMMANDS[args.figure](args)
+    if args.command == "list":
+        cmd_list(args)
+    elif args.command == "run":
+        cmd_run(args)
+    elif args.command == "sweep":
+        cmd_sweep(args)
+    else:
+        COMMANDS[args.command](args)
     return 0
 
 

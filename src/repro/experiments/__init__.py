@@ -4,6 +4,12 @@ Each module exposes plain functions that build a network, deploy one CC
 algorithm via :class:`repro.experiments.driver.FlowDriver`, run the event
 loop, and return result dataclasses — so a pytest-benchmark target, an
 example script, and an integration test all execute the same code path.
+
+Every module also registers a :class:`repro.scenarios.base.Scenario`
+wrapper with the scenario registry (see :mod:`repro.scenarios`), which
+gives all five experiments a uniform ``configure -> build -> run ->
+collect`` lifecycle, a common :class:`ScenarioResult` record, and access
+to the parallel sweep runner (``python -m repro sweep <scenario> ...``).
 """
 
 from repro.experiments.driver import FlowDriver

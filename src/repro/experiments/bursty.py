@@ -14,8 +14,11 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.analysis.fct import FctSummary, summarize_fct
+from repro.analysis.stats import percentile
 from repro.experiments.driver import FlowDriver
 from repro.experiments.websearch import scaled_fattree
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.base import Scenario
 from repro.sim.engine import Simulator
 from repro.sim.tracing import Probe
 from repro.topology.fattree import FatTreeParams, build_fattree
@@ -64,6 +67,7 @@ class BurstyResult:
     flows: List[Flow] = field(default_factory=list)
     buffer_samples_bytes: List[float] = field(default_factory=list)
     drops: int = 0
+    events_processed: int = 0
     incast_count: int = 0
     ideal_fn: Optional[object] = None  # Callable[[Flow], int] -> ideal FCT ns
 
@@ -187,7 +191,44 @@ def run_bursty(config: BurstyConfig) -> BurstyResult:
     )
     result.flows = driver.flows
     result.drops = net.total_drops()
+    result.events_processed = sim.events_processed
     result.incast_count = len(events)
     for probe in buffer_probes:
         result.buffer_samples_bytes.extend(probe.values)
     return result
+
+
+@scenario_registry.register
+class BurstyScenario(Scenario):
+    """Figs. 7c-7f/7h: web-search background plus periodic incast queries."""
+
+    name = "bursty"
+    description = "web-search load + incast queries on a fat-tree"
+    config_cls = BurstyConfig
+
+    def tiny_overrides(self) -> dict:
+        return dict(
+            load=0.4, requests_per_duration=1, request_size_bytes=200_000,
+            fanout=2, duration_ns=2 * MSEC, drain_ns=6 * MSEC,
+            size_scale=1 / 16, max_flows=10,
+        )
+
+    def build(self, config):
+        return lambda: run_bursty(config)
+
+    def collect(self, config, raw: BurstyResult):
+        overall = raw.fct_summary(pct=99.0)
+        incast = raw.fct_summary(pct=99.0, tag="incast")
+        metrics = {
+            "fct_p99_overall": overall.overall,
+            "fct_p99_short": overall.short,
+            "fct_p99_long": overall.long,
+            "incast_fct_p99": incast.overall,
+            "incast_events": raw.incast_count,
+            "completed": overall.completed,
+            "total_flows": overall.total,
+            "drops": raw.drops,
+            "buffer_p99_bytes": percentile(raw.buffer_samples_bytes, 99.0)
+            if raw.buffer_samples_bytes else None,
+        }
+        return metrics, {}

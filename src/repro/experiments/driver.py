@@ -83,6 +83,13 @@ class FlowDriver:
             raise ValueError(f"flow src == dst == {src}")
         if size_bytes <= 0:
             raise ValueError(f"flow size must be positive, got {size_bytes}")
+        if at_ns is not None and at_ns < self.sim.now:
+            label = f"{tag!r} " if tag else ""
+            raise ValueError(
+                f"flow {label}#{self._next_flow_id} ({src}->{dst}, "
+                f"{size_bytes}B) starts at {at_ns}ns, which is before "
+                f"sim.now={self.sim.now}ns"
+            )
         flow = Flow(self._next_flow_id, src, dst, size_bytes, tag=tag)
         self._next_flow_id += 1
         self.flows.append(flow)

@@ -18,6 +18,8 @@ from typing import Dict, List, Optional
 
 from repro.analysis.fairness import jain_index
 from repro.experiments.driver import FlowDriver
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.base import Scenario
 from repro.sim.engine import Simulator
 from repro.sim.tracing import CounterRateProbe
 from repro.topology.dumbbell import DumbbellParams, build_dumbbell
@@ -49,6 +51,7 @@ class FairnessResult:
     times_ns: List[int] = field(default_factory=list)
     flow_throughput_bps: Dict[int, List[float]] = field(default_factory=dict)
     epoch_jain: List[float] = field(default_factory=list)
+    events_processed: int = 0
 
     def final_epoch_jain(self) -> float:
         """Jain index with all flows active (the last join epoch)."""
@@ -125,4 +128,29 @@ def run_fairness(config: FairnessConfig) -> FairnessResult:
             means.append(sum(values) / len(values) if values else 0.0)
         if means:
             result.epoch_jain.append(jain_index(means))
+    result.events_processed = sim.events_processed
     return result
+
+
+@scenario_registry.register
+class FairnessScenario(Scenario):
+    """Figs. 5/9: fairness and convergence under staggered flow joins."""
+
+    name = "fairness"
+    description = "staggered flow joins on a dumbbell; per-epoch Jain index"
+    config_cls = FairnessConfig
+
+    def tiny_overrides(self) -> dict:
+        return dict(num_flows=2, join_interval_ns=500 * USEC, duration_ns=1 * MSEC)
+
+    def build(self, config):
+        return lambda: run_fairness(config)
+
+    def collect(self, config, raw: FairnessResult):
+        metrics = {
+            "final_epoch_jain": raw.final_epoch_jain() if raw.epoch_jain else None,
+            "min_epoch_jain": min(raw.epoch_jain) if raw.epoch_jain else None,
+            "epochs": len(raw.epoch_jain),
+        }
+        series = {"epoch_jain": list(raw.epoch_jain)}
+        return metrics, series

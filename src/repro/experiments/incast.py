@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.experiments.driver import FlowDriver
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.base import Scenario
 from repro.sim.engine import Simulator
 from repro.sim.tracing import PortProbe
 from repro.topology.dumbbell import DumbbellParams, build_dumbbell
@@ -59,6 +61,7 @@ class IncastResult:
     peak_qlen_bytes: int = 0
     final_qlen_bytes: float = 0.0
     drops: int = 0
+    events_processed: int = 0
     burst_fcts_ns: List[int] = field(default_factory=list)
 
     def _window(self, start_ns: int, end_ns: int, series: List[float]) -> List[float]:
@@ -165,7 +168,40 @@ def run_incast(config: IncastConfig) -> IncastResult:
     result.peak_qlen_bytes = bottleneck.max_qlen_bytes
     result.final_qlen_bytes = probe.qlen_bytes[-1] if probe.qlen_bytes else 0.0
     result.drops = net.total_drops()
+    result.events_processed = sim.events_processed
     result.burst_fcts_ns = [f.fct_ns for f in burst_flows if f.completed]
     finished = [f.finish_ns for f in burst_flows if f.completed]
     result.burst_end_ns = max(finished) if finished else config.duration_ns
     return result
+
+
+@scenario_registry.register
+class IncastScenario(Scenario):
+    """Fig. 4 (and Figs. 10/11 via homa): fanout:1 incast reaction."""
+
+    name = "incast"
+    description = "N:1 incast burst against a long flow on a dumbbell"
+    config_cls = IncastConfig
+
+    def tiny_overrides(self) -> dict:
+        return dict(fanout=2, burst_bytes=20_000, duration_ns=1 * MSEC)
+
+    def build(self, config):
+        return lambda: run_incast(config)
+
+    def collect(self, config, raw: IncastResult):
+        metrics = {
+            "peak_qlen_bytes": raw.peak_qlen_bytes,
+            "settled_qlen_bytes": raw.mean_late_qlen(),
+            "burst_utilization": raw.burst_utilization(),
+            "post_incast_dip": raw.post_incast_throughput_dip(),
+            "completed_bursts": len(raw.burst_fcts_ns),
+            "fanout": raw.fanout,
+            "drops": raw.drops,
+        }
+        series = {
+            "times_ns": list(raw.times_ns),
+            "qlen_bytes": list(raw.qlen_bytes),
+            "throughput_bps": list(raw.throughput_bps),
+        }
+        return metrics, series

@@ -19,6 +19,8 @@ from typing import List, Optional
 
 from repro.analysis.stats import percentile
 from repro.experiments.driver import FlowDriver
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.base import Scenario
 from repro.sim.circuit import CircuitSchedule
 from repro.sim.engine import Simulator
 from repro.sim.tracing import CounterRateProbe, Probe
@@ -97,6 +99,7 @@ class RdcnResult:
     tail_queuing_latency_ns: float = 0.0
     mean_goodput_bps: float = 0.0
     drops: int = 0
+    events_processed: int = 0
 
     def peak_voq_bytes(self) -> float:
         """Largest sampled VOQ occupancy."""
@@ -190,4 +193,35 @@ def run_rdcn(config: RdcnConfig) -> RdcnResult:
 
     total_received = sum(f.bytes_received for f in flows)
     result.mean_goodput_bps = total_received * 8e9 / config.duration_ns
+    result.events_processed = sim.events_processed
     return result
+
+
+@scenario_registry.register
+class RdcnScenario(Scenario):
+    """Fig. 8: one ToR pair riding the reconfigurable circuit schedule."""
+
+    name = "rdcn"
+    description = "ToR-pair demand over a rotating circuit (RDCN case study)"
+    config_cls = RdcnConfig
+
+    def tiny_overrides(self) -> dict:
+        return dict(duration_ns=1 * MSEC, flows_per_pair=2)
+
+    def build(self, config):
+        return lambda: run_rdcn(config)
+
+    def collect(self, config, raw: RdcnResult):
+        metrics = {
+            "circuit_utilization": raw.circuit_utilization,
+            "peak_voq_bytes": raw.peak_voq_bytes(),
+            "tail_queuing_latency_ns": raw.tail_queuing_latency_ns,
+            "mean_goodput_bps": raw.mean_goodput_bps,
+            "drops": raw.drops,
+        }
+        series = {
+            "times_ns": list(raw.times_ns),
+            "voq_len_bytes": list(raw.voq_len_bytes),
+            "pair_throughput_bps": list(raw.pair_throughput_bps),
+        }
+        return metrics, series

@@ -7,7 +7,8 @@ host pairs, offered at a target ToR-uplink load.  Reported:
 * short-flow and long-flow tail slowdown across loads (Fig. 7a/7b),
 * the CDF of switch buffer occupancy (Fig. 7g at 80 % load).
 
-Scaled-down topology defaults keep the paper's 4:1 ToR oversubscription.
+The scaled-down topology default is 2:1 ToR oversubscription (event-budget
+friendly); pass ``scaled_fattree(paper_oversub=True)`` for the paper's 4:1.
 """
 
 from __future__ import annotations
@@ -17,7 +18,10 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.analysis.fct import FctSummary, slowdown_by_size_bin, summarize_fct
+from repro.analysis.stats import percentile
 from repro.experiments.driver import FlowDriver
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.base import Scenario
 from repro.sim.engine import Simulator
 from repro.sim.tracing import Probe
 from repro.topology.fattree import FatTreeParams, build_fattree
@@ -28,15 +32,28 @@ from repro.workloads.distributions import WEB_SEARCH, EmpiricalCdf
 
 
 def scaled_fattree(
-    hosts_per_tor: int = 4,
+    hosts_per_tor: Optional[int] = None,
     host_bw_bps: float = 10 * GBPS,
     fabric_bw_bps: float = 10 * GBPS,
     num_pods: int = 2,
+    paper_oversub: bool = False,
 ) -> FatTreeParams:
-    """A small fat-tree preserving the paper's 4:1 oversubscription
-    (hosts_per_tor · host_bw = 4 · aggs · fabric_bw / ... by default:
-    4 hosts x 10 G = 40 G down vs 2 x 10 G = 20 G up -> 2:1; pass
-    ``hosts_per_tor=8`` for the paper's 4:1)."""
+    """A small 2-tier fat-tree.
+
+    The default builds a **2:1** ToR oversubscription (4 hosts x 10 G =
+    40 G down vs 2 aggs x 10 G = 20 G up), which keeps pure-Python event
+    counts interactive.  Pass ``paper_oversub=True`` for the paper's
+    **4:1** (8 hosts per ToR); combining it with an explicit
+    ``hosts_per_tor`` is a contradiction and raises.
+    """
+    if paper_oversub:
+        if hosts_per_tor is not None:
+            raise ValueError(
+                "pass either hosts_per_tor or paper_oversub=True, not both"
+            )
+        hosts_per_tor = 8
+    elif hosts_per_tor is None:
+        hosts_per_tor = 4
     return FatTreeParams(
         num_pods=num_pods,
         tors_per_pod=2,
@@ -81,6 +98,7 @@ class WebsearchResult:
     flows: List[Flow] = field(default_factory=list)
     buffer_samples_bytes: List[float] = field(default_factory=list)
     drops: int = 0
+    events_processed: int = 0
     ideal_fn: Optional[object] = None  # Callable[[Flow], int] -> ideal FCT ns
 
     def fct_summary(self, pct: float = 99.9) -> FctSummary:
@@ -165,6 +183,48 @@ def run_websearch(config: WebsearchConfig) -> WebsearchResult:
     )
     result.flows = driver.flows
     result.drops = net.total_drops()
+    result.events_processed = sim.events_processed
     for probe in buffer_probes:
         result.buffer_samples_bytes.extend(probe.values)
     return result
+
+
+@scenario_registry.register
+class WebsearchScenario(Scenario):
+    """Figs. 6/7a/7b/7g: web-search traffic on the fat-tree."""
+
+    name = "websearch"
+    description = "Poisson web-search flows on a fat-tree; FCT slowdown tails"
+    config_cls = WebsearchConfig
+
+    def tiny_overrides(self) -> dict:
+        return dict(
+            duration_ns=2 * MSEC, drain_ns=6 * MSEC, size_scale=1 / 16,
+            max_flows=15, load=0.4,
+        )
+
+    def build(self, config):
+        return lambda: run_websearch(config)
+
+    def collect(self, config, raw: WebsearchResult):
+        summary = raw.fct_summary(pct=99.0)
+        metrics = {
+            "fct_p99_short": summary.short,
+            "fct_p99_medium": summary.medium,
+            "fct_p99_long": summary.long,
+            "fct_p99_overall": summary.overall,
+            "completed": summary.completed,
+            "total_flows": summary.total,
+            "drops": raw.drops,
+            "buffer_p50_bytes": percentile(raw.buffer_samples_bytes, 50.0)
+            if raw.buffer_samples_bytes else None,
+            "buffer_p99_bytes": percentile(raw.buffer_samples_bytes, 99.0)
+            if raw.buffer_samples_bytes else None,
+        }
+        bins = raw.size_bins(pct=99.0)
+        series = {
+            "size_bin_edges_bytes": [edge for edge, _v, _n in bins],
+            "size_bin_p99_slowdown": [v for _e, v, _n in bins],
+            "size_bin_counts": [n for _e, _v, n in bins],
+        }
+        return metrics, series

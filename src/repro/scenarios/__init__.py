@@ -1,0 +1,48 @@
+"""First-class scenario layer: registry + parallel sweep runner.
+
+Usage::
+
+    from repro.scenarios import get_scenario, run_sweep
+
+    result = get_scenario("websearch").run(load=0.6, max_flows=100)
+    sweep = run_sweep(
+        "websearch",
+        grid={"algorithm": ["powertcp", "hpcc"], "load": [0.2, 0.6]},
+        jobs=4,
+    )
+    sweep.persist()
+
+See :mod:`repro.scenarios.base` for the Scenario protocol and
+:mod:`repro.scenarios.sweep` for the grid/seeding semantics.
+"""
+
+from repro.scenarios.base import Scenario, ScenarioResult
+from repro.scenarios.registry import (
+    SCENARIOS,
+    get_scenario,
+    load_builtin_scenarios,
+    register,
+    scenario_names,
+)
+from repro.scenarios.sweep import (
+    SweepCell,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    run_sweep,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioResult",
+    "SweepCell",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "get_scenario",
+    "load_builtin_scenarios",
+    "register",
+    "run_sweep",
+    "scenario_names",
+]

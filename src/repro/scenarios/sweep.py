@@ -1,0 +1,198 @@
+"""Parameter-grid sweeps over registered scenarios, fanned across processes.
+
+Every paper figure is a sweep — algorithm x load x fanout x buffer — so
+the runner is figure-agnostic: a :class:`SweepSpec` names a scenario, a
+grid of config-field values, and base overrides; :class:`SweepRunner`
+expands the grid into cells, derives a deterministic per-cell seed, and
+executes the cells inline (``jobs=1``) or across a
+``ProcessPoolExecutor`` (``jobs>1``).  Simulations are single-threaded
+pure Python, so cells parallelize perfectly across processes.
+
+Determinism: cell order is the itertools.product over *sorted* grid
+keys, and each cell's seed is a pure function of (base seed, cell
+parameters) — two identical invocations produce identical metric values
+regardless of ``jobs``.
+
+Results persist to JSON (default ``benchmarks/results/<scenario>_sweep.json``)
+as ``{spec, cells: [{params, metrics, series, provenance}]}``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.scenarios.base import ScenarioResult, config_to_jsonable
+from repro.scenarios.registry import get_scenario
+
+#: default persistence directory (repo's benchmarks/results), relative to cwd
+DEFAULT_RESULTS_DIR = os.path.join("benchmarks", "results")
+
+
+@dataclass
+class SweepSpec:
+    """A parameter grid over one scenario's config fields.
+
+    ``grid`` maps config-field names to value lists; ``base`` holds
+    overrides shared by every cell.  An explicit ``seed`` in ``base`` or
+    ``grid`` disables per-cell seed derivation.
+    """
+
+    scenario: str
+    grid: Dict[str, List[Any]] = field(default_factory=dict)
+    base: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 1
+
+    def validate(self) -> None:
+        """Check grid/base keys against the scenario's config fields."""
+        fields = set(get_scenario(self.scenario).config_fields())
+        unknown = sorted((set(self.grid) | set(self.base)) - fields)
+        if unknown:
+            raise ValueError(
+                f"sweep over {self.scenario!r}: unknown config field(s) "
+                f"{', '.join(unknown)}; valid: {', '.join(sorted(fields))}"
+            )
+        for key, values in self.grid.items():
+            if not values:
+                raise ValueError(f"sweep grid axis {key!r} is empty")
+
+
+def derive_cell_seed(base_seed: int, params: Dict[str, Any]) -> int:
+    """Deterministic per-cell seed: a pure function of the base seed and
+    the cell's parameter assignment (stable across runs and job counts)."""
+    blob = json.dumps(config_to_jsonable(params), sort_keys=True).encode()
+    return (base_seed * 1_000_003 + zlib.crc32(blob)) & 0x7FFFFFFF
+
+
+def expand_cells(spec: SweepSpec) -> List[Dict[str, Any]]:
+    """Grid -> ordered cell parameter dicts (product over sorted keys)."""
+    keys = sorted(spec.grid)
+    cells = []
+    for values in itertools.product(*(spec.grid[k] for k in keys)):
+        cells.append(dict(zip(keys, values)))
+    return cells
+
+
+def cell_overrides(spec: SweepSpec, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Full config overrides for one cell: base + cell params + seed."""
+    overrides = dict(spec.base)
+    overrides.update(params)
+    scenario = get_scenario(spec.scenario)
+    if "seed" in scenario.config_fields() and "seed" not in overrides:
+        overrides["seed"] = derive_cell_seed(spec.seed, params)
+    return overrides
+
+
+def _execute_cell(scenario_name: str, overrides: Dict[str, Any]) -> ScenarioResult:
+    """Worker entry point (top-level so ProcessPoolExecutor can pickle it);
+    returns the result with the unpicklable raw payload stripped."""
+    return get_scenario(scenario_name).run(**overrides).without_raw()
+
+
+@dataclass
+class SweepCell:
+    """One executed grid cell."""
+
+    params: Dict[str, Any]
+    overrides: Dict[str, Any]
+    result: ScenarioResult
+
+
+@dataclass
+class SweepResult:
+    """All executed cells plus the spec that produced them."""
+
+    spec: SweepSpec
+    cells: List[SweepCell] = field(default_factory=list)
+
+    def cell(self, **params) -> SweepCell:
+        """The unique cell whose grid assignment matches ``params``."""
+        matches = [
+            c for c in self.cells
+            if all(c.params.get(k) == v for k, v in params.items())
+        ]
+        if len(matches) != 1:
+            raise KeyError(f"{len(matches)} cells match {params!r}")
+        return matches[0]
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.spec.scenario,
+            "grid": config_to_jsonable(self.spec.grid),
+            "base": config_to_jsonable(self.spec.base),
+            "seed": self.spec.seed,
+            "cells": [
+                {"params": config_to_jsonable(c.params), **c.result.to_json_dict()}
+                for c in self.cells
+            ],
+        }
+
+    def persist(self, path: Optional[str] = None) -> str:
+        """Write the sweep as JSON; returns the path written."""
+        if path is None:
+            os.makedirs(DEFAULT_RESULTS_DIR, exist_ok=True)
+            path = os.path.join(
+                DEFAULT_RESULTS_DIR, f"{self.spec.scenario}_sweep.json"
+            )
+        else:
+            parent = os.path.dirname(path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.to_json_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        return path
+
+
+class SweepRunner:
+    """Expand a :class:`SweepSpec` and execute its cells.
+
+    ``jobs=1`` runs inline (raw experiment results stay attached, which
+    benchmarks rely on); ``jobs>1`` fans cells across worker processes
+    in deterministic cell order.
+    """
+
+    def __init__(self, spec: SweepSpec, jobs: int = 1):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        spec.validate()
+        self.spec = spec
+        self.jobs = jobs
+
+    def run(self) -> SweepResult:
+        """Execute every cell; cells come back in grid order."""
+        spec = self.spec
+        cells = expand_cells(spec)
+        overrides = [cell_overrides(spec, params) for params in cells]
+        if self.jobs == 1:
+            scenario = get_scenario(spec.scenario)
+            results = [scenario.run(**ov) for ov in overrides]
+        else:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                results = list(
+                    pool.map(_execute_cell, [spec.scenario] * len(cells), overrides)
+                )
+        return SweepResult(
+            spec=spec,
+            cells=[
+                SweepCell(params=p, overrides=ov, result=r)
+                for p, ov, r in zip(cells, overrides, results)
+            ],
+        )
+
+
+def run_sweep(
+    scenario: str,
+    grid: Dict[str, List[Any]],
+    base: Optional[Dict[str, Any]] = None,
+    seed: int = 1,
+    jobs: int = 1,
+) -> SweepResult:
+    """One-call convenience wrapper around :class:`SweepRunner`."""
+    spec = SweepSpec(scenario=scenario, grid=grid, base=base or {}, seed=seed)
+    return SweepRunner(spec, jobs=jobs).run()

@@ -91,10 +91,14 @@ class Simulator:
 
         Stops when the heap is empty, when the next event is past ``until``
         (the clock is then advanced to ``until``), or after ``max_events``
-        events.  Returns the number of events processed by this call.
+        events.  When the ``max_events`` budget trips first the clock is
+        *not* advanced to ``until`` — live events at or before the horizon
+        remain pending, so a later ``run`` resumes without time-travel.
+        Returns the number of events processed by this call.
         """
         heap = self._heap
         processed = 0
+        budget_hit = False
         while heap:
             event = heap[0]
             if event.cancelled:
@@ -103,12 +107,13 @@ class Simulator:
             if until is not None and event.time > until:
                 break
             if max_events is not None and processed >= max_events:
+                budget_hit = True
                 break
             heapq.heappop(heap)
             self.now = event.time
             event.fn(*event.args)
             processed += 1
-        if until is not None and self.now < until:
+        if until is not None and not budget_hit and self.now < until:
             self.now = until
         self._events_processed += processed
         return processed

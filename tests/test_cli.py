@@ -40,3 +40,56 @@ def test_fig4_with_algorithm_filter(capsys):
     out = capsys.readouterr().out
     assert "powertcp" in out
     assert "hpcc" not in out
+
+
+def test_list_prints_scenarios_and_fields(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "websearch" in out and "incast" in out
+    assert "fields:" in out
+
+
+def test_run_subcommand_prints_metrics(capsys):
+    assert main(["run", "incast", "--tiny", "--set", "fanout=3"]) == 0
+    out = capsys.readouterr().out
+    assert "scenario=incast" in out
+    assert "burst_utilization" in out
+    assert "events_processed" in out
+
+
+def test_run_subcommand_json_output(capsys):
+    import json
+
+    assert main(["run", "fairness", "--tiny", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["scenario"] == "fairness"
+    assert "metrics" in doc and "provenance" in doc
+
+
+def test_run_rejects_unknown_override():
+    with pytest.raises(SystemExit, match="bogus_knob"):
+        main(["run", "incast", "--tiny", "--set", "bogus_knob=1"])
+
+
+def test_sweep_rejects_unknown_axis():
+    with pytest.raises(SystemExit, match="bogus_axis"):
+        main(["sweep", "incast", "--tiny", "--grid", "bogus_axis=1,2"])
+
+
+def test_sweep_subcommand_writes_json(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "sweep.json"
+    assert main([
+        "sweep", "incast", "--tiny", "--algorithms", "powertcp",
+        "--grid", "fanout=2,3", "--out", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fanout=2" in out and "fanout=3" in out
+    doc = json.loads(out_path.read_text())
+    assert len(doc["cells"]) == 2
+
+
+def test_sweep_requires_an_axis():
+    with pytest.raises(SystemExit):
+        main(["sweep", "incast"])

@@ -38,6 +38,15 @@ def test_start_flow_validation():
         driver.start_flow(0, 2, 0)
 
 
+def test_start_flow_in_the_past_raises_eagerly():
+    sim, net = make_net()
+    driver = FlowDriver(net, "powertcp")
+    sim.run(until=1000)  # advance the clock past the intended start
+    with pytest.raises(ValueError, match=r"'late'.*1->2.*before sim\.now=1000"):
+        driver.start_flow(1, 2, 1000, at_ns=500, tag="late")
+    assert driver.flows == []  # nothing half-registered
+
+
 def test_completed_flows_collected():
     sim, net = make_net()
     driver = FlowDriver(net, "powertcp")

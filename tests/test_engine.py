@@ -111,6 +111,26 @@ def test_peek_time_skips_cancelled():
     assert sim.peek_time() == 20
 
 
+def test_peek_time_prunes_cancelled_heap_entries():
+    sim = Simulator()
+    events = [sim.at(10 + i, lambda: None) for i in range(3)]
+    live = sim.at(100, lambda: None)
+    for event in events:
+        event.cancel()
+    assert sim.pending == 4  # lazily retained until popped
+    assert sim.peek_time() == 100
+    assert sim.pending == 1  # cancelled prefix physically removed
+
+
+def test_peek_time_empty_and_all_cancelled():
+    sim = Simulator()
+    assert sim.peek_time() is None
+    event = sim.at(10, lambda: None)
+    event.cancel()
+    assert sim.peek_time() is None
+    assert sim.pending == 0
+
+
 def test_max_events_bound():
     sim = Simulator()
     for i in range(10):
@@ -125,3 +145,36 @@ def test_run_returns_processed_count():
     sim.at(1, lambda: None)
     sim.at(2, lambda: None)
     assert sim.run() == 2
+
+
+def test_max_events_with_until_leaves_clock_resumable():
+    sim = Simulator()
+    fired = []
+    for t in (10, 20, 30):
+        sim.at(t, fired.append, t)
+    assert sim.run(until=100, max_events=1) == 1
+    # Budget tripped first: the clock must NOT jump to the horizon, or
+    # the remaining events would fire in the past on the next run.
+    assert fired == [10]
+    assert sim.now == 10
+    assert sim.run(until=100) == 2
+    assert fired == [10, 20, 30]
+    assert sim.now == 100  # horizon reached normally this time
+
+
+def test_max_events_zero_processes_nothing():
+    sim = Simulator()
+    sim.at(10, lambda: None)
+    assert sim.run(until=100, max_events=0) == 0
+    assert sim.now == 0
+    assert sim.pending == 1
+
+
+def test_cancelled_events_do_not_consume_max_events_budget():
+    sim = Simulator()
+    fired = []
+    doomed = sim.at(10, fired.append, "doomed")
+    sim.at(20, fired.append, "live")
+    doomed.cancel()
+    assert sim.run(max_events=1) == 1
+    assert fired == ["live"]

@@ -94,6 +94,26 @@ def test_scaled_fattree_is_a_fattree():
     assert p.num_tors == 4
 
 
+def test_scaled_fattree_default_is_2_to_1_oversubscribed():
+    p = scaled_fattree()
+    down = p.hosts_per_tor * p.host_bw_bps
+    up = p.aggs_per_pod * p.fabric_bw_bps
+    assert down / up == 2.0
+
+
+def test_scaled_fattree_paper_oversub_is_4_to_1():
+    p = scaled_fattree(paper_oversub=True)
+    assert p.hosts_per_tor == 8
+    down = p.hosts_per_tor * p.host_bw_bps
+    up = p.aggs_per_pod * p.fabric_bw_bps
+    assert down / up == 4.0
+
+
+def test_scaled_fattree_rejects_contradictory_args():
+    with pytest.raises(ValueError, match="not both"):
+        scaled_fattree(hosts_per_tor=16, paper_oversub=True)
+
+
 def test_websearch_seeded_reproducibility():
     cfg = dict(
         algorithm="powertcp",

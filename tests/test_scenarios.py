@@ -1,0 +1,207 @@
+"""Tests for the scenario registry and the parallel sweep runner."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import (
+    Scenario,
+    ScenarioResult,
+    get_scenario,
+    register,
+    run_sweep,
+    scenario_names,
+)
+from repro.scenarios.base import config_to_jsonable
+from repro.scenarios.sweep import (
+    SweepRunner,
+    SweepSpec,
+    cell_overrides,
+    derive_cell_seed,
+    expand_cells,
+)
+
+ALL_SCENARIOS = ["bursty", "fairness", "incast", "rdcn", "websearch"]
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_all_experiments_registered():
+    assert scenario_names() == ALL_SCENARIOS
+
+
+def test_unknown_scenario_raises_with_catalog():
+    with pytest.raises(KeyError, match="websearch"):
+        get_scenario("nope")
+
+
+def test_register_rejects_anonymous_scenario():
+    with pytest.raises(ValueError):
+        @register
+        class Nameless(Scenario):
+            config_cls = dict
+
+
+def test_register_rejects_duplicate_name():
+    get_scenario("incast")  # ensure builtins are loaded
+    with pytest.raises(ValueError, match="already registered"):
+        @register
+        class Impostor(Scenario):
+            name = "incast"
+            config_cls = dict
+
+
+def test_configure_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="no_such_knob"):
+        get_scenario("incast").configure(no_such_knob=1)
+
+
+def test_run_rejects_config_plus_overrides():
+    scenario = get_scenario("incast")
+    config = scenario.configure(fanout=2)
+    with pytest.raises(ValueError, match="not both"):
+        scenario.run(config=config, fanout=4)
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_scenario_roundtrip_returns_schema_valid_result(name):
+    scenario = get_scenario(name)
+    result = scenario.run(**scenario.tiny_overrides())
+    assert isinstance(result, ScenarioResult)
+    assert result.scenario == name
+    assert result.metrics, "metrics must not be empty"
+    assert all(
+        v is None or isinstance(v, (int, float)) for v in result.metrics.values()
+    )
+    for key in ("scenario", "algorithm", "seed", "config",
+                "wall_time_s", "events_processed"):
+        assert key in result.provenance
+    assert result.provenance["events_processed"] > 0
+    assert result.raw is not None
+    # The persistable view must be pure JSON.
+    json.dumps(result.to_json_dict())
+    assert result.without_raw().raw is None
+
+
+def test_cli_list_enumerates_all_scenarios(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ALL_SCENARIOS:
+        assert name in out
+
+
+# ----------------------------------------------------------------------
+# sweep mechanics
+# ----------------------------------------------------------------------
+def test_expand_cells_is_ordered_product():
+    spec = SweepSpec(
+        scenario="incast",
+        grid={"fanout": [2, 4], "algorithm": ["powertcp", "hpcc"]},
+    )
+    cells = expand_cells(spec)
+    # product over *sorted* keys: algorithm-major, fanout-minor
+    assert cells == [
+        {"algorithm": "powertcp", "fanout": 2},
+        {"algorithm": "powertcp", "fanout": 4},
+        {"algorithm": "hpcc", "fanout": 2},
+        {"algorithm": "hpcc", "fanout": 4},
+    ]
+
+
+def test_derived_seeds_deterministic_and_distinct():
+    a = derive_cell_seed(1, {"algorithm": "powertcp", "load": 0.2})
+    b = derive_cell_seed(1, {"algorithm": "powertcp", "load": 0.2})
+    c = derive_cell_seed(1, {"algorithm": "powertcp", "load": 0.6})
+    d = derive_cell_seed(2, {"algorithm": "powertcp", "load": 0.2})
+    assert a == b
+    assert a != c
+    assert a != d
+
+
+def test_cell_overrides_derives_seed_only_when_unpinned():
+    spec = SweepSpec(scenario="websearch", grid={"load": [0.2]})
+    derived = cell_overrides(spec, {"load": 0.2})
+    assert derived["seed"] == derive_cell_seed(1, {"load": 0.2})
+
+    pinned = SweepSpec(
+        scenario="websearch", grid={"load": [0.2]}, base={"seed": 7}
+    )
+    assert cell_overrides(pinned, {"load": 0.2})["seed"] == 7
+
+    # incast has no seed field: nothing injected
+    no_seed = SweepSpec(scenario="incast", grid={"fanout": [2]})
+    assert "seed" not in cell_overrides(no_seed, {"fanout": 2})
+
+
+def test_sweep_rejects_unknown_grid_axis():
+    with pytest.raises(ValueError, match="bogus"):
+        SweepRunner(SweepSpec(scenario="incast", grid={"bogus": [1]}))
+
+
+def test_sweep_rejects_empty_axis_and_bad_jobs():
+    with pytest.raises(ValueError, match="empty"):
+        SweepRunner(SweepSpec(scenario="incast", grid={"fanout": []}))
+    with pytest.raises(ValueError, match="jobs"):
+        SweepRunner(SweepSpec(scenario="incast", grid={"fanout": [2]}), jobs=0)
+
+
+TINY_INCAST = dict(burst_bytes=20_000, duration_ns=1_000_000)
+
+
+def test_sweep_inline_keeps_raw_and_orders_cells():
+    sweep = run_sweep(
+        "incast",
+        grid={"algorithm": ["powertcp", "hpcc"], "fanout": [2]},
+        base=TINY_INCAST,
+    )
+    assert [c.params["algorithm"] for c in sweep.cells] == ["powertcp", "hpcc"]
+    assert all(c.result.raw is not None for c in sweep.cells)
+    cell = sweep.cell(algorithm="hpcc")
+    assert cell.result.metrics["fanout"] == 2
+
+
+def test_parallel_sweep_matches_inline_metrics():
+    grid = {"algorithm": ["powertcp", "hpcc"]}
+    inline = run_sweep("incast", grid=grid, base=TINY_INCAST, jobs=1)
+    parallel = run_sweep("incast", grid=grid, base=TINY_INCAST, jobs=2)
+    assert [c.result.metrics for c in inline.cells] == [
+        c.result.metrics for c in parallel.cells
+    ]
+    # process-pool results cannot carry the raw payload
+    assert all(c.result.raw is None for c in parallel.cells)
+
+
+def test_identical_sweeps_are_byte_identical(tmp_path):
+    grid = {"algorithm": ["powertcp"], "load": [0.3]}
+    base = dict(duration_ns=2_000_000, drain_ns=4_000_000,
+                size_scale=1 / 16, max_flows=10)
+    runs = []
+    for tag in ("a", "b"):
+        sweep = run_sweep("websearch", grid=grid, base=base, seed=5)
+        path = sweep.persist(str(tmp_path / f"{tag}.json"))
+        runs.append(json.load(open(path)))
+    for doc in runs:
+        for cell in doc["cells"]:
+            cell["provenance"].pop("wall_time_s")
+    assert runs[0] == runs[1]
+
+
+def test_persist_default_path(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    sweep = run_sweep("incast", grid={"fanout": [2]}, base=TINY_INCAST)
+    path = sweep.persist()
+    assert path.endswith("incast_sweep.json")
+    doc = json.load(open(path))
+    assert doc["scenario"] == "incast"
+    assert len(doc["cells"]) == 1
+    assert doc["cells"][0]["params"] == {"fanout": 2}
+    assert "metrics" in doc["cells"][0]
+
+
+def test_config_to_jsonable_handles_opaque_leaves():
+    value = config_to_jsonable({"fn": len, "xs": (1, 2), "ok": None})
+    json.dumps(value)
+    assert value["xs"] == [1, 2]
+    assert value["ok"] is None
