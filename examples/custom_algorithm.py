@@ -2,17 +2,23 @@
 """Extending the framework: plug in your own congestion-control law.
 
 Implements a toy "half-power" variant — PowerTCP's control law but using
-the square root of normalized power — registers it as an
-:class:`~repro.cc.registry.AlgorithmSpec`, and races it against real
+the square root of normalized power — registers it with the CC plugin
+registry (one decorator; no registry edits), and races it against real
 PowerTCP on the incast microbenchmark.  Use this as the template for
 experimenting with new window-update rules.
+
+The decorator declares the scheme's :class:`repro.cc.registry.Requirements`
+(here: INT stamping, like PowerTCP); once registered the name works
+everywhere — ``FlowDriver(net, "half-power")``,
+``python -m repro run incast --algorithm half-power``, sweeps, and even
+mixed per-flow deployments next to other schemes.
 
 Run:  python examples/custom_algorithm.py
 """
 
 import math
 
-from repro.cc.registry import AlgorithmSpec
+from repro.cc.registry import Requirements, make_algorithm, register
 from repro.core.powertcp import PowerTcp
 from repro.experiments.driver import FlowDriver
 from repro.sim.engine import Simulator
@@ -21,6 +27,11 @@ from repro.topology.dumbbell import DumbbellParams, build_dumbbell
 from repro.units import GBPS, MSEC, USEC
 
 
+@register(
+    "half-power",
+    requirements=Requirements(int_stamping=True),
+    description="PowerTCP with a sqrt-softened power reaction (demo)",
+)
 class HalfPowerTcp(PowerTcp):
     """PowerTCP with a softened reaction: divide by sqrt(normalized power).
 
@@ -29,8 +40,10 @@ class HalfPowerTcp(PowerTcp):
     real control law.  (Pedagogical only.)
     """
 
-    def on_ack(self, sender, ack) -> None:
-        norm_power = self._estimator.update(ack.int_hops)
+    def on_ack(self, sender, feedback) -> None:
+        norm_power = self._estimator.update(
+            feedback.require_int(type(self).__name__)
+        )
         if norm_power is None:
             return
         softened = math.sqrt(norm_power)
@@ -39,7 +52,7 @@ class HalfPowerTcp(PowerTcp):
             + (1.0 - self.gamma) * sender.cwnd
         )
         self.set_window(sender, new_cwnd)
-        self._update_old(sender, ack)
+        self._update_old(sender, feedback)
 
 
 def race(spec, label):
@@ -69,22 +82,8 @@ def race(spec, label):
 
 def main() -> None:
     print("10:1 incast, real PowerTCP vs the softened custom law:")
-    race(
-        AlgorithmSpec(
-            name="powertcp",
-            make_cc=lambda flow, net: PowerTcp(),
-            needs_int=True,
-        ),
-        "powertcp",
-    )
-    race(
-        AlgorithmSpec(
-            name="half-power",
-            make_cc=lambda flow, net: HalfPowerTcp(),
-            needs_int=True,
-        ),
-        "half-power",
-    )
+    race(make_algorithm("powertcp"), "powertcp")
+    race(make_algorithm("half-power"), "half-power")
 
 
 if __name__ == "__main__":

@@ -1,12 +1,20 @@
 """Congestion-control algorithms: the paper's baselines plus extensions.
 
 Every algorithm is a per-flow object implementing the
-:class:`repro.cc.base.CongestionControl` interface; the PowerTCP family
-itself lives in :mod:`repro.core`.  See :mod:`repro.cc.registry` for the
-name -> factory mapping used by the experiment harness.
+:class:`repro.cc.base.CongestionControl` interface and consuming the
+typed :class:`repro.cc.base.AckFeedback` view on every acknowledgment;
+the PowerTCP family itself lives in :mod:`repro.core`.  Schemes register
+themselves with :mod:`repro.cc.registry` (decorator registry + declarative
+:class:`~repro.cc.registry.Requirements`), which is how the experiment
+harness resolves names and derives the network features to enable.
 """
 
-from repro.cc.base import CongestionControl, StaticWindow
+from repro.cc.base import (
+    AckFeedback,
+    CongestionControl,
+    MissingFeedbackError,
+    StaticWindow,
+)
 from repro.cc.cubic import Cubic
 from repro.cc.dcqcn import Dcqcn
 from repro.cc.dctcp import Dctcp
@@ -15,16 +23,34 @@ from repro.cc.newreno import NewReno
 from repro.cc.retcp import ReTcp
 from repro.cc.swift import Swift
 from repro.cc.timely import Timely
+from repro.cc.registry import (
+    AlgorithmSpec,
+    Requirements,
+    algorithm_names,
+    get_algorithm,
+    make_algorithm,
+    register,
+    register_algorithm,
+)
 
 __all__ = [
+    "AckFeedback",
+    "AlgorithmSpec",
     "CongestionControl",
     "Cubic",
     "Dcqcn",
     "Dctcp",
     "Hpcc",
+    "MissingFeedbackError",
     "NewReno",
     "ReTcp",
+    "Requirements",
     "StaticWindow",
     "Swift",
     "Timely",
+    "algorithm_names",
+    "get_algorithm",
+    "make_algorithm",
+    "register",
+    "register_algorithm",
 ]

@@ -8,6 +8,11 @@ to CNPs or their own timers.  The CC adjusts two sender fields:
   below one MTU throttle the flow through pacing), and
 * ``sender.pacing_rate_bps`` — the NIC pacing rate.
 
+``on_ack`` receives an :class:`AckFeedback` — a typed view of everything
+one acknowledgment may tell a control law (RTT sample, ECN echo, INT
+records, cumulative/duplicate state) — so CC objects never reach into raw
+:class:`~repro.sim.packet.Packet` or sender reliability internals.
+
 Per the paper all flows start at line rate with
 ``cwnd_init = HostBw * tau`` so that a new flow can observe the bottleneck
 within its first RTT.
@@ -15,6 +20,9 @@ within its first RTT.
 
 from __future__ import annotations
 
+from typing import List, Optional
+
+from repro.cc.registry import register
 from repro.units import BITS_PER_BYTE, SEC
 
 # A window below this fraction of one MTU is clamped; pure pacing takes
@@ -25,13 +33,110 @@ MIN_WINDOW_MTU_FRACTION = 0.01
 DEFAULT_CAP_BDP_MULTIPLE = 2.0
 
 
-class CongestionControl:
-    """Base class: line-rate start, no reaction (i.e. a greedy sender)."""
+class MissingFeedbackError(RuntimeError):
+    """A CC law's declared feedback requirement was not satisfied.
 
-    #: the harness enables INT stamping for flows whose CC requires it
-    needs_int = False
-    #: the harness configures switch ECN marking when required
-    needs_ecn = False
+    Raised when, e.g., an INT-based law (``Requirements.int_stamping``)
+    receives acknowledgments without telemetry — a deployment error the
+    driver prevents, surfaced loudly instead of silently stalling.
+    """
+
+
+class AckFeedback:
+    """Typed view of one acknowledgment, passed to ``on_ack``.
+
+    Attributes
+    ----------
+    ack_seq:
+        cumulative acknowledgment (highest in-order byte + 1).
+    acked_seq:
+        sequence number of the data segment that triggered this ACK (for
+        laws that look up per-segment state).
+    newly_acked_bytes:
+        bytes newly acknowledged by this ACK (0 for duplicates) — the
+        increment byte-counting laws (DCQCN, DCTCP, NewReno, CUBIC)
+        previously derived by tracking ``snd_una`` themselves.
+    is_dup:
+        True when this ACK did not advance the cumulative point.
+    rtt_ns:
+        the RTT sample carried by this ACK (echo-timestamp based); None
+        before the first sample.
+    now_ns:
+        simulation clock at ACK processing time.
+    ecn_marked:
+        ECN congestion-experienced echo.
+    int_hops:
+        per-hop INT records, or None when the flow is not INT-enabled —
+        INT-requiring laws raise :class:`MissingFeedbackError` on None.
+    sent_high:
+        the transport's highest transmitted byte offset (``snd_nxt``) at
+        feedback time — the marker once-per-RTT update rules arm
+        themselves with.
+    """
+
+    __slots__ = (
+        "ack_seq",
+        "acked_seq",
+        "newly_acked_bytes",
+        "is_dup",
+        "rtt_ns",
+        "now_ns",
+        "ecn_marked",
+        "int_hops",
+        "sent_high",
+    )
+
+    def __init__(
+        self,
+        *,
+        ack_seq: int,
+        acked_seq: int = 0,
+        newly_acked_bytes: int = 0,
+        is_dup: bool = False,
+        rtt_ns: Optional[int] = None,
+        now_ns: int = 0,
+        ecn_marked: bool = False,
+        int_hops: Optional[List] = None,
+        sent_high: int = 0,
+    ):
+        self.ack_seq = ack_seq
+        self.acked_seq = acked_seq
+        self.newly_acked_bytes = newly_acked_bytes
+        self.is_dup = is_dup
+        self.rtt_ns = rtt_ns
+        self.now_ns = now_ns
+        self.ecn_marked = ecn_marked
+        self.int_hops = int_hops
+        self.sent_high = sent_high
+
+    def require_int(self, algorithm: str) -> List:
+        """The INT records, or a loud error when telemetry is absent."""
+        if self.int_hops is None:
+            raise MissingFeedbackError(
+                f"{algorithm} requires INT telemetry but this flow's "
+                "acknowledgments carry none — deploy via FlowDriver (which "
+                "enables INT from the declared Requirements) or construct "
+                "the Sender with int_enabled=True"
+            )
+        return self.int_hops
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AckFeedback(ack_seq={self.ack_seq}, "
+            f"new={self.newly_acked_bytes}, dup={self.is_dup}, "
+            f"rtt={self.rtt_ns}, ecn={self.ecn_marked}, "
+            f"hops={len(self.int_hops) if self.int_hops is not None else None})"
+        )
+
+
+class CongestionControl:
+    """Base class: line-rate start, no reaction (i.e. a greedy sender).
+
+    Feature needs (INT stamping, ECN marking, CNP pacing) are not class
+    attributes: they are declared once, in the scheme's registered
+    :class:`repro.cc.registry.Requirements`, which is the single source
+    of truth the harness reads.
+    """
 
     def __init__(self, cap_bdp_multiple: float = DEFAULT_CAP_BDP_MULTIPLE):
         self.cap_bdp_multiple = cap_bdp_multiple
@@ -79,8 +184,8 @@ class CongestionControl:
         self.set_window(sender, self.host_bdp_bytes(sender))
         sender.pacing_rate_bps = sender.host_bw_bps
 
-    def on_ack(self, sender, ack) -> None:
-        """React to an acknowledgment (and its INT/ECN feedback)."""
+    def on_ack(self, sender, feedback: AckFeedback) -> None:
+        """React to one acknowledgment's :class:`AckFeedback`."""
 
     def on_loss(self, sender) -> None:
         """Triple-duplicate-ACK loss: conservative multiplicative decrease."""
@@ -94,6 +199,7 @@ class CongestionControl:
         """DCQCN congestion notification (ignored by other schemes)."""
 
 
+@register("static", description="fixed window of N host BDPs (debug baseline)")
 class StaticWindow(CongestionControl):
     """A fixed window of ``bdp_multiple`` host BDPs; no reaction to feedback.
 

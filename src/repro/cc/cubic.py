@@ -14,6 +14,7 @@ over the full spectrum of deployed algorithms.
 from __future__ import annotations
 
 from repro.cc.base import CongestionControl
+from repro.cc.registry import register
 from repro.units import SEC
 
 DEFAULT_C = 0.4  # MTU/s³, the standard constant
@@ -21,11 +22,12 @@ DEFAULT_BETA = 0.3  # multiplicative decrease fraction
 INITIAL_WINDOW_MTUS = 10
 
 
+@register(
+    "cubic",
+    description="CUBIC: loss-based cubic window growth (Linux default)",
+)
 class Cubic(CongestionControl):
     """CUBIC window growth with fast-convergence on repeated losses."""
-
-    needs_int = False
-    needs_ecn = False
 
     def __init__(self, c: float = DEFAULT_C, beta: float = DEFAULT_BETA, **kwargs):
         # See NewReno: loss-based laws need headroom to fill the buffer.
@@ -36,14 +38,12 @@ class Cubic(CongestionControl):
         self._w_max_mtus = 0.0
         self._epoch_start_ns = None
         self._k_s = 0.0
-        self._last_una = 0
 
     def on_start(self, sender) -> None:
         sender.cwnd = INITIAL_WINDOW_MTUS * sender.mtu_payload
         sender.pacing_rate_bps = sender.host_bw_bps  # ACK-clocked
         self._w_max_mtus = 0.0
         self._epoch_start_ns = None
-        self._last_una = 0
 
     def _set_cwnd(self, sender, cwnd: float) -> None:
         low, high = self.window_bounds(sender)
@@ -53,9 +53,8 @@ class Cubic(CongestionControl):
     def _cubic_window_mtus(self, t_s: float) -> float:
         return self.c * (t_s - self._k_s) ** 3 + self._w_max_mtus
 
-    def on_ack(self, sender, ack) -> None:
-        acked = sender.snd_una - self._last_una
-        self._last_una = sender.snd_una
+    def on_ack(self, sender, feedback) -> None:
+        acked = feedback.newly_acked_bytes
         if acked <= 0:
             return
         mtu = sender.mtu_payload
@@ -63,8 +62,8 @@ class Cubic(CongestionControl):
             # Before the first loss: slow-start-like doubling.
             self._set_cwnd(sender, sender.cwnd + acked)
             return
-        t_s = (sender.sim.now - self._epoch_start_ns) / SEC
-        rtt_s = (sender.last_rtt_ns or sender.base_rtt_ns) / SEC
+        t_s = (feedback.now_ns - self._epoch_start_ns) / SEC
+        rtt_s = (feedback.rtt_ns or sender.base_rtt_ns) / SEC
         target_mtus = self._cubic_window_mtus(t_s + rtt_s)
         cwnd_mtus = sender.cwnd / mtu
         if target_mtus > cwnd_mtus:

@@ -23,7 +23,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cc.base import CongestionControl
+from repro.cc.registry import Requirements, register
 from repro.sim.port import EcnConfig
+from repro.transport.receiver import DCQCN_CNP_INTERVAL_NS
 from repro.units import BITS_PER_BYTE, SEC, USEC
 
 DEFAULT_G = 1.0 / 256.0
@@ -35,10 +37,22 @@ DEFAULT_BYTE_COUNTER = 10 * 1024 * 1024  # 10 MB, per the DCQCN paper
 RAI_FRACTION_OF_LINE = 0.001
 
 
+def _ecn_config(link_bps: float, base_rtt_ns: int) -> EcnConfig:
+    """Requirements factory: RED thresholds from the line rate (the base
+    RTT is part of the uniform factory signature but unused here)."""
+    return Dcqcn.ecn_config_for(link_bps)
+
+
+@register(
+    "dcqcn",
+    requirements=Requirements(
+        ecn_config=_ecn_config,
+        cnp_interval_ns=DCQCN_CNP_INTERVAL_NS,
+    ),
+    description="DCQCN: ECN/CNP rate control for RDMA (SIGCOMM 2015)",
+)
 class Dcqcn(CongestionControl):
     """DCQCN reaction-point logic (rate-based: the window stays loose)."""
-
-    needs_ecn = True
 
     def __init__(
         self,
@@ -67,7 +81,6 @@ class Dcqcn(CongestionControl):
         self._time_stage = 0
         self._byte_stage = 0
         self._bytes_acc = 0
-        self._last_una = 0
         self._timer_event = None
         self._alpha_event = None
 
@@ -92,10 +105,9 @@ class Dcqcn(CongestionControl):
         self._timer_event = sender.sim.after(self.timer_ns, self._on_timer)
         self._alpha_event = sender.sim.after(self.alpha_timer_ns, self._on_alpha_timer)
 
-    def on_ack(self, sender, ack) -> None:
+    def on_ack(self, sender, feedback) -> None:
         """Drive the byte counter from acknowledged bytes."""
-        delta = sender.snd_una - self._last_una
-        self._last_una = sender.snd_una
+        delta = feedback.newly_acked_bytes
         if delta <= 0:
             return
         self._bytes_acc += delta

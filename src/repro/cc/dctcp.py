@@ -14,16 +14,26 @@ DCQCN/TIMELY/HPCC/HOMA); it is included to make the §2 taxonomy executable.
 from __future__ import annotations
 
 from repro.cc.base import CongestionControl
+from repro.cc.registry import Requirements, register
 from repro.sim.port import EcnConfig
 from repro.units import BITS_PER_BYTE, SEC
 
 DEFAULT_G = 1.0 / 16.0
 
 
+def _ecn_config(link_bps: float, base_rtt_ns: int) -> EcnConfig:
+    """Requirements factory: the step threshold K depends on the base RTT
+    (previously a special case hardcoded in the flow driver)."""
+    return Dctcp.ecn_config_for(link_bps, base_rtt_ns)
+
+
+@register(
+    "dctcp",
+    requirements=Requirements(ecn_config=_ecn_config),
+    description="DCTCP: ECN-fraction window control (SIGCOMM 2010)",
+)
 class Dctcp(CongestionControl):
     """DCTCP sender logic (window-based, per-RTT updates)."""
-
-    needs_ecn = True
 
     def __init__(self, g: float = DEFAULT_G, **kwargs):
         super().__init__(**kwargs)
@@ -32,7 +42,6 @@ class Dctcp(CongestionControl):
         self._marked_bytes = 0
         self._acked_bytes = 0
         self._window_end_seq = 0
-        self._last_una = 0
 
     @staticmethod
     def ecn_config_for(link_bps: float, base_rtt_ns: int) -> EcnConfig:
@@ -46,17 +55,15 @@ class Dctcp(CongestionControl):
         self._marked_bytes = 0
         self._acked_bytes = 0
         self._window_end_seq = 0
-        self._last_una = 0
 
-    def on_ack(self, sender, ack) -> None:
-        delta = sender.snd_una - self._last_una
-        self._last_una = sender.snd_una
+    def on_ack(self, sender, feedback) -> None:
+        delta = feedback.newly_acked_bytes
         if delta > 0:
             self._acked_bytes += delta
-            if ack.ecn_marked:
+            if feedback.ecn_marked:
                 self._marked_bytes += delta
 
-        if ack.ack_seq < self._window_end_seq:
+        if feedback.ack_seq < self._window_end_seq:
             return
         # One RTT of data acknowledged: fold the marked fraction into alpha
         # and apply the DCTCP update.
@@ -69,7 +76,7 @@ class Dctcp(CongestionControl):
                 self.set_window(sender, sender.cwnd + sender.mtu_payload)
         self._marked_bytes = 0
         self._acked_bytes = 0
-        self._window_end_seq = sender.snd_nxt
+        self._window_end_seq = feedback.sent_high
 
     @property
     def alpha(self) -> float:

@@ -30,6 +30,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.cc.registry import (
+    HOMA_TRANSPORT,
+    Requirements,
+    register_algorithm,
+)
 from repro.sim.engine import Simulator
 from repro.sim.host import Host
 from repro.sim.packet import DATA, GRANT, Packet
@@ -37,6 +42,13 @@ from repro.transport.flow import Flow
 from repro.transport.receiver import Receiver
 from repro.transport.sender import Sender
 from repro.units import tx_time_ns
+
+register_algorithm(
+    "homa",
+    requirements=Requirements(transport=HOMA_TRANSPORT),
+    params=("overcommitment",),
+    description="HOMA: receiver-driven grants with overcommitment",
+)
 
 PRIO_CONTROL = 0
 PRIO_UNSCHED_SMALL = 1

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.cc.base import CongestionControl
+from repro.cc.registry import Requirements, register
 from repro.sim.packet import HopRecord
 from repro.units import BITS_PER_BYTE, SEC
 
@@ -30,10 +31,13 @@ DEFAULT_MAX_STAGE = 5
 DEFAULT_EXPECTED_FLOWS = 8
 
 
+@register(
+    "hpcc",
+    requirements=Requirements(int_stamping=True),
+    description="HPCC: inflight-targeting INT control (SIGCOMM 2019)",
+)
 class Hpcc(CongestionControl):
     """HPCC sender logic (Algorithm 1 of the HPCC paper)."""
-
-    needs_int = True
 
     def __init__(
         self,
@@ -67,14 +71,14 @@ class Hpcc(CongestionControl):
         self._last_update_seq = 0
 
     # ------------------------------------------------------------------
-    def _measure_inflight(self, sender, ack) -> Optional[float]:
+    def _measure_inflight(self, sender, int_hops) -> Optional[float]:
         """MeasureInflight: max per-hop utilization, EWMA over base RTT."""
-        if not ack.int_hops:
+        if not int_hops:
             return None
         tau = sender.base_rtt_ns
         best_u = None
         best_dt = 0
-        for hop in ack.int_hops:
+        for hop in int_hops:
             prev = self._prev.get(hop.port_id)
             self._prev[hop.port_id] = hop
             if prev is None:
@@ -109,14 +113,16 @@ class Hpcc(CongestionControl):
                 self._w_c = w
         return w
 
-    def on_ack(self, sender, ack) -> None:
-        u = self._measure_inflight(sender, ack)
+    def on_ack(self, sender, feedback) -> None:
+        u = self._measure_inflight(
+            sender, feedback.require_int(type(self).__name__)
+        )
         if u is None:
             return
-        update_wc = ack.ack_seq > self._last_update_seq
+        update_wc = feedback.ack_seq > self._last_update_seq
         w = self._compute_wind(sender, u, update_wc)
         if update_wc:
-            self._last_update_seq = sender.snd_nxt
+            self._last_update_seq = feedback.sent_high
         self.set_window(sender, w)
 
     @property

@@ -14,15 +14,17 @@ the host line rate and only the window gates transmission.
 from __future__ import annotations
 
 from repro.cc.base import CongestionControl
+from repro.cc.registry import register
 
 INITIAL_WINDOW_MTUS = 10  # RFC 6928 IW10
 
 
+@register(
+    "newreno",
+    description="TCP NewReno: loss-based AIMD (motivation baseline)",
+)
 class NewReno(CongestionControl):
     """Slow start + congestion avoidance + AIMD on loss."""
-
-    needs_int = False
-    needs_ecn = False
 
     def __init__(self, **kwargs):
         # Loss-based laws must be able to fill BDP *plus* the buffer —
@@ -31,22 +33,19 @@ class NewReno(CongestionControl):
         kwargs.setdefault("cap_bdp_multiple", 16.0)
         super().__init__(**kwargs)
         self._ssthresh = float("inf")
-        self._last_una = 0
 
     def on_start(self, sender) -> None:
         sender.cwnd = INITIAL_WINDOW_MTUS * sender.mtu_payload
         sender.pacing_rate_bps = sender.host_bw_bps  # ACK-clocked
         self._ssthresh = float("inf")
-        self._last_una = 0
 
     def _set_cwnd(self, sender, cwnd: float) -> None:
         low, high = self.window_bounds(sender)
         sender.cwnd = min(max(cwnd, sender.mtu_payload), high)
         sender.pacing_rate_bps = sender.host_bw_bps
 
-    def on_ack(self, sender, ack) -> None:
-        acked = sender.snd_una - self._last_una
-        self._last_una = sender.snd_una
+    def on_ack(self, sender, feedback) -> None:
+        acked = feedback.newly_acked_bytes
         if acked <= 0:
             return
         if sender.cwnd < self._ssthresh:

@@ -1,9 +1,30 @@
-"""Name -> algorithm wiring used by the experiment harness.
+"""Pluggable congestion-control registry.
 
-An :class:`AlgorithmSpec` bundles everything the harness must know to run
-one scheme: the per-flow CC factory (window transports), the transport
-style (window vs HOMA's receiver-driven), and the switch features to
-enable (INT stamping, ECN marking, CNP generation).
+Mirrors :mod:`repro.scenarios.registry`: every CC scheme registers itself
+with the :func:`register` class decorator (or :func:`register_algorithm`
+for receiver-driven transports without a per-flow CC class), declaring a
+typed :class:`Requirements` record — the switch and transport features the
+harness must provide for that scheme to function:
+
+* **INT stamping** — per-hop telemetry on data packets (PowerTCP, HPCC);
+* an **ECN config factory** — ``(link_rate_bps, base_rtt_ns) -> EcnConfig``
+  building per-port marking thresholds (DCQCN, DCTCP);
+* a **CNP interval** — receiver-side congestion-notification pacing
+  (DCQCN's notification point);
+* the **transport style** — window-based senders vs HOMA's
+  receiver-driven grant machinery.
+
+Lookup is lazy: the built-in CC modules are imported on first use, so
+``import repro.cc.registry`` stays cheap and free of circular imports.
+Adding a scheme is one decorated class in one module — no registry edits::
+
+    from repro.cc.base import CongestionControl
+    from repro.cc.registry import Requirements, register
+
+    @register("my-cc", aliases=("mycc",),
+              requirements=Requirements(int_stamping=True))
+    class MyCc(CongestionControl):
+        ...
 
 The paper's evaluated set maps to::
 
@@ -15,123 +36,339 @@ The paper's evaluated set maps to::
     homa            HOMA (receiver-driven; overcommitment parameter)
     retcp           reTCP (RDCN case study only)
 
-Extensions beyond the paper's set: ``swift``, ``dctcp``, ``static``.
+Extensions beyond the paper's set: ``swift``, ``dctcp``, ``newreno``,
+``cubic``, ``static``.
 """
 
 from __future__ import annotations
 
+import importlib
+import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
-
-from repro.cc.base import CongestionControl, StaticWindow
-from repro.cc.cubic import Cubic
-from repro.cc.dcqcn import Dcqcn
-from repro.cc.dctcp import Dctcp
-from repro.cc.hpcc import Hpcc
-from repro.cc.newreno import NewReno
-from repro.cc.retcp import ReTcp
-from repro.cc.swift import Swift
-from repro.cc.timely import Timely
-from repro.core.powertcp import PowerTcp
-from repro.core.theta import ThetaPowerTcp
-from repro.sim.port import EcnConfig
-from repro.transport.receiver import DCQCN_CNP_INTERVAL_NS
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 WINDOW_TRANSPORT = "window"
 HOMA_TRANSPORT = "homa"
 
 
-@dataclass
-class AlgorithmSpec:
-    """Everything the harness needs to deploy one CC scheme."""
+@dataclass(frozen=True)
+class Requirements:
+    """Declarative features one CC scheme needs from the harness.
+
+    ``ecn_config`` is the per-port marking factory
+    ``(link_rate_bps, base_rtt_ns) -> EcnConfig``; a scheme needs ECN
+    marking iff it declares a factory (this removes the old DCTCP special
+    case where the harness had to know the threshold depends on the base
+    RTT — the factory simply receives it).  ``cnp_interval_ns`` and
+    ``transport`` are per-flow concerns; ``int_stamping`` and
+    ``ecn_config`` are network-wide and participate in :meth:`union`.
+    """
+
+    int_stamping: bool = False
+    ecn_config: Optional[Callable[[float, int], object]] = None
+    cnp_interval_ns: Optional[int] = None
+    transport: str = WINDOW_TRANSPORT
+
+    @property
+    def needs_int(self) -> bool:
+        """True when the scheme consumes per-hop INT telemetry."""
+        return self.int_stamping
+
+    @property
+    def needs_ecn(self) -> bool:
+        """True when the scheme declared an ECN marking factory."""
+        return self.ecn_config is not None
+
+    @staticmethod
+    def union(many: Iterable["Requirements"]) -> "Requirements":
+        """Network-facing union of several schemes' requirements.
+
+        INT stamping is enabled if *any* scheme needs it; the ECN factory
+        must be unique across the ECN-needing schemes (two different
+        marking configurations cannot share one port).  Per-flow fields
+        (``cnp_interval_ns``, ``transport``) are not unioned — the driver
+        reads them from each flow's own spec.
+        """
+        int_stamping = False
+        ecn_config = None
+        for req in many:
+            int_stamping = int_stamping or req.int_stamping
+            if req.ecn_config is None:
+                continue
+            if ecn_config is None:
+                ecn_config = req.ecn_config
+            elif ecn_config is not req.ecn_config:
+                raise ValueError(
+                    "conflicting ECN configurations in deployed algorithm "
+                    f"set: {_callable_name(ecn_config)} vs "
+                    f"{_callable_name(req.ecn_config)} cannot both configure "
+                    "the same ports"
+                )
+        return Requirements(int_stamping=int_stamping, ecn_config=ecn_config)
+
+
+def _callable_name(fn: Callable) -> str:
+    return getattr(fn, "__qualname__", repr(fn))
+
+
+def _class_params(cls: type) -> FrozenSet[str]:
+    """Constructor parameters accepted anywhere in the class's MRO."""
+    names = set()
+    for klass in cls.__mro__:
+        init = klass.__dict__.get("__init__")
+        if init is None:
+            continue
+        for param in inspect.signature(init).parameters.values():
+            if param.name == "self":
+                continue
+            if param.kind in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            ):
+                names.add(param.name)
+    return frozenset(names)
+
+
+@dataclass(frozen=True)
+class RegisteredAlgorithm:
+    """One registry entry: a named scheme plus its declared contract."""
 
     name: str
-    transport: str = WINDOW_TRANSPORT
-    #: per-flow factory; receives (flow, network) for schedule-aware CCs
-    make_cc: Optional[Callable] = None
-    needs_int: bool = False
-    needs_ecn: bool = False
-    cnp_interval_ns: Optional[int] = None
-    #: builds the per-port marking config from the port line rate
-    ecn_fn: Optional[Callable[[float], EcnConfig]] = None
-    #: HOMA only: overcommitment level (paper Appendix D sweeps 1-6)
-    homa_overcommit: int = 1
+    requirements: Requirements
+    cls: Optional[type] = None
+    aliases: Tuple[str, ...] = ()
+    #: accepted ``make_algorithm`` parameters (derived from the class
+    #: constructor unless registered explicitly)
+    param_names: FrozenSet[str] = frozenset()
+    #: per-flow factory ``(flow, net, **params) -> CongestionControl``;
+    #: defaults to ``cls(**params)``
+    factory: Optional[Callable] = None
+    #: True when the factory needs a built network (e.g. reTCP binds the
+    #: circuit schedule) — such schemes cannot be driven standalone
+    requires_network: bool = False
+    description: str = ""
+
+    def validate_params(self, params: Dict) -> None:
+        """Reject unknown constructor parameters with a named error."""
+        unknown = sorted(set(params) - set(self.param_names))
+        if unknown:
+            accepted = ", ".join(sorted(self.param_names)) or "(none)"
+            raise TypeError(
+                f"unknown parameter(s) {', '.join(map(repr, unknown))} for "
+                f"congestion-control algorithm {self.name!r}; accepted "
+                f"parameters: {accepted}"
+            )
+
+    def make_cc(self, flow, net, params: Dict):
+        """Instantiate the per-flow CC object (None for receiver-driven)."""
+        if self.factory is not None:
+            return self.factory(flow, net, **params)
+        if self.cls is not None:
+            return self.cls(**params)
+        return None
+
+
+#: canonical name -> entry
+ALGORITHMS: Dict[str, RegisteredAlgorithm] = {}
+#: normalized alias -> canonical name (canonical names are self-aliases)
+_ALIASES: Dict[str, str] = {}
+
+#: the modules that self-register built-in algorithms (the PowerTCP
+#: family lives in repro.core; everything else under repro.cc)
+BUILTIN_MODULES = (
+    "repro.cc.base",
+    "repro.cc.cubic",
+    "repro.cc.dcqcn",
+    "repro.cc.dctcp",
+    "repro.cc.homa",
+    "repro.cc.hpcc",
+    "repro.cc.newreno",
+    "repro.cc.retcp",
+    "repro.cc.swift",
+    "repro.cc.timely",
+    "repro.core.powertcp",
+    "repro.core.theta",
+)
+
+
+def normalize(name: str) -> str:
+    """Canonical key form: lowercase, underscores -> dashes."""
+    return name.lower().replace("_", "-")
+
+
+def _first_doc_line(obj) -> str:
+    doc = inspect.getdoc(obj) or ""
+    return doc.splitlines()[0].strip() if doc else ""
+
+
+def _add_entry(entry: RegisteredAlgorithm) -> RegisteredAlgorithm:
+    # Validate everything before mutating, so a rejected registration
+    # leaves the registry untouched.
+    existing = ALGORITHMS.get(entry.name)
+    if existing is not None:
+        # Re-registration is allowed only for the identical class/factory
+        # object (idempotent module re-import); class-less entries have no
+        # identity to match, so a name collision is always an error.
+        same_cls = entry.cls is not None and existing.cls is entry.cls
+        same_factory = (
+            entry.factory is not None and existing.factory is entry.factory
+        )
+        if not (same_cls or same_factory):
+            raise ValueError(
+                f"congestion-control name {entry.name!r} already registered"
+            )
+    keys = [normalize(alias) for alias in (entry.name,) + entry.aliases]
+    for alias, key in zip((entry.name,) + entry.aliases, keys):
+        owner = _ALIASES.get(key)
+        if owner is not None and owner != entry.name:
+            raise ValueError(
+                f"congestion-control alias {alias!r} already maps to {owner!r}"
+            )
+    ALGORITHMS[entry.name] = entry
+    for key in keys:
+        _ALIASES[key] = entry.name
+    return entry
+
+
+def register(
+    name: str,
+    *,
+    aliases: Iterable[str] = (),
+    requirements: Requirements = Requirements(),
+    params: Optional[Iterable[str]] = None,
+    factory: Optional[Callable] = None,
+    requires_network: bool = False,
+    description: str = "",
+):
+    """Class decorator: register a CC class under ``name`` (+ aliases).
+
+    ``params`` overrides the accepted-parameter set (otherwise derived
+    from the constructor signature across the MRO); ``factory`` replaces
+    the default ``cls(**params)`` instantiation for schemes that need the
+    built network (pass ``requires_network=True`` for those).
+    """
+
+    def decorate(cls: type) -> type:
+        _add_entry(
+            RegisteredAlgorithm(
+                name=normalize(name),
+                requirements=requirements,
+                cls=cls,
+                aliases=tuple(aliases),
+                param_names=(
+                    frozenset(params) if params is not None else _class_params(cls)
+                ),
+                factory=factory,
+                requires_network=requires_network,
+                description=description or _first_doc_line(cls),
+            )
+        )
+        return cls
+
+    return decorate
+
+
+def register_algorithm(
+    name: str,
+    *,
+    aliases: Iterable[str] = (),
+    requirements: Requirements = Requirements(),
+    params: Iterable[str] = (),
+    description: str = "",
+) -> RegisteredAlgorithm:
+    """Register a scheme with no per-flow CC class (HOMA's receiver-driven
+    transport: the machinery lives in the driver/receiver, not a CC law)."""
+    return _add_entry(
+        RegisteredAlgorithm(
+            name=normalize(name),
+            requirements=requirements,
+            aliases=tuple(aliases),
+            param_names=frozenset(params),
+            description=description,
+        )
+    )
+
+
+def load_builtin_algorithms() -> None:
+    """Import every built-in CC module (idempotent)."""
+    for module in BUILTIN_MODULES:
+        importlib.import_module(module)
+
+
+def get_algorithm(name: str) -> RegisteredAlgorithm:
+    """Look up a registry entry by name or alias; KeyError with catalog."""
+    load_builtin_algorithms()
+    canonical = _ALIASES.get(normalize(name))
+    if canonical is None:
+        raise KeyError(
+            f"unknown congestion control algorithm: {name!r} "
+            f"(registered: {', '.join(algorithm_names())})"
+        )
+    return ALGORITHMS[canonical]
+
+
+def algorithm_names() -> List[str]:
+    """Sorted canonical names of every registered algorithm."""
+    load_builtin_algorithms()
+    return sorted(ALGORITHMS)
+
+
+@dataclass
+class AlgorithmSpec:
+    """One deployable (algorithm, parameters) binding.
+
+    Produced by :func:`make_algorithm`; consumed by
+    :class:`repro.experiments.driver.FlowDriver`.  All harness-facing
+    knowledge lives in ``requirements`` — there are no per-scheme special
+    fields.
+    """
+
+    name: str
+    requirements: Requirements = field(default_factory=Requirements)
     params: Dict = field(default_factory=dict)
+    entry: Optional[RegisteredAlgorithm] = None
+
+    @property
+    def needs_int(self) -> bool:
+        return self.requirements.needs_int
+
+    @property
+    def needs_ecn(self) -> bool:
+        return self.requirements.needs_ecn
+
+    @property
+    def cnp_interval_ns(self) -> Optional[int]:
+        return self.requirements.cnp_interval_ns
 
     @property
     def is_homa(self) -> bool:
         """True for the receiver-driven transport."""
-        return self.transport == HOMA_TRANSPORT
+        return self.requirements.transport == HOMA_TRANSPORT
 
-
-def _window_spec(name: str, cls, needs_int: bool, **params) -> AlgorithmSpec:
-    return AlgorithmSpec(
-        name=name,
-        make_cc=lambda flow, net: cls(**params),
-        needs_int=needs_int,
-        params=params,
-    )
+    def make_cc(self, flow, net):
+        """Instantiate this spec's per-flow CC object."""
+        if self.entry is None:
+            raise ValueError(
+                f"algorithm spec {self.name!r} has no registry entry; build "
+                "specs via make_algorithm() or register the scheme"
+            )
+        return self.entry.make_cc(flow, net, self.params)
 
 
 def make_algorithm(name: str, **params) -> AlgorithmSpec:
-    """Build the spec for ``name``; ``params`` go to the CC constructor.
+    """Bind ``name`` and constructor ``params`` into a deployable spec.
 
-    Raises ``KeyError`` for unknown names.
+    Raises ``KeyError`` for unknown names and ``TypeError`` for unknown
+    parameters (naming the algorithm and its accepted parameter set).
     """
-    key = name.lower().replace("_", "-")
-    if key in ("powertcp", "powertcp-int"):
-        return _window_spec("powertcp", PowerTcp, needs_int=True, **params)
-    if key in ("theta-powertcp", "powertcp-delay", "theta"):
-        return _window_spec("theta-powertcp", ThetaPowerTcp, needs_int=False, **params)
-    if key == "hpcc":
-        return _window_spec("hpcc", Hpcc, needs_int=True, **params)
-    if key == "timely":
-        return _window_spec("timely", Timely, needs_int=False, **params)
-    if key == "swift":
-        return _window_spec("swift", Swift, needs_int=False, **params)
-    if key == "newreno":
-        return _window_spec("newreno", NewReno, needs_int=False, **params)
-    if key == "cubic":
-        return _window_spec("cubic", Cubic, needs_int=False, **params)
-    if key == "static":
-        return _window_spec("static", StaticWindow, needs_int=False, **params)
-    if key == "dcqcn":
-        spec = _window_spec("dcqcn", Dcqcn, needs_int=False, **params)
-        spec.needs_ecn = True
-        spec.cnp_interval_ns = DCQCN_CNP_INTERVAL_NS
-        spec.ecn_fn = Dcqcn.ecn_config_for
-        return spec
-    if key == "dctcp":
-        spec = _window_spec("dctcp", Dctcp, needs_int=False, **params)
-        spec.needs_ecn = True
-        # The K threshold depends on the base RTT, bound by the harness.
-        spec.ecn_fn = None
-        return spec
-    if key == "homa":
-        overcommit = int(params.pop("overcommitment", 1))
-        return AlgorithmSpec(
-            name="homa",
-            transport=HOMA_TRANSPORT,
-            homa_overcommit=overcommit,
-            params=params,
-        )
-    if key == "retcp":
-        prebuffer_ns = int(params.pop("prebuffer_ns", 0))
-        flows_per_pair = int(params.pop("flows_per_pair", 1))
-
-        def make_retcp(flow, net):
-            rdcn = net.extras["params"]
-            return ReTcp(
-                net.extras["schedule"],
-                rdcn.tor_of_host(flow.src),
-                rdcn.tor_of_host(flow.dst),
-                prebuffer_ns=prebuffer_ns,
-                flows_per_pair=flows_per_pair,
-                **params,
-            )
-
-        return AlgorithmSpec(name="retcp", make_cc=make_retcp, params=params)
-    raise KeyError(f"unknown congestion control algorithm: {name!r}")
+    entry = get_algorithm(name)
+    entry.validate_params(params)
+    return AlgorithmSpec(
+        name=entry.name,
+        requirements=entry.requirements,
+        params=dict(params),
+        entry=entry,
+    )
 
 
 #: canonical names of the paper's evaluated set (Figs. 4-7)

@@ -23,14 +23,40 @@ exactly why it pays the latency cost Fig. 8b shows.
 from __future__ import annotations
 
 from repro.cc.base import CongestionControl
+from repro.cc.registry import register
 from repro.sim.circuit import CircuitSchedule
 from repro.units import BITS_PER_BYTE, SEC
 
 
+def _retcp_factory(flow, net, **params):
+    """Bind the ToR pair and circuit schedule from the built RDCN."""
+    prebuffer_ns = int(params.pop("prebuffer_ns", 0))
+    flows_per_pair = int(params.pop("flows_per_pair", 1))
+    rdcn = net.extras["params"]
+    return ReTcp(
+        net.extras["schedule"],
+        rdcn.tor_of_host(flow.src),
+        rdcn.tor_of_host(flow.dst),
+        prebuffer_ns=prebuffer_ns,
+        flows_per_pair=flows_per_pair,
+        **params,
+    )
+
+
+@register(
+    "retcp",
+    factory=_retcp_factory,
+    requires_network=True,
+    params=(
+        "prebuffer_ns",
+        "flows_per_pair",
+        "day_window_multiple",
+        "cap_bdp_multiple",
+    ),
+    description="reTCP: circuit-schedule-driven windows (RDCN case study)",
+)
 class ReTcp(CongestionControl):
     """Schedule-driven static windows (endpoint half of reTCP)."""
-
-    needs_int = False
 
     def __init__(
         self,

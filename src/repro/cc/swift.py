@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cc.base import CongestionControl
+from repro.cc.registry import register
 
 DEFAULT_TARGET_RTTS = 1.25  # target delay as a multiple of base RTT
 DEFAULT_AI_MTUS = 1.0  # additive increase per RTT, in MTUs
@@ -21,10 +22,12 @@ DEFAULT_BETA = 0.8
 DEFAULT_MAX_MDF = 0.5  # max multiplicative decrease factor per event
 
 
+@register(
+    "swift",
+    description="Swift: target-delay AIMD (SIGCOMM 2020 extension)",
+)
 class Swift(CongestionControl):
     """Swift sender logic (window-based)."""
-
-    needs_int = False
 
     def __init__(
         self,
@@ -47,8 +50,8 @@ class Swift(CongestionControl):
             self.target_ns = int(DEFAULT_TARGET_RTTS * sender.base_rtt_ns)
         self._last_decrease_seq = 0
 
-    def on_ack(self, sender, ack) -> None:
-        rtt = sender.last_rtt_ns
+    def on_ack(self, sender, feedback) -> None:
+        rtt = feedback.rtt_ns
         if rtt is None:
             return
         mtu = sender.mtu_payload
@@ -57,11 +60,11 @@ class Swift(CongestionControl):
             cwnd_mtus = max(sender.cwnd / mtu, 1e-6)
             increment = self.ai_mtus * mtu / cwnd_mtus
             self.set_window(sender, sender.cwnd + increment)
-        elif ack.ack_seq > self._last_decrease_seq:
+        elif feedback.ack_seq > self._last_decrease_seq:
             # At most one multiplicative decrease per RTT.
             factor = max(
                 1.0 - self.beta * (rtt - self.target_ns) / rtt,
                 1.0 - self.max_mdf,
             )
             self.set_window(sender, sender.cwnd * factor)
-            self._last_decrease_seq = sender.snd_nxt
+            self._last_decrease_seq = feedback.sent_high

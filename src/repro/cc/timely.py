@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cc.base import CongestionControl
+from repro.cc.registry import register
 
 DEFAULT_EWMA_ALPHA = 0.875  # weight on the *old* rtt_diff
 DEFAULT_BETA = 0.8
@@ -29,10 +30,12 @@ DEFAULT_T_HIGH_RTTS = 5.0
 MIN_RATE_FRACTION = 0.001
 
 
+@register(
+    "timely",
+    description="TIMELY: RTT-gradient rate control (SIGCOMM 2015)",
+)
 class Timely(CongestionControl):
     """TIMELY sender logic (rate-based)."""
-
-    needs_int = False
 
     def __init__(
         self,
@@ -70,8 +73,8 @@ class Timely(CongestionControl):
         self._neg_gradient_count = 0
         self.set_rate(sender, self._rate)
 
-    def on_ack(self, sender, ack) -> None:
-        rtt = sender.last_rtt_ns
+    def on_ack(self, sender, feedback) -> None:
+        rtt = feedback.rtt_ns
         if rtt is None:
             return
         if self._prev_rtt is None:

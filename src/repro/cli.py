@@ -41,8 +41,9 @@ from repro.fluid.reaction import (
     decrease_vs_queue_length,
     three_case_comparison,
 )
+from repro.cc.registry import ALGORITHMS, HOMA_TRANSPORT, algorithm_names
 from repro.scenarios import get_scenario, scenario_names
-from repro.scenarios.sweep import SweepRunner, SweepSpec
+from repro.scenarios.sweep import SweepRunner, SweepSpec, default_results_path
 from repro.units import GBPS, MSEC, USEC
 
 DEFAULT_ALGOS = ["powertcp", "theta-powertcp", "hpcc", "dcqcn", "timely", "homa"]
@@ -291,9 +292,14 @@ def cmd_sweep(args) -> None:
     spec = SweepSpec(
         scenario=args.scenario, grid=grid, base=base, seed=args.seed
     )
+    out_path = args.out or default_results_path(args.scenario)
     try:
-        # The constructor validates grid axes and the job count.
-        runner = SweepRunner(spec, jobs=args.jobs)
+        # The constructor validates grid axes and the job count.  The
+        # output file doubles as the incremental cache: cells whose
+        # (config, seed) already exist there are reused unless --force.
+        runner = SweepRunner(
+            spec, jobs=args.jobs, reuse_path=out_path, force=args.force
+        )
     except ValueError as exc:  # unknown/empty grid axis, bad jobs
         raise SystemExit(str(exc))
     sweep = runner.run()
@@ -303,17 +309,50 @@ def cmd_sweep(args) -> None:
             f"{k}={_fmt_metric(v)}" for k, v in sorted(cell.result.metrics.items())
         )
         print(f"{params} | {metrics}")
-    path = sweep.persist(args.out)
-    print(f"wrote {path} ({len(sweep.cells)} cells, jobs={args.jobs})")
+    # keep_existing: the file doubles as the incremental cache, so a
+    # narrower re-run must not discard previously persisted cells —
+    # --force bypasses cache *reads* but never purges unrelated results.
+    path = sweep.persist(args.out, keep_existing=True)
+    total = sweep.persisted_cell_count
+    extra = f", {total} total in file" if total > len(sweep.cells) else ""
+    reused = (
+        f", reused {runner.reused_cells} cached" if runner.reused_cells else ""
+    )
+    print(
+        f"wrote {path} ({len(sweep.cells)} cells, jobs={args.jobs}"
+        f"{reused}{extra})"
+    )
+
+
+def _requirements_summary(entry) -> str:
+    req = entry.requirements
+    parts = []
+    if req.int_stamping:
+        parts.append("INT")
+    if req.ecn_config is not None:
+        parts.append("ECN")
+    if req.cnp_interval_ns is not None:
+        parts.append("CNP")
+    if req.transport == HOMA_TRANSPORT:
+        parts.append("receiver-driven")
+    return "+".join(parts) if parts else "-"
 
 
 def cmd_list(args) -> None:
-    """Print the scenario registry and the figure aliases."""
+    """Print the scenario and CC registries and the figure aliases."""
     print("scenarios (python -m repro run|sweep <name>):")
     for name in scenario_names():
         scenario = get_scenario(name)
-        print(f"  {name:10s} {scenario.description}")
-        print(f"  {'':10s}   fields: {', '.join(scenario.config_fields())}")
+        print(f"  {name:12s} {scenario.description}")
+        print(f"  {'':12s}   fields: {', '.join(scenario.config_fields())}")
+    print()
+    print("congestion-control algorithms (--algorithm/--algorithms):")
+    for name in algorithm_names():
+        entry = ALGORITHMS[name]
+        features = _requirements_summary(entry)
+        print(f"  {name:15s} [{features:>15s}] {entry.description}")
+        if entry.aliases:
+            print(f"  {'':15s} {'':>17s} aliases: {', '.join(entry.aliases)}")
     print()
     print("figure aliases (python -m repro <figN>):")
     for name in sorted(COMMANDS):
@@ -393,6 +432,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--seed", type=int, default=1, help="sweep base seed")
     sweep_p.add_argument(
         "--out", help="JSON output path (default benchmarks/results/<scenario>_sweep.json)"
+    )
+    sweep_p.add_argument(
+        "--force", action="store_true",
+        help="re-run every cell even if present in the output JSON",
     )
     return parser
 

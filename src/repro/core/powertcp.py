@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cc.base import CongestionControl
+from repro.cc.registry import Requirements, register
 from repro.core.power import INTPowerEstimator
 
 DEFAULT_GAMMA = 0.9
@@ -35,10 +36,14 @@ DEFAULT_GAMMA = 0.9
 DEFAULT_EXPECTED_FLOWS = 64
 
 
+@register(
+    "powertcp",
+    aliases=("powertcp-int",),
+    requirements=Requirements(int_stamping=True),
+    description="PowerTCP: INT-based power control law (paper Algorithm 1)",
+)
 class PowerTcp(CongestionControl):
     """INT-based power control law (paper Algorithm 1)."""
-
-    needs_int = True
 
     def __init__(
         self,
@@ -73,12 +78,14 @@ class PowerTcp(CongestionControl):
         self._cwnd_old = sender.cwnd
         self._last_update_seq = 0
 
-    def on_ack(self, sender, ack) -> None:
+    def on_ack(self, sender, feedback) -> None:
         """NEW_ACK (Algorithm 1 lines 2-7)."""
-        norm_power = self._estimator.update(ack.int_hops)
+        norm_power = self._estimator.update(
+            feedback.require_int(type(self).__name__)
+        )
         if norm_power is None:
             return
-        if self.once_per_rtt and ack.ack_seq < self._last_update_seq:
+        if self.once_per_rtt and feedback.ack_seq < self._last_update_seq:
             return  # smoothing continues; the window waits for a full RTT
         cwnd_old = self._cwnd_old  # GET_CWND(ack.seq)
         gamma = self.gamma
@@ -87,13 +94,13 @@ class PowerTcp(CongestionControl):
             + (1.0 - gamma) * sender.cwnd
         )
         self.set_window(sender, new_cwnd)  # also sets rate = cwnd / τ
-        self._update_old(sender, ack)
+        self._update_old(sender, feedback)
 
-    def _update_old(self, sender, ack) -> None:
+    def _update_old(self, sender, feedback) -> None:
         """UPDATE_OLD: remember the current window once per RTT."""
-        if ack.ack_seq > self._last_update_seq:
+        if feedback.ack_seq > self._last_update_seq:
             self._cwnd_old = sender.cwnd
-            self._last_update_seq = sender.snd_nxt
+            self._last_update_seq = feedback.sent_high
 
     @property
     def smoothed_norm_power(self) -> Optional[float]:

@@ -23,14 +23,18 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cc.base import CongestionControl
+from repro.cc.registry import register
 from repro.core.power import MIN_NORM_POWER, normalized_power_from_delay
 from repro.core.powertcp import DEFAULT_EXPECTED_FLOWS, DEFAULT_GAMMA
 
 
+@register(
+    "theta-powertcp",
+    aliases=("powertcp-delay", "theta"),
+    description="θ-PowerTCP: delay-based power control law (Algorithm 2)",
+)
 class ThetaPowerTcp(CongestionControl):
     """Delay-based power control law (paper Algorithm 2)."""
-
-    needs_int = False
 
     def __init__(
         self,
@@ -61,10 +65,10 @@ class ThetaPowerTcp(CongestionControl):
         self._prev_ack_time_ns = None
         self._last_update_seq = 0
 
-    def on_ack(self, sender, ack) -> None:
+    def on_ack(self, sender, feedback) -> None:
         """NEW_ACK (Algorithm 2): smooth per ACK, update once per RTT."""
-        now = sender.sim.now
-        rtt = sender.last_rtt_ns
+        now = feedback.now_ns
+        rtt = feedback.rtt_ns
         if rtt is None:
             return
         if self._prev_rtt_ns is None:
@@ -86,7 +90,7 @@ class ThetaPowerTcp(CongestionControl):
             self._smoothed = MIN_NORM_POWER
 
         # UPDATE_WINDOW: skip until one RTT's worth of data is acknowledged.
-        if ack.ack_seq < self._last_update_seq:
+        if feedback.ack_seq < self._last_update_seq:
             return
         gamma = self.gamma
         new_cwnd = (
@@ -95,7 +99,7 @@ class ThetaPowerTcp(CongestionControl):
         )
         self.set_window(sender, new_cwnd)
         self._cwnd_old = sender.cwnd
-        self._last_update_seq = sender.snd_nxt
+        self._last_update_seq = feedback.sent_high
 
     @property
     def smoothed_norm_power(self) -> float:

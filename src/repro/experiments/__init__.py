@@ -7,9 +7,11 @@ example script, and an integration test all execute the same code path.
 
 Every module also registers a :class:`repro.scenarios.base.Scenario`
 wrapper with the scenario registry (see :mod:`repro.scenarios`), which
-gives all five experiments a uniform ``configure -> build -> run ->
-collect`` lifecycle, a common :class:`ScenarioResult` record, and access
-to the parallel sweep runner (``python -m repro sweep <scenario> ...``).
+gives all experiments — the five paper figures plus the ``coexistence``
+mixed-deployment and ``permutation`` fabric-stress scenarios — a uniform
+``configure -> build -> run -> collect`` lifecycle, a common
+:class:`ScenarioResult` record, and access to the parallel sweep runner
+(``python -m repro sweep <scenario> ...``).
 """
 
 from repro.experiments.driver import FlowDriver

@@ -1,0 +1,223 @@
+"""Coexistence: two CC algorithms sharing one dumbbell bottleneck.
+
+The deployment question PowerTCP §6 raises (and "It's Time to Replace TCP
+in the Datacenter" makes explicit): a new scheme is never rolled out
+atomically, so how does it behave *next to* the incumbent?  Two groups of
+long flows — group ``a`` under ``algorithm_a``, group ``b`` under
+``algorithm_b`` — share the bottleneck; the driver derives the network
+features as the union of both schemes' declared requirements (e.g.
+PowerTCP's INT stamping *and* DCQCN's ECN marking on the same ports).
+
+Reported per group: mean steady-state throughput and bottleneck share,
+within-group Jain fairness, plus the cross-group throughput ratio (1.0 =
+perfectly algorithm-blind sharing) and the shared queue's peak/settled
+occupancy.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.fairness import jain_index
+from repro.cc.registry import make_algorithm
+from repro.experiments.driver import FlowDriver
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.base import Scenario
+from repro.sim.engine import Simulator
+from repro.sim.tracing import CounterRateProbe, PortProbe
+from repro.topology.dumbbell import DumbbellParams, build_dumbbell
+from repro.units import GBPS, MSEC, USEC
+
+GROUP_A = "a"
+GROUP_B = "b"
+
+
+@dataclass
+class CoexistenceConfig:
+    """One mixed-deployment cell: two algorithms, one bottleneck."""
+
+    algorithm_a: str = "powertcp"
+    algorithm_b: str = "dcqcn"
+    flows_per_group: int = 2
+    host_bw_bps: float = 10 * GBPS
+    bottleneck_bw_bps: float = 10 * GBPS
+    buffer_bytes: int = 4_000_000
+    duration_ns: int = 4 * MSEC
+    probe_interval_ns: int = 20 * USEC
+    mtu_payload: int = 1000
+    seed: int = 1  # deterministic scenario; kept for sweep provenance
+    cc_params_a: Optional[dict] = None
+    cc_params_b: Optional[dict] = None
+
+    @property
+    def algorithm(self) -> str:
+        """Composite label used in provenance records."""
+        return f"{self.algorithm_a}+{self.algorithm_b}"
+
+
+@dataclass
+class CoexistenceResult:
+    """Per-group throughput series plus the sharing summary."""
+
+    algorithm_a: str
+    algorithm_b: str
+    bottleneck_bw_bps: float = 0.0
+    times_ns: List[int] = field(default_factory=list)
+    group_throughput_bps: Dict[str, List[float]] = field(default_factory=dict)
+    flow_mean_bps: Dict[str, List[float]] = field(default_factory=dict)
+    qlen_bytes: List[float] = field(default_factory=list)
+    peak_qlen_bytes: int = 0
+    settled_qlen_bytes: float = 0.0
+    drops: int = 0
+    events_processed: int = 0
+
+    def group_mean_bps(self, group: str, settle_fraction: float = 0.5) -> float:
+        """Mean group throughput over the settled (second) half."""
+        series = self.group_throughput_bps.get(group, [])
+        split = int(len(series) * settle_fraction)
+        tail = series[split:]
+        return statistics.fmean(tail) if tail else 0.0
+
+    def group_share(self, group: str) -> float:
+        """Fraction of the bottleneck the group holds at steady state."""
+        if self.bottleneck_bw_bps <= 0:
+            return 0.0
+        return self.group_mean_bps(group) / self.bottleneck_bw_bps
+
+    def cross_group_ratio(self) -> Optional[float]:
+        """Steady-state throughput of group a over group b (1.0 = fair)."""
+        b = self.group_mean_bps(GROUP_B)
+        if b <= 0:
+            return None
+        return self.group_mean_bps(GROUP_A) / b
+
+    def group_jain(self, group: str) -> Optional[float]:
+        """Jain index across the group's per-flow mean rates."""
+        means = self.flow_mean_bps.get(group, [])
+        return jain_index(means) if means else None
+
+
+def run_coexistence(config: CoexistenceConfig) -> CoexistenceResult:
+    """Run one mixed-deployment cell (groups may run the same scheme —
+    the homogeneous cell is the control for the sharing ratio)."""
+    sim = Simulator()
+    left_hosts = 2 * config.flows_per_group
+    net = build_dumbbell(
+        sim,
+        DumbbellParams(
+            left_hosts=left_hosts,
+            right_hosts=1,
+            host_bw_bps=config.host_bw_bps,
+            bottleneck_bw_bps=config.bottleneck_bw_bps,
+            buffer_bytes=config.buffer_bytes,
+            mtu_payload=config.mtu_payload,
+        ),
+    )
+    groups = {
+        GROUP_A: make_algorithm(
+            config.algorithm_a, **(config.cc_params_a or {})
+        ),
+        GROUP_B: make_algorithm(
+            config.algorithm_b, **(config.cc_params_b or {})
+        ),
+    }
+    driver = FlowDriver(net, groups, mtu_payload=config.mtu_payload)
+
+    receiver = left_hosts  # the single right-side host
+    flows: Dict[str, List] = {GROUP_A: [], GROUP_B: []}
+    for i in range(config.flows_per_group):
+        flows[GROUP_A].append(
+            driver.start_flow(i, receiver, 10 ** 12, at_ns=0, tag=GROUP_A)
+        )
+        flows[GROUP_B].append(
+            driver.start_flow(
+                config.flows_per_group + i, receiver, 10 ** 12, at_ns=0,
+                tag=GROUP_B,
+            )
+        )
+
+    group_probes = {
+        group: CounterRateProbe(
+            sim,
+            config.probe_interval_ns,
+            (lambda fs: (lambda: sum(f.bytes_received for f in fs)))(members),
+        ).start()
+        for group, members in flows.items()
+    }
+    flow_probes = {
+        flow.flow_id: CounterRateProbe(
+            sim,
+            config.probe_interval_ns,
+            (lambda f: (lambda: f.bytes_received))(flow),
+        ).start()
+        for members in flows.values()
+        for flow in members
+    }
+    bottleneck = net.port("bottleneck")
+    queue_probe = PortProbe(sim, bottleneck, config.probe_interval_ns).start()
+
+    driver.run(until_ns=config.duration_ns)
+
+    result = CoexistenceResult(
+        algorithm_a=config.algorithm_a,
+        algorithm_b=config.algorithm_b,
+        bottleneck_bw_bps=config.bottleneck_bw_bps,
+    )
+    result.times_ns = group_probes[GROUP_A].times_ns
+    for group, probe in group_probes.items():
+        result.group_throughput_bps[group] = probe.rates_bps
+    for group, members in flows.items():
+        means = []
+        for flow in members:
+            series = flow_probes[flow.flow_id].rates_bps
+            split = len(series) // 2
+            tail = series[split:]
+            means.append(statistics.fmean(tail) if tail else 0.0)
+        result.flow_mean_bps[group] = means
+    result.peak_qlen_bytes = bottleneck.max_qlen_bytes
+    result.qlen_bytes = queue_probe.qlen_bytes
+    settled = queue_probe.qlen_bytes[len(queue_probe.qlen_bytes) // 2 :]
+    result.settled_qlen_bytes = statistics.fmean(settled) if settled else 0.0
+    result.drops = net.total_drops()
+    result.events_processed = sim.events_processed
+    return result
+
+
+@scenario_registry.register
+class CoexistenceScenario(Scenario):
+    """Two CC schemes sharing a dumbbell bottleneck (§6 deployment)."""
+
+    name = "coexistence"
+    description = "two CC algorithms share a dumbbell; per-group shares"
+    config_cls = CoexistenceConfig
+
+    def tiny_overrides(self) -> dict:
+        return dict(flows_per_group=1, duration_ns=1 * MSEC)
+
+    def build(self, config):
+        return lambda: run_coexistence(config)
+
+    def collect(self, config, raw: CoexistenceResult):
+        metrics = {
+            "group_a_share": raw.group_share(GROUP_A),
+            "group_b_share": raw.group_share(GROUP_B),
+            "cross_group_ratio": raw.cross_group_ratio(),
+            "group_a_jain": raw.group_jain(GROUP_A),
+            "group_b_jain": raw.group_jain(GROUP_B),
+            "peak_qlen_bytes": raw.peak_qlen_bytes,
+            "settled_qlen_bytes": raw.settled_qlen_bytes,
+            "drops": raw.drops,
+        }
+        series = {
+            "times_ns": list(raw.times_ns),
+            "group_a_throughput_bps": list(
+                raw.group_throughput_bps.get(GROUP_A, [])
+            ),
+            "group_b_throughput_bps": list(
+                raw.group_throughput_bps.get(GROUP_B, [])
+            ),
+            "qlen_bytes": list(raw.qlen_bytes),
+        }
+        return metrics, series

@@ -1,33 +1,57 @@
-"""Deploys a congestion-control algorithm onto a built network.
+"""Deploys congestion-control algorithms onto a built network.
 
 The driver owns flow lifecycle: it schedules flow starts on the event
 loop, instantiates the right transport endpoints (window-based sender or
 HOMA's receiver-driven pair), switches on the network features the
-algorithm needs (INT stamping, ECN marking, CNP generation), and collects
-completed flows for FCT analysis.
+deployed algorithms need, and collects completed flows for FCT analysis.
+
+Algorithms are resolved through :mod:`repro.cc.registry` and may differ
+*per flow* — the deployment question PowerTCP §6 raises (incremental
+rollout next to an incumbent scheme).  ``algorithm`` accepts:
+
+* a **string** or :class:`~repro.cc.registry.AlgorithmSpec` — every flow
+  runs the same scheme (the classic single-algorithm experiment);
+* a **mapping** from flow *tag* to string/spec (``"*"`` is the fallback
+  key) — coexistence experiments tag each flow with its group;
+* a **callable** ``(flow) -> str | AlgorithmSpec`` — arbitrary
+  assignment policies;
+
+and :meth:`FlowDriver.start_flow` takes an explicit per-flow
+``algorithm=`` override.  Network features (INT stamping, ECN marking)
+are derived as the *union* of every deployed scheme's declared
+:class:`~repro.cc.registry.Requirements`; per-flow features (INT echo,
+CNP pacing, transport style) follow each flow's own spec.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Mapping, Optional, Union
 
-from repro.cc.dctcp import Dctcp
 from repro.cc.homa import HomaGrantScheduler, HomaReceiver, HomaSender
-from repro.cc.registry import AlgorithmSpec, make_algorithm
+from repro.cc.registry import AlgorithmSpec, Requirements, make_algorithm
 from repro.topology.network import Network
 from repro.transport.flow import Flow
 from repro.transport.receiver import Receiver
 from repro.transport.sender import Sender
 from repro.units import BITS_PER_BYTE, SEC
 
+#: anything resolvable to a deployable spec
+AlgorithmLike = Union[str, AlgorithmSpec]
+#: the fallback key accepted in tag->algorithm mappings
+DEFAULT_GROUP = "*"
+
 
 class FlowDriver:
-    """Flow factory + lifecycle manager for one (network, algorithm) pair."""
+    """Flow factory + lifecycle manager for one (network, algorithms) pair."""
 
     def __init__(
         self,
         net: Network,
-        algorithm: Union[str, AlgorithmSpec],
+        algorithm: Union[
+            AlgorithmLike,
+            Mapping[str, AlgorithmLike],
+            Callable[[Flow], AlgorithmLike],
+        ],
         *,
         mtu_payload: int = 1000,
         rto_ns: Optional[int] = None,
@@ -35,11 +59,6 @@ class FlowDriver:
     ):
         self.net = net
         self.sim = net.sim
-        self.spec = (
-            algorithm
-            if isinstance(algorithm, AlgorithmSpec)
-            else make_algorithm(algorithm, **(cc_params or {}))
-        )
         self.mtu_payload = mtu_payload
         self.rto_ns = rto_ns
         self.flows: List[Flow] = []
@@ -47,20 +66,113 @@ class FlowDriver:
         self.senders: Dict[int, Sender] = {}
         self._next_flow_id = 1
         self._homa_schedulers: Dict[int, HomaGrantScheduler] = {}
-        self._configure_network()
+
+        #: every spec deployed so far, keyed by canonical name (the
+        #: requirement union is over these)
+        self.deployed: Dict[str, AlgorithmSpec] = {}
+        self._ecn_factory = None  # the factory currently configuring ports
+        self._int_enabled = False  # INT stamping already switched on
+        self._flow_specs: Dict[int, AlgorithmSpec] = {}
+        self._assign: Optional[Callable[[Flow], AlgorithmLike]] = None
+        self._tag_specs: Optional[Dict[str, AlgorithmSpec]] = None
+
+        self.spec: Optional[AlgorithmSpec] = None  # the single/default spec
+        if isinstance(algorithm, AlgorithmSpec):
+            if cc_params:
+                raise ValueError(
+                    "cc_params cannot amend an already-bound AlgorithmSpec; "
+                    "pass the parameters to make_algorithm() instead"
+                )
+            self.spec = algorithm
+            self._deploy(self.spec)
+        elif isinstance(algorithm, str):
+            self.spec = self._resolve(algorithm, cc_params)
+            self._deploy(self.spec)
+        elif isinstance(algorithm, Mapping):
+            if cc_params:
+                raise ValueError(
+                    "cc_params is ambiguous across algorithm groups; bind "
+                    "parameters per group via make_algorithm(name, **params)"
+                )
+            if not algorithm:
+                raise ValueError("algorithm mapping must not be empty")
+            self._tag_specs = {
+                tag: self._deploy(self._resolve(algo))
+                for tag, algo in algorithm.items()
+            }
+        elif callable(algorithm):
+            if cc_params:
+                raise ValueError(
+                    "cc_params is ambiguous with a callable assignment; "
+                    "return parameterized specs from the callable instead"
+                )
+            self._assign = algorithm
+        else:
+            raise TypeError(
+                "algorithm must be a name, an AlgorithmSpec, a tag->algorithm "
+                f"mapping, or a callable(flow); got {type(algorithm).__name__}"
+            )
 
     # ------------------------------------------------------------------
-    def _configure_network(self) -> None:
-        spec = self.spec
-        if spec.needs_ecn:
-            if spec.ecn_fn is not None:
-                self.net.apply_ecn(spec.ecn_fn)
-            else:
-                # DCTCP's threshold depends on the base RTT.
-                base_rtt = self.net.base_rtt_ns
-                self.net.apply_ecn(
-                    lambda rate: Dctcp.ecn_config_for(rate, base_rtt)
+    # Algorithm resolution and network-feature union
+    # ------------------------------------------------------------------
+    def _resolve(
+        self, algorithm: AlgorithmLike, cc_params: Optional[dict] = None
+    ) -> AlgorithmSpec:
+        if isinstance(algorithm, AlgorithmSpec):
+            return algorithm
+        if isinstance(algorithm, str):
+            return make_algorithm(algorithm, **(cc_params or {}))
+        raise TypeError(
+            f"cannot resolve algorithm from {type(algorithm).__name__}"
+        )
+
+    def _deploy(self, spec: AlgorithmSpec) -> AlgorithmSpec:
+        """Record a spec and (re)apply the union of network features."""
+        if spec.name in self.deployed:
+            return spec
+        # Validate the union over (deployed + candidate) before recording,
+        # so a rejected deploy (e.g. conflicting ECN) leaves the driver in
+        # its previous, working state.
+        candidate = dict(self.deployed)
+        candidate[spec.name] = spec
+        union = Requirements.union(
+            s.requirements for s in candidate.values()
+        )
+        self.deployed = candidate
+        if union.int_stamping and not self._int_enabled:
+            self.net.enable_int(True)
+            self._int_enabled = True
+        factory = union.ecn_config
+        if factory is not None and factory is not self._ecn_factory:
+            base_rtt = self.net.base_rtt_ns
+            self.net.apply_ecn(lambda rate: factory(rate, base_rtt))
+            self._ecn_factory = factory
+        return spec
+
+    def _spec_for(self, flow: Flow) -> AlgorithmSpec:
+        spec = self._flow_specs.get(flow.flow_id)
+        if spec is not None:
+            return spec
+        if self._tag_specs is not None:
+            spec = self._tag_specs.get(flow.tag) or self._tag_specs.get(
+                DEFAULT_GROUP
+            )
+            if spec is None:
+                raise KeyError(
+                    f"flow tag {flow.tag!r} matches no algorithm group "
+                    f"(groups: {', '.join(sorted(self._tag_specs))}); add a "
+                    f"{DEFAULT_GROUP!r} fallback or tag the flow"
                 )
+            return spec
+        return self.spec
+
+    @property
+    def requirements(self) -> Requirements:
+        """Current union of the deployed schemes' network requirements."""
+        return Requirements.union(
+            s.requirements for s in self.deployed.values()
+        )
 
     @property
     def rtt_bytes(self) -> int:
@@ -77,8 +189,14 @@ class FlowDriver:
         size_bytes: int,
         at_ns: Optional[int] = None,
         tag: str = "",
+        algorithm: Optional[AlgorithmLike] = None,
     ) -> Flow:
-        """Schedule one flow; returns its (mutable) record."""
+        """Schedule one flow; returns its (mutable) record.
+
+        ``algorithm`` overrides the driver-level assignment for this flow
+        (resolved — and its requirements deployed — eagerly, so unknown
+        names or parameters fail here, not mid-simulation).
+        """
         if src == dst:
             raise ValueError(f"flow src == dst == {src}")
         if size_bytes <= 0:
@@ -92,19 +210,32 @@ class FlowDriver:
             )
         flow = Flow(self._next_flow_id, src, dst, size_bytes, tag=tag)
         self._next_flow_id += 1
+        # Resolve the flow's algorithm eagerly, whatever the assignment
+        # mode, so typos, unknown params, unmatched tags, and requirement
+        # conflicts all fail here — never mid-simulation.
+        if algorithm is not None:
+            self._flow_specs[flow.flow_id] = self._deploy(
+                self._resolve(algorithm)
+            )
+        elif self._assign is not None:
+            self._flow_specs[flow.flow_id] = self._deploy(
+                self._resolve(self._assign(flow))
+            )
+        elif self.spec is None:
+            self._spec_for(flow)  # fail eagerly on unmatched tags
         self.flows.append(flow)
         start = self.sim.now if at_ns is None else at_ns
         self.sim.at(start, self._launch, flow)
         return flow
 
     def _launch(self, flow: Flow) -> None:
-        if self.spec.is_homa:
-            self._launch_homa(flow)
+        spec = self._spec_for(flow)
+        if spec.is_homa:
+            self._launch_homa(flow, spec)
         else:
-            self._launch_window(flow)
+            self._launch_window(flow, spec)
 
-    def _launch_window(self, flow: Flow) -> None:
-        spec = self.spec
+    def _launch_window(self, flow: Flow, spec: AlgorithmSpec) -> None:
         receiver = Receiver(
             self.sim,
             self.net.host(flow.dst),
@@ -128,8 +259,8 @@ class FlowDriver:
         receiver.start()
         sender.start()
 
-    def _launch_homa(self, flow: Flow) -> None:
-        scheduler = self._scheduler_for(flow.dst)
+    def _launch_homa(self, flow: Flow, spec: AlgorithmSpec) -> None:
+        scheduler = self._scheduler_for(flow.dst, spec)
         receiver = HomaReceiver(
             self.sim,
             self.net.host(flow.dst),
@@ -153,16 +284,25 @@ class FlowDriver:
         receiver.start()
         sender.start()
 
-    def _scheduler_for(self, host_id: int) -> HomaGrantScheduler:
+    def _scheduler_for(self, host_id: int, spec: AlgorithmSpec) -> HomaGrantScheduler:
+        overcommit = int(spec.params.get("overcommitment", 1))
         scheduler = self._homa_schedulers.get(host_id)
         if scheduler is None:
             scheduler = HomaGrantScheduler(
                 self.sim,
                 self.net.host(host_id),
-                overcommitment=self.spec.homa_overcommit,
+                overcommitment=overcommit,
                 mtu_payload=self.mtu_payload,
             )
             self._homa_schedulers[host_id] = scheduler
+        elif scheduler.overcommitment != overcommit:
+            # The grant scheduler is per destination host; two HOMA groups
+            # with different overcommitment cannot share one receiver.
+            raise ValueError(
+                f"host {host_id} already grants with overcommitment "
+                f"{scheduler.overcommitment}; cannot deploy a HOMA flow "
+                f"with overcommitment {overcommit} to the same receiver"
+            )
         return scheduler
 
     def _on_complete(self, flow: Flow) -> None:
@@ -188,7 +328,7 @@ class _NoCc:
     def on_start(self, sender) -> None:
         pass
 
-    def on_ack(self, sender, ack) -> None:
+    def on_ack(self, sender, feedback) -> None:
         pass
 
     def on_loss(self, sender) -> None:

@@ -30,6 +30,8 @@ BUILTIN_MODULES = (
     "repro.experiments.fairness",
     "repro.experiments.rdcn",
     "repro.experiments.bursty",
+    "repro.experiments.coexistence",
+    "repro.experiments.permutation",
 )
 
 

@@ -34,6 +34,20 @@ from repro.scenarios.registry import get_scenario
 DEFAULT_RESULTS_DIR = os.path.join("benchmarks", "results")
 
 
+def default_results_path(scenario: str) -> str:
+    """Default JSON persistence path for one scenario's sweep."""
+    return os.path.join(DEFAULT_RESULTS_DIR, f"{scenario}_sweep.json")
+
+
+def _cell_key(scenario: str, overrides: Dict[str, Any]) -> str:
+    """Canonical identity of one cell: scenario + full config overrides
+    (base + grid params + derived seed), the '(config, seed)' of a cell."""
+    return json.dumps(
+        {"scenario": scenario, "overrides": config_to_jsonable(overrides)},
+        sort_keys=True,
+    )
+
+
 @dataclass
 class SweepSpec:
     """A parameter grid over one scenario's config fields.
@@ -109,6 +123,8 @@ class SweepResult:
 
     spec: SweepSpec
     cells: List[SweepCell] = field(default_factory=list)
+    #: cells written by the last :meth:`persist` (current + carried over)
+    persisted_cell_count: int = 0
 
     def cell(self, **params) -> SweepCell:
         """The unique cell whose grid assignment matches ``params``."""
@@ -127,26 +143,83 @@ class SweepResult:
             "base": config_to_jsonable(self.spec.base),
             "seed": self.spec.seed,
             "cells": [
-                {"params": config_to_jsonable(c.params), **c.result.to_json_dict()}
+                {
+                    "params": config_to_jsonable(c.params),
+                    "overrides": config_to_jsonable(c.overrides),
+                    **c.result.to_json_dict(),
+                }
                 for c in self.cells
             ],
         }
 
-    def persist(self, path: Optional[str] = None) -> str:
-        """Write the sweep as JSON; returns the path written."""
+    def persist(
+        self, path: Optional[str] = None, *, keep_existing: bool = False
+    ) -> str:
+        """Write the sweep as JSON; returns the path written.
+
+        With ``keep_existing=True``, cells already present in the target
+        file that are *not* part of this sweep (e.g. from a wider grid
+        persisted earlier) are carried over after this sweep's cells, so
+        a file doubling as an incremental cache never loses results to a
+        narrower re-run.  Note the file's top-level ``grid``/``base``/
+        ``seed`` header always describes the *latest* sweep; carried-over
+        cells keep their own per-cell ``overrides`` as provenance.  The
+        default overwrites exactly (byte-identical output for identical
+        sweeps).
+
+        Sets ``self.persisted_cell_count`` to the number of cells written
+        (current + carried over).
+        """
         if path is None:
             os.makedirs(DEFAULT_RESULTS_DIR, exist_ok=True)
-            path = os.path.join(
-                DEFAULT_RESULTS_DIR, f"{self.spec.scenario}_sweep.json"
-            )
+            path = default_results_path(self.spec.scenario)
         else:
             parent = os.path.dirname(path)
             if parent:
                 os.makedirs(parent, exist_ok=True)
+        doc = self.to_json_dict()
+        if keep_existing:
+            doc["cells"].extend(self._foreign_cells(path, doc["cells"]))
+        self.persisted_cell_count = len(doc["cells"])
         with open(path, "w") as handle:
-            json.dump(self.to_json_dict(), handle, indent=1, sort_keys=True)
+            json.dump(doc, handle, indent=1, sort_keys=True)
             handle.write("\n")
         return path
+
+    @staticmethod
+    def _foreign_cells(path: str, current_cells: List[Dict]) -> List[Dict]:
+        """Cells in the existing file at ``path`` outside this sweep.
+
+        Pre-incremental files (cells without an ``overrides`` key) are
+        preserved too, deduplicated against this sweep by (scenario,
+        params) — never silently dropped.
+        """
+        try:
+            with open(path) as handle:
+                old = json.load(handle)
+        except (OSError, ValueError):
+            return []
+
+        def params_key(cell: Dict) -> str:
+            return json.dumps(
+                {"scenario": cell.get("scenario"), "params": cell.get("params")},
+                sort_keys=True,
+            )
+
+        current = {
+            _cell_key(c["scenario"], c["overrides"]) for c in current_cells
+        }
+        current_params = {params_key(c) for c in current_cells}
+        kept = []
+        for cell in old.get("cells", []):
+            if "scenario" not in cell:
+                continue
+            if "overrides" in cell:
+                if _cell_key(cell["scenario"], cell["overrides"]) not in current:
+                    kept.append(cell)
+            elif params_key(cell) not in current_params:
+                kept.append(cell)
+        return kept
 
 
 class SweepRunner:
@@ -155,28 +228,80 @@ class SweepRunner:
     ``jobs=1`` runs inline (raw experiment results stay attached, which
     benchmarks rely on); ``jobs>1`` fans cells across worker processes
     in deterministic cell order.
+
+    **Incremental re-runs**: pass ``reuse_path`` (a previously persisted
+    sweep JSON) and cells whose (config, seed) — i.e. full override set —
+    already appear in that file are loaded instead of re-simulated, so
+    growing a grid or re-running a persisted sweep only pays for the
+    missing cells.  ``force=True`` re-runs everything regardless.
     """
 
-    def __init__(self, spec: SweepSpec, jobs: int = 1):
+    def __init__(
+        self,
+        spec: SweepSpec,
+        jobs: int = 1,
+        *,
+        reuse_path: Optional[str] = None,
+        force: bool = False,
+    ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         spec.validate()
         self.spec = spec
         self.jobs = jobs
+        self.reuse_path = reuse_path
+        self.force = force
+        #: cells served from ``reuse_path`` by the last :meth:`run`
+        self.reused_cells = 0
+
+    def _load_cached(self) -> Dict[str, ScenarioResult]:
+        """Prior results keyed by cell identity (empty when unavailable)."""
+        if self.force or not self.reuse_path:
+            return {}
+        try:
+            with open(self.reuse_path) as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        cached: Dict[str, ScenarioResult] = {}
+        for cell in doc.get("cells", []):
+            overrides = cell.get("overrides")
+            if overrides is None:  # pre-incremental file format
+                continue
+            key = _cell_key(cell.get("scenario", ""), overrides)
+            cached[key] = ScenarioResult(
+                scenario=cell.get("scenario", ""),
+                metrics=cell.get("metrics", {}),
+                series=cell.get("series", {}),
+                provenance=cell.get("provenance", {}),
+            )
+        return cached
 
     def run(self) -> SweepResult:
         """Execute every cell; cells come back in grid order."""
         spec = self.spec
         cells = expand_cells(spec)
         overrides = [cell_overrides(spec, params) for params in cells]
+        cached = self._load_cached()
+        keys = [_cell_key(spec.scenario, ov) for ov in overrides]
+        results: List[Optional[ScenarioResult]] = [
+            cached.get(key) for key in keys
+        ]
+        self.reused_cells = sum(1 for r in results if r is not None)
+        pending = [i for i, r in enumerate(results) if r is None]
         if self.jobs == 1:
             scenario = get_scenario(spec.scenario)
-            results = [scenario.run(**ov) for ov in overrides]
-        else:
+            for i in pending:
+                results[i] = scenario.run(**overrides[i])
+        elif pending:
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                results = list(
-                    pool.map(_execute_cell, [spec.scenario] * len(cells), overrides)
+                fresh = pool.map(
+                    _execute_cell,
+                    [spec.scenario] * len(pending),
+                    [overrides[i] for i in pending],
                 )
+                for i, result in zip(pending, fresh):
+                    results[i] = result
         return SweepResult(
             spec=spec,
             cells=[
@@ -192,7 +317,9 @@ def run_sweep(
     base: Optional[Dict[str, Any]] = None,
     seed: int = 1,
     jobs: int = 1,
+    reuse_path: Optional[str] = None,
+    force: bool = False,
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`SweepRunner`."""
     spec = SweepSpec(scenario=scenario, grid=grid, base=base or {}, seed=seed)
-    return SweepRunner(spec, jobs=jobs).run()
+    return SweepRunner(spec, jobs=jobs, reuse_path=reuse_path, force=force).run()

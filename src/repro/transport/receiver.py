@@ -11,7 +11,10 @@ semantics, matching RDMA NIC behaviour).
 
 For DCQCN the receiver doubles as the *notification point*: when a
 congestion-marked packet arrives it returns a CNP, rate-limited to one per
-``cnp_interval_ns`` (50 µs in the DCQCN paper).
+``cnp_interval_ns`` (50 µs in the DCQCN paper).  Both ``echo_int`` and
+``cnp_interval_ns`` are per-flow settings the driver derives from the
+deployed scheme's declared :class:`repro.cc.registry.Requirements`, so
+flows under different CC algorithms can share one network.
 """
 
 from __future__ import annotations

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.cc.base import AckFeedback
 from repro.sim.engine import Event, Simulator
 from repro.sim.host import Host
 from repro.sim.packet import ACK, CNP, Packet
@@ -157,23 +158,39 @@ class Sender:
             return
         self.last_rtt_ns = self.sim.now - ack.ts_echo
         if ack.ack_seq > self.snd_una:
+            newly_acked = ack.ack_seq - self.snd_una
             self.snd_una = ack.ack_seq
             self.dup_acks = 0
             self._arm_rto(restart=True)
-            self.cc.on_ack(self, ack)
+            self.cc.on_ack(self, self._feedback(ack, newly_acked))
             if self.snd_una >= self.flow.size_bytes:
                 self._complete()
             else:
                 self._try_send()
         else:
             self.dup_acks += 1
-            self.cc.on_ack(self, ack)
+            self.cc.on_ack(self, self._feedback(ack, 0))
             in_recovery = self.snd_una < self._recover_high
             if self.dup_acks >= self.dup_ack_threshold and not in_recovery:
                 self._recover_high = self.snd_nxt
                 self._go_back_n(loss_signal=True)
             else:
                 self._try_send()
+
+    def _feedback(self, ack: Packet, newly_acked: int) -> AckFeedback:
+        """The typed per-ACK view handed to the CC law (see
+        :class:`repro.cc.base.AckFeedback` for the contract)."""
+        return AckFeedback(
+            ack_seq=ack.ack_seq,
+            acked_seq=ack.acked_seq,
+            newly_acked_bytes=newly_acked,
+            is_dup=newly_acked == 0,
+            rtt_ns=self.last_rtt_ns,
+            now_ns=self.sim.now,
+            ecn_marked=ack.ecn_marked,
+            int_hops=ack.int_hops,
+            sent_high=self.snd_nxt,
+        )
 
     # ------------------------------------------------------------------
     # Loss recovery (go-back-N, as on RDMA NICs)

@@ -1,15 +1,40 @@
-"""ToR-pair traffic for the RDCN case study (§5).
+"""Permutation traffic: ToR-pair demand (§5) and host-level permutations.
 
-The Fig. 8 scenario watches one ToR pair: hosts under the source ToR run
-long flows to distinct hosts under the destination ToR.  With enough
-parallel flows the pair can fill the 100 Gbps circuit during its day
-(hosts are 25 Gbps each) and falls back to the 25 Gbps packet network
-between days.
+Two flavours:
+
+* :func:`pair_flows` / :func:`all_pairs_flows` — the RDCN case-study
+  demand (Fig. 8): hosts under one ToR run long flows to distinct hosts
+  under another, filling the 100 Gbps circuit during its day;
+* :func:`permutation_pairs` — the classic host-level permutation
+  stress: every host sends to exactly one other host and receives from
+  exactly one other host (a seeded derangement), so no receiver is
+  oversubscribed and any unfairness is the CC scheme's own doing.  Used
+  by the registered ``permutation`` scenario.
 """
 
 from __future__ import annotations
 
+import random
 from typing import List, Tuple
+
+
+def permutation_pairs(
+    rng: random.Random, num_hosts: int
+) -> List[Tuple[int, int]]:
+    """A seeded random derangement: ``(src, dst)`` with ``dst != src``.
+
+    Every host appears exactly once as a source and once as a
+    destination.  Deterministic for a given RNG state.
+    """
+    if num_hosts < 2:
+        raise ValueError(f"need at least 2 hosts, got {num_hosts}")
+    targets = list(range(num_hosts))
+    rng.shuffle(targets)
+    for i in range(num_hosts):
+        if targets[i] == i:
+            j = (i + 1) % num_hosts
+            targets[i], targets[j] = targets[j], targets[i]
+    return [(src, dst) for src, dst in enumerate(targets)]
 
 
 def pair_flows(

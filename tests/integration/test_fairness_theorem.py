@@ -9,8 +9,7 @@ Two checks on the packet simulator:
 
 import pytest
 
-from repro.cc.registry import AlgorithmSpec
-from repro.core.powertcp import PowerTcp
+from repro.cc.registry import make_algorithm
 from repro.experiments.driver import FlowDriver
 from repro.experiments.fairness import FairnessConfig, run_fairness
 from repro.sim.engine import Simulator
@@ -41,12 +40,11 @@ def test_weighted_fairness_follows_beta():
     )
     betas = {0: 500.0, 1: 1000.0}
 
-    spec = AlgorithmSpec(
-        name="powertcp-weighted",
-        make_cc=lambda flow, _net: PowerTcp(beta_bytes=betas[flow.src]),
-        needs_int=True,
+    # Per-flow assignment: each source gets its own beta weighting.
+    driver = FlowDriver(
+        net,
+        lambda flow: make_algorithm("powertcp", beta_bytes=betas[flow.src]),
     )
-    driver = FlowDriver(net, spec)
     flows = [driver.start_flow(i, 2, 10 ** 11, at_ns=0) for i in range(2)]
     driver.run(until_ns=20 * MSEC)
 

@@ -3,13 +3,14 @@ DCTCP) against a stub sender."""
 
 import pytest
 
+from repro.cc.base import AckFeedback
 from repro.cc.dcqcn import Dcqcn
 from repro.cc.dctcp import Dctcp
 from repro.cc.hpcc import Hpcc
 from repro.cc.swift import Swift
 from repro.cc.timely import Timely
 from repro.sim.engine import Simulator
-from repro.sim.packet import HopRecord, Packet
+from repro.sim.packet import HopRecord
 from repro.units import GBPS, USEC
 
 TAU = 20 * USEC
@@ -25,9 +26,6 @@ class StubSender:
         self.mtu_payload = 1000
         self.cwnd = 0.0
         self.pacing_rate_bps = 0.0
-        self.snd_nxt = 0
-        self.snd_una = 0
-        self.last_rtt_ns = None
         self.done = False
 
 
@@ -35,18 +33,13 @@ def hop(qlen, ts, tx, port=1):
     return HopRecord(qlen, ts, tx, HOST_BW, port)
 
 
-def int_ack(hops, ack_seq=0):
-    pkt = Packet(1, 1, 1, 0)
-    pkt.ack_seq = ack_seq
-    pkt.int_hops = hops
-    return pkt
+def int_ack(hops, ack_seq=0, sent_high=0):
+    return AckFeedback(ack_seq=ack_seq, int_hops=hops, sent_high=sent_high)
 
 
-def plain_ack(seq=0, marked=False):
-    pkt = Packet(1, 1, 1, 0)
-    pkt.ack_seq = seq
-    pkt.ecn_marked = marked
-    return pkt
+def plain_ack(seq=0, marked=False, rtt=None, newly=0, sent_high=0):
+    return AckFeedback(ack_seq=seq, ecn_marked=marked, rtt_ns=rtt,
+                       newly_acked_bytes=newly, sent_high=sent_high)
 
 
 # ----------------------------------------------------------------------
@@ -73,8 +66,7 @@ def test_hpcc_decreases_on_overutilization():
 def test_hpcc_additive_stage_below_eta():
     cc, sender = Hpcc(max_stage=5), StubSender()
     cc.on_start(sender)
-    sender.snd_nxt = 10_000
-    cc.on_ack(sender, int_ack([hop(0, 0, 0)]))
+    cc.on_ack(sender, int_ack([hop(0, 0, 0)], sent_high=10_000))
     # Half utilization, no queue: U ~ 0.5 < eta -> additive increase.
     w0 = sender.cwnd
     half = hop(0, TAU, int(6.25e9 * TAU / 1e9))
@@ -89,10 +81,10 @@ def test_hpcc_mi_after_max_stage():
     cc.on_ack(sender, int_ack([hop(0, 0, 0)]))
     half_rate = int(6.25e9 * TAU / 1e9)
     for i in range(1, 4):
-        sender.snd_nxt = i * 10_000
         cc.on_ack(
             sender,
-            int_ack([hop(0, i * TAU, i * half_rate)], ack_seq=i * 10_000 - 1),
+            int_ack([hop(0, i * TAU, i * half_rate)], ack_seq=i * 10_000 - 1,
+                    sent_high=i * 10_000),
         )
     # After two additive stages the third update is multiplicative: with
     # U ~ 0.5 < eta the window must grow by much more than W_ai.
@@ -103,9 +95,9 @@ def test_hpcc_mi_after_max_stage():
 def test_hpcc_reference_window_once_per_rtt():
     cc, sender = Hpcc(), StubSender()
     cc.on_start(sender)
-    sender.snd_nxt = 40_000
-    cc.on_ack(sender, int_ack([hop(0, 0, 0)]))
-    cc.on_ack(sender, int_ack([hop(0, 1_000, 12_500)], ack_seq=1_000))
+    cc.on_ack(sender, int_ack([hop(0, 0, 0)], sent_high=40_000))
+    cc.on_ack(sender, int_ack([hop(0, 1_000, 12_500)], ack_seq=1_000,
+                              sent_high=40_000))
     wc = cc._w_c
     cc.on_ack(sender, int_ack([hop(0, 2_000, 25_000)], ack_seq=2_000))
     assert cc._w_c == wc  # same RTT: reference unchanged
@@ -145,8 +137,8 @@ def test_dcqcn_byte_counter_drives_increase():
     cc.on_start(sender)
     cc.on_cnp(sender)
     r_low = cc.current_rate_bps
-    sender.snd_una = 50_000  # 5 byte-counter periods acknowledged
-    cc.on_ack(sender, plain_ack(seq=50_000))
+    # 5 byte-counter periods acknowledged at once
+    cc.on_ack(sender, plain_ack(seq=50_000, newly=50_000))
     assert cc.current_rate_bps > r_low
     assert cc._byte_stage == 5
 
@@ -163,8 +155,7 @@ def test_dcqcn_ecn_config_scales_with_rate():
 # ----------------------------------------------------------------------
 def run_timely_acks(cc, sender, rtts):
     for i, rtt in enumerate(rtts):
-        sender.last_rtt_ns = rtt
-        cc.on_ack(sender, plain_ack(seq=i))
+        cc.on_ack(sender, plain_ack(seq=i, rtt=rtt))
 
 
 def test_timely_gradient_decrease():
@@ -214,32 +205,28 @@ def test_swift_increases_below_target():
     cc, sender = Swift(), StubSender()
     cc.on_start(sender)
     sender.cwnd = BDP / 2
-    sender.last_rtt_ns = TAU
     w0 = sender.cwnd
-    cc.on_ack(sender, plain_ack())
+    cc.on_ack(sender, plain_ack(rtt=TAU))
     assert sender.cwnd > w0
 
 
 def test_swift_decreases_above_target_once_per_rtt():
     cc, sender = Swift(), StubSender()
     cc.on_start(sender)
-    sender.snd_nxt = 100_000
-    sender.last_rtt_ns = 4 * TAU
     w0 = sender.cwnd
-    cc.on_ack(sender, plain_ack(seq=1))
+    cc.on_ack(sender, plain_ack(seq=1, rtt=4 * TAU, sent_high=100_000))
     w1 = sender.cwnd
     assert w1 < w0
     # Second over-target ACK in the same RTT: no further decrease.
-    cc.on_ack(sender, plain_ack(seq=2))
+    cc.on_ack(sender, plain_ack(seq=2, rtt=4 * TAU, sent_high=100_000))
     assert sender.cwnd == w1
 
 
 def test_swift_max_mdf_bounds_decrease():
     cc, sender = Swift(max_mdf=0.5), StubSender()
     cc.on_start(sender)
-    sender.last_rtt_ns = 1000 * TAU  # absurd delay
     w0 = sender.cwnd
-    cc.on_ack(sender, plain_ack(seq=1))
+    cc.on_ack(sender, plain_ack(seq=1, rtt=1000 * TAU))  # absurd delay
     assert sender.cwnd >= 0.5 * w0 - 1
 
 
@@ -249,24 +236,20 @@ def test_swift_max_mdf_bounds_decrease():
 def test_dctcp_additive_increase_without_marks():
     cc, sender = Dctcp(), StubSender()
     cc.on_start(sender)
-    sender.snd_una = 10_000
     w0 = sender.cwnd
-    cc.on_ack(sender, plain_ack(seq=10_000, marked=False))
+    cc.on_ack(sender, plain_ack(seq=10_000, marked=False, newly=10_000))
     assert sender.cwnd == pytest.approx(w0 + sender.mtu_payload)
 
 
 def test_dctcp_cuts_by_alpha_fraction():
     cc, sender = Dctcp(g=1.0), StubSender()  # alpha tracks F exactly
     cc.on_start(sender)
-    sender.snd_nxt = 10_000
     # Close the empty initial window so the next window is [0, 10000).
-    cc.on_ack(sender, plain_ack(seq=1, marked=False))
+    cc.on_ack(sender, plain_ack(seq=1, marked=False, sent_high=10_000))
     # Half the window's bytes marked, half clean.
-    sender.snd_una = 5_000
-    cc.on_ack(sender, plain_ack(seq=5_000, marked=True))
+    cc.on_ack(sender, plain_ack(seq=5_000, marked=True, newly=5_000))
     w0 = sender.cwnd
-    sender.snd_una = 10_000
-    cc.on_ack(sender, plain_ack(seq=10_000, marked=False))
+    cc.on_ack(sender, plain_ack(seq=10_000, marked=False, newly=5_000))
     # F = 0.5 over the window -> alpha = 0.5 -> cut by alpha/2 = 25%.
     assert sender.cwnd == pytest.approx(w0 * 0.75, rel=1e-2)
 

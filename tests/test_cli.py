@@ -49,6 +49,19 @@ def test_list_prints_scenarios_and_fields(capsys):
     assert "fields:" in out
 
 
+def test_list_prints_every_scenario_and_cc_name(capsys):
+    from repro.cc.registry import algorithm_names
+    from repro.scenarios import scenario_names
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out
+    for name in algorithm_names():
+        assert name in out
+    assert "aliases: powertcp-int" in out
+
+
 def test_run_subcommand_prints_metrics(capsys):
     assert main(["run", "incast", "--tiny", "--set", "fanout=3"]) == 0
     out = capsys.readouterr().out
@@ -93,3 +106,52 @@ def test_sweep_subcommand_writes_json(tmp_path, capsys):
 def test_sweep_requires_an_axis():
     with pytest.raises(SystemExit):
         main(["sweep", "incast"])
+
+
+def test_sweep_incremental_reuse_and_force(tmp_path, capsys):
+    out_path = str(tmp_path / "sweep.json")
+    args = ["sweep", "incast", "--tiny", "--grid", "fanout=2",
+            "--out", out_path]
+    assert main(args) == 0
+    assert "reused" not in capsys.readouterr().out
+    # Second run hits the cache; --force re-simulates.
+    assert main(args) == 0
+    assert "reused 1 cached" in capsys.readouterr().out
+    assert main(args + ["--force"]) == 0
+    assert "reused" not in capsys.readouterr().out
+
+
+def test_sweep_force_keeps_unrelated_cached_cells(tmp_path, capsys):
+    import json
+
+    out_path = str(tmp_path / "sweep.json")
+    wide = ["sweep", "incast", "--tiny", "--grid", "fanout=2,3",
+            "--out", out_path]
+    assert main(wide) == 0
+    # --force on a narrower grid refreshes its cells but must not purge
+    # the fanout=3 result persisted by the wider sweep.
+    narrow = ["sweep", "incast", "--tiny", "--grid", "fanout=2",
+              "--out", out_path, "--force"]
+    assert main(narrow) == 0
+    capsys.readouterr()
+    doc = json.loads(open(out_path).read())
+    assert sorted(c["params"]["fanout"] for c in doc["cells"]) == [2, 3]
+
+
+def test_coexistence_sweep_roundtrip(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "coexistence.json"
+    args = [
+        "sweep", "coexistence", "--tiny",
+        "--grid", "algorithm_b=dcqcn,timely", "--out", str(out_path),
+    ]
+    assert main(args) == 0
+    doc = json.loads(out_path.read_text())
+    assert len(doc["cells"]) == 2
+    first = {c["params"]["algorithm_b"]: c["metrics"] for c in doc["cells"]}
+    # Deterministic per-cell results: a re-run reproduces the metrics.
+    assert main(args + ["--force"]) == 0
+    doc2 = json.loads(out_path.read_text())
+    second = {c["params"]["algorithm_b"]: c["metrics"] for c in doc2["cells"]}
+    assert first == second

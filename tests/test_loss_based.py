@@ -3,11 +3,11 @@ claim."""
 
 import pytest
 
+from repro.cc.base import AckFeedback
 from repro.cc.cubic import Cubic
 from repro.cc.newreno import NewReno
 from repro.experiments.driver import FlowDriver
 from repro.sim.engine import Simulator
-from repro.sim.packet import Packet
 from repro.topology.dumbbell import DumbbellParams, build_dumbbell
 from repro.units import GBPS, MSEC, USEC
 
@@ -20,16 +20,12 @@ class StubSender:
         self.mtu_payload = 1000
         self.cwnd = 0.0
         self.pacing_rate_bps = 0.0
-        self.snd_una = 0
-        self.snd_nxt = 0
-        self.last_rtt_ns = 20 * USEC
         self.done = False
 
 
-def ack(seq):
-    pkt = Packet(1, 1, 1, 0)
-    pkt.ack_seq = seq
-    return pkt
+def ack(seq, newly, now=0):
+    return AckFeedback(ack_seq=seq, newly_acked_bytes=newly,
+                       rtt_ns=20 * USEC, now_ns=now)
 
 
 # ----------------------------------------------------------------------
@@ -39,8 +35,7 @@ def test_newreno_slow_start_doubles():
     cc, sender = NewReno(), StubSender()
     cc.on_start(sender)
     w0 = sender.cwnd
-    sender.snd_una = w0  # a full window acked
-    cc.on_ack(sender, ack(int(w0)))
+    cc.on_ack(sender, ack(int(w0), newly=int(w0)))  # a full window acked
     assert sender.cwnd == pytest.approx(2 * w0)
 
 
@@ -59,8 +54,7 @@ def test_newreno_congestion_avoidance_linear():
     sender.cwnd = 100_000
     cc.on_loss(sender)  # ssthresh = 50k, cwnd = 50k: now in CA
     w0 = sender.cwnd
-    sender.snd_una = int(w0)
-    cc.on_ack(sender, ack(int(w0)))
+    cc.on_ack(sender, ack(int(w0), newly=int(w0)))
     # One full window acked -> ~one MTU of growth.
     assert sender.cwnd == pytest.approx(w0 + sender.mtu_payload, rel=0.01)
 
@@ -80,8 +74,7 @@ def test_cubic_pre_loss_grows_like_slow_start():
     cc, sender = Cubic(), StubSender()
     cc.on_start(sender)
     w0 = sender.cwnd
-    sender.snd_una = int(w0)
-    cc.on_ack(sender, ack(int(w0)))
+    cc.on_ack(sender, ack(int(w0), newly=int(w0)))
     assert sender.cwnd == pytest.approx(2 * w0)
 
 
@@ -102,11 +95,12 @@ def test_cubic_recovers_toward_w_max():
     # Ack steadily: the cubic curve climbs monotonically back toward
     # W_max.  (Full recovery takes K ~ seconds with the standard C —
     # CUBIC is built for WAN timescales, which is the point of §2.)
+    acked = 0
     for i in range(1, 200):
         sender.sim.at(i * 100_000, lambda: None)
         sender.sim.run()
-        sender.snd_una += 10_000
-        cc.on_ack(sender, ack(sender.snd_una))
+        acked += 10_000
+        cc.on_ack(sender, ack(acked, newly=10_000, now=i * 100_000))
     assert sender.cwnd > low
     # The plateau target at t = K is exactly W_max.
     assert cc._cubic_window_mtus(cc._k_s) == pytest.approx(cc._w_max_mtus)

@@ -7,10 +7,11 @@ covered by the integration tests.
 
 import pytest
 
+from repro.cc.base import AckFeedback
 from repro.core.powertcp import PowerTcp
 from repro.core.theta import ThetaPowerTcp
 from repro.sim.engine import Simulator
-from repro.sim.packet import HopRecord, Packet
+from repro.sim.packet import HopRecord
 from repro.units import GBPS, USEC
 
 TAU = 20 * USEC
@@ -26,17 +27,11 @@ class StubSender:
         self.mtu_payload = 1000
         self.cwnd = 0.0
         self.pacing_rate_bps = 0.0
-        self.snd_nxt = 0
-        self.snd_una = 0
-        self.last_rtt_ns = None
         self.done = False
 
 
-def ack_with_hops(hops, ack_seq=0):
-    pkt = Packet(1, 1, 1, 0)
-    pkt.ack_seq = ack_seq
-    pkt.int_hops = hops
-    return pkt
+def ack_with_hops(hops, ack_seq=0, sent_high=0):
+    return AckFeedback(ack_seq=ack_seq, int_hops=hops, sent_high=sent_high)
 
 
 def hop(qlen, ts, tx, port=1):
@@ -114,18 +109,27 @@ def test_window_update_matches_control_law():
 def test_update_old_once_per_rtt():
     cc = PowerTcp()
     sender = StubSender()
-    sender.snd_nxt = 50_000
     cc.on_start(sender)
-    cc.on_ack(sender, ack_with_hops([hop(0, 0, 0)]))
-    cc.on_ack(sender, ack_with_hops([hop(0, 1_000, 12_500)], ack_seq=1_000))
-    first_record = cc._cwnd_old
+    cc.on_ack(sender, ack_with_hops([hop(0, 0, 0)], sent_high=50_000))
+    cc.on_ack(
+        sender,
+        ack_with_hops([hop(0, 1_000, 12_500)], ack_seq=1_000,
+                      sent_high=50_000),
+    )
     assert cc._last_update_seq == 50_000
-    # ACKs below the recorded snd_nxt do not refresh cwnd_old.
-    cc.on_ack(sender, ack_with_hops([hop(0, 2_000, 25_000)], ack_seq=10_000))
+    # ACKs below the recorded send marker do not refresh cwnd_old.
+    cc.on_ack(
+        sender,
+        ack_with_hops([hop(0, 2_000, 25_000)], ack_seq=10_000,
+                      sent_high=50_000),
+    )
     assert cc._last_update_seq == 50_000
-    # An ACK past snd_nxt does.
-    sender.snd_nxt = 90_000
-    cc.on_ack(sender, ack_with_hops([hop(0, 3_000, 37_500)], ack_seq=60_000))
+    # An ACK past the marker does.
+    cc.on_ack(
+        sender,
+        ack_with_hops([hop(0, 3_000, 37_500)], ack_seq=60_000,
+                      sent_high=90_000),
+    )
     assert cc._last_update_seq == 90_000
 
 
@@ -151,47 +155,36 @@ def make_theta_sender():
     return cc, sender
 
 
-def ack(seq=0):
-    pkt = Packet(1, 1, 1, 0)
-    pkt.ack_seq = seq
-    return pkt
+def ack(seq=0, rtt=None, now=0, sent_high=0):
+    return AckFeedback(ack_seq=seq, rtt_ns=rtt, now_ns=now,
+                       sent_high=sent_high)
 
 
 def test_theta_needs_two_rtt_samples():
     cc, sender = make_theta_sender()
     w0 = sender.cwnd
-    sender.last_rtt_ns = TAU
-    cc.on_ack(sender, ack())
+    cc.on_ack(sender, ack(rtt=TAU))
     assert sender.cwnd == w0
 
 
 def test_theta_reacts_to_inflated_rtt():
     cc, sender = make_theta_sender()
-    sender.last_rtt_ns = TAU
-    cc.on_ack(sender, ack())
-    sender.sim.at(TAU, lambda: None)
-    sender.sim.run()
-    sender.last_rtt_ns = 3 * TAU  # queueing delay of 2 tau
+    cc.on_ack(sender, ack(rtt=TAU))
     w0 = sender.cwnd
-    cc.on_ack(sender, ack(seq=1000))
+    # Queueing delay of 2 tau, one tau after the previous sample.
+    cc.on_ack(sender, ack(seq=1000, rtt=3 * TAU, now=TAU))
     assert sender.cwnd < w0
 
 
 def test_theta_updates_once_per_rtt():
     cc, sender = make_theta_sender()
-    sender.snd_nxt = 100_000
-    sender.last_rtt_ns = TAU
-    cc.on_ack(sender, ack())
-    sender.sim.at(1_000, lambda: None)
-    sender.sim.run()
-    sender.last_rtt_ns = 2 * TAU
-    cc.on_ack(sender, ack(seq=1_000))
+    cc.on_ack(sender, ack(rtt=TAU, sent_high=100_000))
+    cc.on_ack(sender, ack(seq=1_000, rtt=2 * TAU, now=1_000,
+                          sent_high=100_000))
     w_after_first_update = sender.cwnd
     marker = cc._last_update_seq
     assert marker == 100_000
     # Another ACK within the same RTT: smoothing continues, window frozen.
-    sender.sim.at(2_000, lambda: None)
-    sender.sim.run()
-    sender.last_rtt_ns = 2 * TAU
-    cc.on_ack(sender, ack(seq=50_000))
+    cc.on_ack(sender, ack(seq=50_000, rtt=2 * TAU, now=2_000,
+                          sent_high=100_000))
     assert sender.cwnd == w_after_first_update

@@ -22,7 +22,15 @@ from repro.scenarios.sweep import (
     expand_cells,
 )
 
-ALL_SCENARIOS = ["bursty", "fairness", "incast", "rdcn", "websearch"]
+ALL_SCENARIOS = [
+    "bursty",
+    "coexistence",
+    "fairness",
+    "incast",
+    "permutation",
+    "rdcn",
+    "websearch",
+]
 
 
 # ----------------------------------------------------------------------
@@ -205,3 +213,155 @@ def test_config_to_jsonable_handles_opaque_leaves():
     json.dumps(value)
     assert value["xs"] == [1, 2]
     assert value["ok"] is None
+
+
+# ----------------------------------------------------------------------
+# incremental re-runs
+# ----------------------------------------------------------------------
+def test_incremental_rerun_reuses_matching_cells(tmp_path):
+    path = str(tmp_path / "incast_sweep.json")
+    first = run_sweep("incast", grid={"fanout": [2]}, base=TINY_INCAST)
+    first.persist(path)
+
+    spec = SweepSpec(
+        scenario="incast", grid={"fanout": [2, 3]}, base=TINY_INCAST
+    )
+    runner = SweepRunner(spec, reuse_path=path)
+    grown = runner.run()
+    assert runner.reused_cells == 1
+    assert [c.params["fanout"] for c in grown.cells] == [2, 3]
+    # The reused cell carries the persisted metrics verbatim.
+    assert (
+        grown.cell(fanout=2).result.metrics
+        == first.cell(fanout=2).result.metrics
+    )
+    assert grown.cell(fanout=3).result.metrics["fanout"] == 3
+
+
+def test_incremental_rerun_ignores_changed_config(tmp_path):
+    path = str(tmp_path / "incast_sweep.json")
+    run_sweep("incast", grid={"fanout": [2]}, base=TINY_INCAST).persist(path)
+    changed = dict(TINY_INCAST, burst_bytes=30_000)
+    runner = SweepRunner(
+        SweepSpec(scenario="incast", grid={"fanout": [2]}, base=changed),
+        reuse_path=path,
+    )
+    runner.run()
+    assert runner.reused_cells == 0  # different config -> fresh simulation
+
+
+def test_force_reruns_every_cell(tmp_path):
+    path = str(tmp_path / "incast_sweep.json")
+    run_sweep("incast", grid={"fanout": [2]}, base=TINY_INCAST).persist(path)
+    runner = SweepRunner(
+        SweepSpec(scenario="incast", grid={"fanout": [2]}, base=TINY_INCAST),
+        reuse_path=path,
+        force=True,
+    )
+    result = runner.run()
+    assert runner.reused_cells == 0
+    assert result.cells[0].result.raw is not None  # really re-simulated
+
+
+def test_persist_keep_existing_preserves_foreign_cells(tmp_path):
+    path = str(tmp_path / "incast_sweep.json")
+    wide = run_sweep("incast", grid={"fanout": [2, 3]}, base=TINY_INCAST)
+    wide.persist(path)
+    narrow = run_sweep("incast", grid={"fanout": [2]}, base=TINY_INCAST)
+    narrow.persist(path, keep_existing=True)
+    doc = json.load(open(path))
+    # The fanout=3 cell from the wider sweep survives the narrower write
+    # (the file doubles as the incremental cache) ...
+    assert sorted(c["params"]["fanout"] for c in doc["cells"]) == [2, 3]
+    # ... and is reusable by a later wide sweep.
+    runner = SweepRunner(
+        SweepSpec(scenario="incast", grid={"fanout": [2, 3]}, base=TINY_INCAST),
+        reuse_path=path,
+    )
+    runner.run()
+    assert runner.reused_cells == 2
+    # Default persist overwrites exactly (byte-identical sweeps contract).
+    narrow.persist(path)
+    doc = json.load(open(path))
+    assert [c["params"]["fanout"] for c in doc["cells"]] == [2]
+
+
+def test_persist_keep_existing_preserves_old_format_cells(tmp_path):
+    path = tmp_path / "incast_sweep.json"
+    sweep = run_sweep("incast", grid={"fanout": [2]}, base=TINY_INCAST)
+    sweep.persist(str(path))
+    # Rewrite the file in the pre-incremental format (no 'overrides').
+    doc = json.load(open(path))
+    for cell in doc["cells"]:
+        del cell["overrides"]
+    doc["cells"].append(
+        {"scenario": "incast", "params": {"fanout": 9},
+         "metrics": {"fanout": 9}, "series": {}, "provenance": {}}
+    )
+    path.write_text(json.dumps(doc))
+
+    fresh = run_sweep("incast", grid={"fanout": [2]}, base=TINY_INCAST)
+    fresh.persist(str(path), keep_existing=True)
+    merged = json.load(open(path))
+    fanouts = sorted(c["params"]["fanout"] for c in merged["cells"])
+    # fanout=9 (old format, foreign) survives; fanout=2 is not duplicated.
+    assert fanouts == [2, 9]
+
+
+def test_reuse_survives_missing_or_corrupt_file(tmp_path):
+    missing = str(tmp_path / "nope.json")
+    runner = SweepRunner(
+        SweepSpec(scenario="incast", grid={"fanout": [2]}, base=TINY_INCAST),
+        reuse_path=missing,
+    )
+    assert len(runner.run().cells) == 1
+
+    corrupt = tmp_path / "bad.json"
+    corrupt.write_text("{not json")
+    runner = SweepRunner(
+        SweepSpec(scenario="incast", grid={"fanout": [2]}, base=TINY_INCAST),
+        reuse_path=str(corrupt),
+    )
+    assert len(runner.run().cells) == 1
+
+
+# ----------------------------------------------------------------------
+# the new scenarios
+# ----------------------------------------------------------------------
+def test_coexistence_mixed_deployment_reports_groups():
+    scenario = get_scenario("coexistence")
+    result = scenario.run(
+        algorithm_a="powertcp",
+        algorithm_b="dcqcn",
+        flows_per_group=1,
+        duration_ns=1_000_000,
+    )
+    metrics = result.metrics
+    assert 0.0 < metrics["group_a_share"] < 1.0
+    assert 0.0 < metrics["group_b_share"] < 1.0
+    assert metrics["cross_group_ratio"] is not None
+    assert result.provenance["algorithm"] == "powertcp+dcqcn"
+
+
+def test_coexistence_homogeneous_control_is_fair():
+    scenario = get_scenario("coexistence")
+    result = scenario.run(
+        algorithm_a="powertcp",
+        algorithm_b="powertcp",
+        flows_per_group=1,
+        duration_ns=2_000_000,
+    )
+    # Same scheme on both groups: shares should be close to equal.
+    ratio = result.metrics["cross_group_ratio"]
+    assert 0.7 < ratio < 1.4
+
+
+def test_permutation_uses_seeded_derangement():
+    scenario = get_scenario("permutation")
+    a = scenario.run(**dict(scenario.tiny_overrides(), seed=3))
+    b = scenario.run(**dict(scenario.tiny_overrides(), seed=3))
+    c = scenario.run(**dict(scenario.tiny_overrides(), seed=4))
+    assert a.metrics == b.metrics
+    assert a.metrics["completed"] == a.metrics["total_flows"]
+    # A different seed permutes differently (goodputs differ).
+    assert a.series != c.series

@@ -173,6 +173,47 @@ def test_all_pairs_count():
     assert len(flows) == 3 * 2  # ordered pairs
 
 
+# ----------------------------------------------------------------------
+# host-level permutations
+# ----------------------------------------------------------------------
+def test_permutation_pairs_is_a_derangement():
+    import random
+
+    from repro.workloads.permutation import permutation_pairs
+
+    for seed in range(20):
+        pairs = permutation_pairs(random.Random(seed), 9)
+        srcs = [s for s, _ in pairs]
+        dsts = [d for _, d in pairs]
+        assert srcs == list(range(9))
+        assert sorted(dsts) == list(range(9))  # each host receives once
+        assert all(s != d for s, d in pairs)  # no self-flows
+
+
+def test_permutation_pairs_deterministic_per_seed():
+    import random
+
+    from repro.workloads.permutation import permutation_pairs
+
+    assert permutation_pairs(random.Random(5), 8) == permutation_pairs(
+        random.Random(5), 8
+    )
+    assert permutation_pairs(random.Random(5), 8) != permutation_pairs(
+        random.Random(6), 8
+    )
+
+
+def test_permutation_pairs_rejects_tiny_host_sets():
+    import random
+
+    import pytest
+
+    from repro.workloads.permutation import permutation_pairs
+
+    with pytest.raises(ValueError):
+        permutation_pairs(random.Random(1), 1)
+
+
 def test_pair_flows_validation():
     with pytest.raises(ValueError):
         pair_flows(1, 1, 4, flows_per_pair=1, size_bytes=10)
