@@ -1,0 +1,60 @@
+"""Smoke test of the tracked perf macro-benchmark suite.
+
+Runs the *tiny* grid (the same one the CI perf-smoke job executes) and
+checks the BENCH document's shape, so `python -m repro perf` can never
+rot silently.  Full-scale timing runs are manual / CI-artifact territory
+(`python -m repro perf`), not tier-1 material.
+"""
+
+import json
+
+from repro.perf import (
+    PERF_CASES,
+    case_names,
+    load_bench,
+    run_perf,
+    write_bench,
+)
+
+
+def test_case_grid_is_wellformed():
+    assert case_names() == ["incast", "websearch_fct", "permutation"]
+    for case in PERF_CASES.values():
+        assert case.overrides, case.name
+        assert case.tiny, case.name
+        # tiny grids must be strictly smaller in simulated duration
+        assert case.tiny["duration_ns"] <= case.overrides["duration_ns"]
+
+
+def test_tiny_grid_runs_and_reports(tmp_path):
+    doc = run_perf(tiny=True, repeats=1)
+    assert doc["schema"] == 1
+    assert doc["tiny"] is True
+    names = [c["case"] for c in doc["cases"]]
+    assert names == case_names()
+    for case in doc["cases"]:
+        assert case["events_processed"] > 0
+        assert case["events_per_sec"] > 0
+        assert case["wall_time_s"] > 0
+        assert case["metrics"], case["case"]  # determinism fingerprint
+
+    path = write_bench(doc, str(tmp_path / "BENCH_perf.json"))
+    reloaded = load_bench(path)
+    assert reloaded == json.loads(json.dumps(doc))  # JSON-stable
+
+
+def test_compare_records_speedup(tmp_path):
+    doc = run_perf(cases=["websearch_fct"], tiny=True, repeats=1)
+    again = run_perf(cases=["websearch_fct"], tiny=True, repeats=1, compare=doc)
+    case = again["cases"][0]
+    assert case["ref_events_per_sec"] == doc["cases"][0]["events_per_sec"]
+    assert case["speedup"] > 0
+    # identical simulations: the determinism fingerprint must match
+    assert case["metrics"] == doc["cases"][0]["metrics"]
+
+
+def test_unknown_case_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        run_perf(cases=["nope"])

@@ -11,9 +11,12 @@ from repro.analysis.fct import (
     summarize_fct,
 )
 from repro.analysis.fairness import jain_index, throughput_shares
+from repro.analysis.results import ResultCell, ResultSet
 
 __all__ = [
     "FctSummary",
+    "ResultCell",
+    "ResultSet",
     "LONG_FLOW_MIN_BYTES",
     "MEDIUM_FLOW_RANGE",
     "SHORT_FLOW_MAX_BYTES",

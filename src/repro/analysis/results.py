@@ -1,0 +1,188 @@
+"""Result-loading API over persisted sweep JSON (``benchmarks/results/``).
+
+Plotting and perf-trend tooling should never re-run simulations: every
+sweep the runner persists (``python -m repro sweep ... --out f.json``) is
+a self-describing document of cells.  This module loads those documents
+into a small queryable container:
+
+* :meth:`ResultSet.load` / :meth:`ResultSet.load_dir` — one file, or every
+  ``*_sweep.json`` under a directory;
+* :meth:`ResultSet.filter` — keep cells whose params (falling back to the
+  full overrides) match;
+* :meth:`ResultSet.values` — one metric as a list;
+* :meth:`ResultSet.pivot` — a (rows × cols) table of one metric, e.g.
+  load × algorithm → p99 slowdown, ready to print or plot.
+
+Example::
+
+    rs = ResultSet.load("benchmarks/results/websearch_sweep.json")
+    rows, cols, table = rs.pivot("load", "algorithm", "fct_p99_short")
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class ResultCell:
+    """One executed sweep cell, as persisted."""
+
+    scenario: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    overrides: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    series: Dict[str, List] = field(default_factory=dict)
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    #: file the cell was loaded from (provenance for merged sets)
+    source: str = ""
+
+    def param(self, key: str, default: Any = None) -> Any:
+        """A cell parameter, falling back to the full override set."""
+        if key in self.params:
+            return self.params[key]
+        return self.overrides.get(key, default)
+
+    def matches(self, **params: Any) -> bool:
+        """True when every given key=value matches this cell."""
+        return all(self.param(k) == v for k, v in params.items())
+
+
+class ResultSet:
+    """A queryable collection of :class:`ResultCell`."""
+
+    def __init__(self, cells: Optional[Sequence[ResultCell]] = None):
+        self.cells: List[ResultCell] = list(cells or [])
+
+    # -- loading -------------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "ResultSet":
+        """Load one persisted sweep document."""
+        with open(path) as handle:
+            doc = json.load(handle)
+        cells = []
+        for cell in doc.get("cells", []):
+            if "scenario" not in cell:
+                continue
+            cells.append(
+                ResultCell(
+                    scenario=cell["scenario"],
+                    params=cell.get("params", {}) or {},
+                    overrides=cell.get("overrides", {}) or {},
+                    metrics=cell.get("metrics", {}) or {},
+                    series=cell.get("series", {}) or {},
+                    provenance=cell.get("provenance", {}) or {},
+                    source=path,
+                )
+            )
+        return cls(cells)
+
+    @classmethod
+    def load_dir(
+        cls, directory: str, pattern: str = "*_sweep.json"
+    ) -> "ResultSet":
+        """Load and merge every matching sweep file under ``directory``."""
+        merged = cls()
+        for path in sorted(glob.glob(os.path.join(directory, pattern))):
+            merged.cells.extend(cls.load(path).cells)
+        return merged
+
+    # -- querying ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def filter(self, **params: Any) -> "ResultSet":
+        """Cells whose params (or overrides) match every key=value."""
+        return ResultSet([c for c in self.cells if c.matches(**params)])
+
+    def scenarios(self) -> List[str]:
+        """Distinct scenario names present, sorted."""
+        return sorted({c.scenario for c in self.cells})
+
+    def param_values(self, key: str) -> List[Any]:
+        """Distinct values of one parameter, sorted.
+
+        Numbers sort numerically regardless of int/float mixing (the CLI's
+        ``ast.literal_eval`` happily yields ``[1, 1.5, 2.0]`` for one
+        axis); non-numeric values follow, ordered by their string form.
+        """
+        values = {c.param(key) for c in self.cells if c.param(key) is not None}
+        return sorted(
+            values,
+            key=lambda v: (0, v, "") if isinstance(v, (int, float)) else (1, 0, str(v)),
+        )
+
+    def values(self, metric: str) -> List[Any]:
+        """One metric across all cells (cells lacking it are skipped)."""
+        return [c.metrics[metric] for c in self.cells if metric in c.metrics]
+
+    def only(self) -> ResultCell:
+        """The single cell in this set; raises unless exactly one."""
+        if len(self.cells) != 1:
+            raise KeyError(f"expected exactly one cell, have {len(self.cells)}")
+        return self.cells[0]
+
+    # -- pivoting ------------------------------------------------------
+    def pivot(
+        self,
+        row_key: str,
+        col_key: str,
+        metric: str,
+        agg: Optional[Callable[[List[float]], float]] = None,
+    ) -> Tuple[List[Any], List[Any], List[List[Optional[float]]]]:
+        """A (rows × cols) table of one metric.
+
+        Returns ``(row_labels, col_labels, table)``; empty groups are
+        None.  ``agg`` collapses multiple matching cells (e.g. seeds) —
+        the default requires exactly one cell per (row, col) group and
+        raises otherwise, so accidental duplicates never average silently.
+        """
+        rows = self.param_values(row_key)
+        cols = self.param_values(col_key)
+        table: List[List[Optional[float]]] = []
+        for row in rows:
+            out_row: List[Optional[float]] = []
+            for col in cols:
+                group = self.filter(**{row_key: row, col_key: col})
+                values = group.values(metric)
+                if not values:
+                    out_row.append(None)
+                elif agg is not None:
+                    out_row.append(agg(values))
+                elif len(values) == 1:
+                    out_row.append(values[0])
+                else:
+                    raise ValueError(
+                        f"{len(values)} cells match ({row_key}={row!r}, "
+                        f"{col_key}={col!r}); pass agg= to collapse them"
+                    )
+            table.append(out_row)
+        return rows, cols, table
+
+    def format_pivot(
+        self,
+        row_key: str,
+        col_key: str,
+        metric: str,
+        agg: Optional[Callable[[List[float]], float]] = None,
+        fmt: str = "{:>12.4g}",
+    ) -> List[str]:
+        """The pivot as printable table lines."""
+        rows, cols, table = self.pivot(row_key, col_key, metric, agg)
+        width = max((len(str(r)) for r in rows), default=4)
+        header = " " * width + " " + " ".join(f"{str(c):>12s}" for c in cols)
+        lines = [f"{metric} by {row_key} x {col_key}", header]
+        for row, out_row in zip(rows, table):
+            cells = " ".join(
+                fmt.format(v) if v is not None else f"{'-':>12s}"
+                for v in out_row
+            )
+            lines.append(f"{str(row):>{width}s} {cells}")
+        return lines

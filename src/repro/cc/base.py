@@ -45,6 +45,14 @@ class MissingFeedbackError(RuntimeError):
 class AckFeedback:
     """Typed view of one acknowledgment, passed to ``on_ack``.
 
+    **Lifetime contract**: the view (and the :class:`HopRecord` objects in
+    ``int_hops``) is only valid for the duration of the ``on_ack`` call —
+    the transport reuses the view and recycles the hop records into the
+    simulator's packet pool as soon as ``on_ack`` returns.  A CC law that
+    needs feedback beyond the call must copy the *scalar values* it cares
+    about (as the built-in INT laws do with their per-port ``(ts, qlen,
+    tx_bytes)`` snapshots), never retain the objects.
+
     Attributes
     ----------
     ack_seq:

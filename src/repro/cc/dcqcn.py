@@ -102,8 +102,10 @@ class Dcqcn(CongestionControl):
             self.rhai_bps = 10.0 * self.rai_bps
         self._alpha = 1.0
         self.set_rate(sender, self._rc)
-        self._timer_event = sender.sim.after(self.timer_ns, self._on_timer)
-        self._alpha_event = sender.sim.after(self.alpha_timer_ns, self._on_alpha_timer)
+        self._timer_event = sender.sim.after_cancellable(self.timer_ns, self._on_timer)
+        self._alpha_event = sender.sim.after_cancellable(
+            self.alpha_timer_ns, self._on_alpha_timer
+        )
 
     def on_ack(self, sender, feedback) -> None:
         """Drive the byte counter from acknowledged bytes."""
@@ -163,12 +165,14 @@ class Dcqcn(CongestionControl):
     def _restart_timer(self) -> None:
         if self._timer_event is not None:
             self._timer_event.cancel()
-        self._timer_event = self._sender.sim.after(self.timer_ns, self._on_timer)
+        self._timer_event = self._sender.sim.after_cancellable(
+            self.timer_ns, self._on_timer
+        )
 
     def _restart_alpha_timer(self) -> None:
         if self._alpha_event is not None:
             self._alpha_event.cancel()
-        self._alpha_event = self._sender.sim.after(
+        self._alpha_event = self._sender.sim.after_cancellable(
             self.alpha_timer_ns, self._on_alpha_timer
         )
 

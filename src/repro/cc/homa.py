@@ -37,7 +37,7 @@ from repro.cc.registry import (
 )
 from repro.sim.engine import Simulator
 from repro.sim.host import Host
-from repro.sim.packet import DATA, GRANT, Packet
+from repro.sim.packet import DATA, GRANT, Packet, get_pool
 from repro.transport.flow import Flow
 from repro.transport.receiver import Receiver
 from repro.transport.sender import Sender
@@ -87,6 +87,7 @@ class HomaSender(Sender):
                 self.granted = pkt.grant_bytes
                 self.priority = pkt.sched_priority  # receiver-assigned rank
                 self._try_send()
+            self._pool.release(pkt)
             return
         super().on_packet(pkt)
 
@@ -185,6 +186,7 @@ class HomaGrantScheduler:
         self.grants_sent = 0
         self._tick_ns = tx_time_ns(mtu_payload + 48, host.nic.rate_bps)
         self._running = False
+        self._pool = get_pool(sim)
 
     # ------------------------------------------------------------------
     def add(self, receiver: HomaReceiver) -> None:
@@ -226,7 +228,7 @@ class HomaGrantScheduler:
                 receiver.granted + self.mtu_payload, receiver.flow.size_bytes
             )
             priority = min(PRIO_SCHED_BASE + rank, PRIO_LOWEST)
-            grant = Packet.grant(
+            grant = self._pool.grant(
                 receiver.flow.flow_id,
                 receiver.flow.dst,
                 receiver.flow.src,

@@ -19,11 +19,10 @@ exactly the imprecision PowerTCP's power signal removes (Fig. 3a vs 3c).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.cc.base import CongestionControl
 from repro.cc.registry import Requirements, register
-from repro.sim.packet import HopRecord
 from repro.units import BITS_PER_BYTE, SEC
 
 DEFAULT_ETA = 0.95
@@ -52,7 +51,13 @@ class Hpcc(CongestionControl):
         self.eta = eta
         self.max_stage = max_stage
         self.expected_flows = expected_flows
-        self._prev: Dict[int, HopRecord] = {}
+        # Per-port snapshot of the previous INT record as *scalars*
+        # (ts_ns, qlen, tx_bytes) — never the HopRecord itself, which the
+        # transport recycles once on_ack returns (AckFeedback contract).
+        self._prev: Dict[int, Tuple[int, int, int]] = {}
+        #: bandwidth_bps -> (bandwidth_Bps, bdp); pure functions of
+        #: (bandwidth, τ), memoized to bit-identical floats
+        self._link_consts: Dict[float, Tuple[float, float]] = {}
         self._u = 0.0
         self._inc_stage = 0
         self._w_c = 0.0
@@ -68,6 +73,7 @@ class Hpcc(CongestionControl):
         self._u = 0.0
         self._inc_stage = 0
         self._prev.clear()
+        self._link_consts.clear()  # τ-dependent; re-derive per deployment
         self._last_update_seq = 0
 
     # ------------------------------------------------------------------
@@ -78,18 +84,27 @@ class Hpcc(CongestionControl):
         tau = sender.base_rtt_ns
         best_u = None
         best_dt = 0
+        prev_map = self._prev
+        link_consts = self._link_consts
         for hop in int_hops:
-            prev = self._prev.get(hop.port_id)
-            self._prev[hop.port_id] = hop
+            prev = prev_map.get(hop.port_id)
+            prev_map[hop.port_id] = (hop.ts_ns, hop.qlen, hop.tx_bytes)
             if prev is None:
                 continue
-            dt_ns = hop.ts_ns - prev.ts_ns
+            prev_ts, prev_qlen, prev_tx = prev
+            dt_ns = hop.ts_ns - prev_ts
             if dt_ns <= 0:
                 continue
-            tx_rate_Bps = (hop.tx_bytes - prev.tx_bytes) / (dt_ns / SEC)
-            bandwidth_Bps = hop.bandwidth_bps / BITS_PER_BYTE
-            bdp = bandwidth_Bps * tau / SEC
-            u = min(hop.qlen, prev.qlen) / bdp + tx_rate_Bps / bandwidth_Bps
+            consts = link_consts.get(hop.bandwidth_bps)
+            if consts is None:
+                bandwidth_Bps = hop.bandwidth_bps / BITS_PER_BYTE
+                consts = link_consts[hop.bandwidth_bps] = (
+                    bandwidth_Bps,
+                    bandwidth_Bps * tau / SEC,
+                )
+            bandwidth_Bps, bdp = consts
+            tx_rate_Bps = (hop.tx_bytes - prev_tx) / (dt_ns / SEC)
+            u = min(hop.qlen, prev_qlen) / bdp + tx_rate_Bps / bandwidth_Bps
             if best_u is None or u > best_u:
                 best_u = u
                 best_dt = dt_ns

@@ -324,6 +324,30 @@ def cmd_sweep(args) -> None:
     )
 
 
+def cmd_perf(args) -> None:
+    """Run the tracked perf macro-benchmarks and write BENCH_perf.json."""
+    from repro.perf import bench as perf_bench
+
+    compare = None
+    if args.compare:
+        try:
+            compare = perf_bench.load_bench(args.compare)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load --compare file: {exc}")
+    cases = args.cases.split(",") if args.cases else None
+    try:
+        doc = perf_bench.run_perf(
+            cases, tiny=args.tiny, repeats=args.repeats, compare=compare
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    for line in perf_bench.format_bench(doc):
+        print(line)
+    if not args.no_write:
+        path = perf_bench.write_bench(doc, args.out)
+        print(f"wrote {path}")
+
+
 def _requirements_summary(entry) -> str:
     req = entry.requirements
     parts = []
@@ -437,6 +461,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--force", action="store_true",
         help="re-run every cell even if present in the output JSON",
     )
+
+    perf_p = sub.add_parser(
+        "perf", help="run the tracked perf macro-benchmarks"
+    )
+    perf_p.add_argument(
+        "--cases", help="comma-separated case names (default: all)"
+    )
+    perf_p.add_argument(
+        "--tiny", action="store_true",
+        help="reduced CI-smoke grid instead of the full macro grid",
+    )
+    perf_p.add_argument(
+        "--repeats", type=int, default=1,
+        help="timing repeats per case (best run is reported)",
+    )
+    perf_p.add_argument(
+        "--out", default="BENCH_perf.json",
+        help="output document path (default BENCH_perf.json)",
+    )
+    perf_p.add_argument(
+        "--compare", metavar="PATH",
+        help="previous BENCH_perf.json to compute per-case speedups against",
+    )
+    perf_p.add_argument(
+        "--no-write", action="store_true",
+        help="print the table without writing the document",
+    )
     return parser
 
 
@@ -448,6 +499,8 @@ def main(argv=None) -> int:
         cmd_run(args)
     elif args.command == "sweep":
         cmd_sweep(args)
+    elif args.command == "perf":
+        cmd_perf(args)
     else:
         COMMANDS[args.command](args)
     return 0

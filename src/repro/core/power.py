@@ -93,7 +93,7 @@ def normalized_power_from_delay(
 
 
 class INTPowerEstimator:
-    """Per-flow INT power state: prevInt records plus the smoothed value.
+    """Per-flow INT power state: prevInt snapshots plus the smoothed value.
 
     The smoothing is the paper's sliding window over one base RTT
     (Algorithm 1 line 24)::
@@ -102,14 +102,25 @@ class INTPowerEstimator:
 
     where Δt is the INT-record spacing of the hop with the largest
     normalized power, capped at τ.
+
+    Per-port previous state is kept as *scalars* ``(ts_ns, qlen,
+    tx_bytes)``, never as retained :class:`HopRecord` objects: the
+    transport recycles an ACK's records into the packet pool the moment
+    ``on_ack`` returns (the :class:`~repro.cc.base.AckFeedback` contract),
+    and the inlined arithmetic below is operation-for-operation identical
+    to :func:`normalized_power_from_hop`.
     """
 
-    __slots__ = ("base_rtt_ns", "prev", "smoothed")
+    __slots__ = ("base_rtt_ns", "prev", "smoothed", "_link_consts")
 
     def __init__(self, base_rtt_ns: int):
         self.base_rtt_ns = base_rtt_ns
-        self.prev: Dict[int, HopRecord] = {}
+        #: port_id -> (ts_ns, qlen, tx_bytes) of the previous record
+        self.prev: Dict[int, tuple] = {}
         self.smoothed: float = 1.0
+        #: bandwidth_bps -> (bdp, base_power); both are pure functions of
+        #: (bandwidth, τ), so memoizing yields bit-identical floats
+        self._link_consts: Dict[float, tuple] = {}
 
     def update(self, hops: Optional[Iterable[HopRecord]]) -> Optional[float]:
         """Fold one ACK's INT records in; returns the smoothed normalized
@@ -118,21 +129,39 @@ class INTPowerEstimator:
             return None
         best_norm = None
         best_dt = 0
+        base_rtt_ns = self.base_rtt_ns
+        prev_map = self.prev
+        link_consts = self._link_consts
         for hop in hops:
-            prev = self.prev.get(hop.port_id)
-            self.prev[hop.port_id] = hop
+            prev = prev_map.get(hop.port_id)
+            prev_map[hop.port_id] = (hop.ts_ns, hop.qlen, hop.tx_bytes)
             if prev is None:
                 continue
-            sample = normalized_power_from_hop(hop, prev, self.base_rtt_ns)
-            if sample is None:
+            dt_ns = hop.ts_ns - prev[0]
+            if dt_ns <= 0:
                 continue
-            if best_norm is None or sample.norm > best_norm:
-                best_norm = sample.norm
-                best_dt = sample.dt_ns
+            # Algorithm 1 lines 11-19, inlined (identical float ops to
+            # normalized_power_from_hop, with the per-link constants
+            # e = b²τ and BDP memoized).
+            consts = link_consts.get(hop.bandwidth_bps)
+            if consts is None:
+                bandwidth_Bps = hop.bandwidth_bps / BITS_PER_BYTE
+                consts = link_consts[hop.bandwidth_bps] = (
+                    bandwidth_Bps * base_rtt_ns / SEC,
+                    bandwidth_Bps * bandwidth_Bps * base_rtt_ns / SEC,
+                )
+            bdp, base_power = consts
+            dt_s = dt_ns / SEC
+            qdot_Bps = (hop.qlen - prev[1]) / dt_s
+            mu_Bps = (hop.tx_bytes - prev[2]) / dt_s
+            norm = (qdot_Bps + mu_Bps) * (hop.qlen + bdp) / base_power
+            if best_norm is None or norm > best_norm:
+                best_norm = norm
+                best_dt = dt_ns
         if best_norm is None:
             return None
-        dt = min(best_dt, self.base_rtt_ns)
-        tau = self.base_rtt_ns
+        dt = min(best_dt, base_rtt_ns)
+        tau = base_rtt_ns
         self.smoothed = (self.smoothed * (tau - dt) + best_norm * dt) / tau
         if self.smoothed < MIN_NORM_POWER:
             self.smoothed = MIN_NORM_POWER

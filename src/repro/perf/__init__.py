@@ -1,0 +1,34 @@
+"""Tracked macro-benchmarks over the simulation hot path.
+
+``repro.perf`` measures *simulator throughput* (events/second and wall
+time) on a fixed set of macro workloads — incast, web-search FCT, and the
+fat-tree permutation — so every PR leaves a perf trajectory behind
+(``BENCH_perf.json``) instead of an anecdote.  See :mod:`repro.perf.bench`
+for the case definitions and the JSON schema.
+
+Usage::
+
+    python -m repro perf                      # full grid -> BENCH_perf.json
+    python -m repro perf --tiny               # CI smoke grid
+    python -m repro perf --cases websearch_fct --compare old/BENCH_perf.json
+"""
+
+from repro.perf.bench import (
+    PERF_CASES,
+    PerfCase,
+    case_names,
+    load_bench,
+    run_case,
+    run_perf,
+    write_bench,
+)
+
+__all__ = [
+    "PERF_CASES",
+    "PerfCase",
+    "case_names",
+    "load_bench",
+    "run_case",
+    "run_perf",
+    "write_bench",
+]

@@ -13,6 +13,8 @@ from repro.sim.packet import (
     GRANT,
     HopRecord,
     Packet,
+    PacketPool,
+    get_pool,
 )
 from repro.sim.buffer import SharedBuffer
 from repro.sim.port import EcnConfig, EgressPort
@@ -33,7 +35,9 @@ __all__ = [
     "Host",
     "HopRecord",
     "Packet",
+    "PacketPool",
     "SharedBuffer",
     "Simulator",
     "Switch",
+    "get_pool",
 ]

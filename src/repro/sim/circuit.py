@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.packet import DATA, Packet
 from repro.sim.port import EgressPort
+from repro.units import tx_time_ns
 
 
 class CircuitSchedule:
@@ -148,15 +149,15 @@ class CircuitPort(EgressPort):
     def enqueue(self, pkt: Packet) -> bool:
         """Admit to the VOQ of the packet's destination ToR."""
         dst_tor = self.dst_tor_of(pkt.dst)
+        size = pkt.size
+        buffer = self.buffer
         voq_len = self.voq_bytes.get(dst_tor, 0)
-        if self.buffer is not None and pkt.kind == DATA:
-            if not self.buffer.admits(voq_len, pkt.size):
+        if buffer is not None:
+            if pkt.kind == DATA and not buffer.admits(voq_len, size):
                 self.drops += 1
-                self.buffer.on_drop()
+                buffer.on_drop()
                 return False
-            self.buffer.on_enqueue(pkt.size)
-        elif self.buffer is not None:
-            self.buffer.on_enqueue(pkt.size)
+            buffer.on_enqueue(size)
 
         if self.ecn is not None and pkt.ecn_capable:
             if self.ecn.should_mark(voq_len, self.rng):
@@ -164,12 +165,12 @@ class CircuitPort(EgressPort):
                 self.marks += 1
 
         pkt.enqueue_ts = self.sim.now
-        if dst_tor not in self.voqs:
-            self.voqs[dst_tor] = deque()
-            self.voq_bytes[dst_tor] = 0
-        self.voqs[dst_tor].append(pkt)
-        self.voq_bytes[dst_tor] = voq_len + pkt.size
-        self.qlen_bytes += pkt.size
+        voq = self.voqs.get(dst_tor)
+        if voq is None:
+            voq = self.voqs[dst_tor] = deque()
+        voq.append(pkt)
+        self.voq_bytes[dst_tor] = voq_len + size
+        self.qlen_bytes += size
         if self.qlen_bytes > self.max_qlen_bytes:
             self.max_qlen_bytes = self.qlen_bytes
         if not self.busy and not self.paused:
@@ -189,11 +190,45 @@ class CircuitPort(EgressPort):
     def _stamp_qlen(self, pkt: Packet) -> int:
         return self.voq_bytes.get(self.dst_tor_of(pkt.dst), 0)
 
+    def _start_tx(self) -> None:
+        # The generic (non-inlined) transmit path: the base class fuses
+        # the strict-priority pop and qlen stamp into its hot loop, which
+        # a VOQ port cannot share — drain and telemetry go through the
+        # _pop_next / _stamp_qlen hooks here instead.  Circuit uplinks are
+        # a tiny fraction of a run's events, so the indirection is cheap.
+        pkt = self._pop_next()
+        if pkt is None:
+            return
+        self.busy = True
+        size = pkt.size
+        self.qlen_bytes -= size
+        sim = self.sim
+        now = sim.now
+        tx_bytes = self.tx_bytes + size
+        self.tx_bytes = tx_bytes
+        if self.int_stamping and pkt.int_enabled:
+            hops = pkt.int_hops
+            if hops is None:
+                hops = pkt.int_hops = []
+            hops.append(
+                self._pool.hop(
+                    self._stamp_qlen(pkt), now, tx_bytes,
+                    self.rate_bps, self.port_id,
+                )
+            )
+        if self.record_queuing and pkt.kind == DATA:
+            self.queuing_delays_ns.append(now - pkt.enqueue_ts)
+        ser = self._ser_cache.get(size)
+        if ser is None:
+            ser = self._ser_cache[size] = tx_time_ns(size, self.rate_bps)
+        sim.at(now + ser, self._finish_cb, pkt)
+
     # ------------------------------------------------------------------
     def activate(self, dst_tor: int, peer) -> None:
         """Day start: connect to ``dst_tor`` (delivered to node ``peer``)."""
         self.active_dst = dst_tor
         self.peer = peer
+        self._deliver = peer.receive if peer is not None else None
         self.resume()
 
     def deactivate(self) -> None:

@@ -242,3 +242,200 @@ class Packet:
             f"Packet({kind}, flow={self.flow_id}, {self.src}->{self.dst}, "
             f"seq={self.seq}, size={self.size})"
         )
+
+
+class PacketPool:
+    """Per-simulator free lists for :class:`Packet`, :class:`HopRecord`,
+    and INT hop lists.
+
+    Millions of packets are created per experiment; recycling the shells
+    instead of allocating fresh ones keeps the hot path allocation-free
+    (and lets :class:`~repro.sim.engine.Simulator` pause the GC during
+    ``run`` without growing the heap).  The constructors mirror the
+    :class:`Packet` static constructors exactly — a pooled packet is
+    field-for-field identical to a fresh one, so pooling cannot change
+    simulation results.
+
+    Ownership contract:
+
+    * the transport endpoint that *consumes* a packet releases it — DATA
+      at the receiver, ACK/CNP/GRANT at the sender (see
+      ``transport/receiver.py`` and ``transport/sender.py``);
+    * :meth:`release` recycles the shell only and detaches ``int_hops``
+      (used when the hop list's ownership moved elsewhere, e.g. into the
+      echoing ACK);
+    * :meth:`release_with_hops` additionally recycles the hop records and
+      the list itself — callers must guarantee nothing retains them.
+      Congestion-control laws therefore must **copy** any INT values they
+      need beyond ``on_ack`` (see :class:`repro.cc.base.AckFeedback`);
+    * packets that die anywhere else (drops, unknown-flow arrivals) are
+      simply left to the garbage collector — correctness never depends on
+      a release happening.
+    """
+
+    __slots__ = ("_packets", "_hops", "_lists")
+
+    def __init__(self) -> None:
+        self._packets: List[Packet] = []
+        self._hops: List[HopRecord] = []
+        self._lists: List[list] = []
+
+    # -- allocation ----------------------------------------------------
+    def _blank(
+        self,
+        kind: int,
+        flow_id: int,
+        src: int,
+        dst: int,
+        seq: int,
+        end_seq: int,
+        size: int,
+        priority: int,
+    ) -> Packet:
+        """A packet with every field reset, reusing a shell when possible."""
+        free = self._packets
+        if free:
+            pkt = free.pop()
+            pkt.kind = kind
+            pkt.flow_id = flow_id
+            pkt.src = src
+            pkt.dst = dst
+            pkt.seq = seq
+            pkt.end_seq = end_seq
+            pkt.size = size
+            pkt.priority = priority
+            pkt.ecn_capable = False
+            pkt.ecn_marked = False
+            pkt.int_enabled = False
+            pkt.int_hops = None
+            pkt.ack_seq = 0
+            pkt.acked_seq = 0
+            pkt.ts_tx = 0
+            pkt.ts_echo = 0
+            pkt.grant_bytes = 0
+            pkt.sched_priority = 0
+            pkt.enqueue_ts = 0
+            return pkt
+        return Packet(
+            kind, flow_id, src, dst,
+            seq=seq, end_seq=end_seq, size=size, priority=priority,
+        )
+
+    def data(
+        self,
+        flow_id: int,
+        src: int,
+        dst: int,
+        seq: int,
+        payload: int,
+        *,
+        priority: int = 0,
+        int_enabled: bool = False,
+        ecn_capable: bool = False,
+        ts_tx: int = 0,
+    ) -> Packet:
+        """Pooled equivalent of :meth:`Packet.data`."""
+        pkt = self._blank(
+            DATA, flow_id, src, dst,
+            seq, seq + payload, payload + HEADER_BYTES, priority,
+        )
+        pkt.ts_tx = ts_tx
+        pkt.ecn_capable = ecn_capable
+        if int_enabled:
+            pkt.int_enabled = True
+            lists = self._lists
+            pkt.int_hops = lists.pop() if lists else []
+        return pkt
+
+    def ack(
+        self,
+        data_pkt: Packet,
+        ack_seq: int,
+        *,
+        now: int,
+        echo_int: bool = True,
+    ) -> Packet:
+        """Pooled equivalent of :meth:`Packet.ack`.
+
+        With ``echo_int`` the hop list's ownership transfers from the data
+        packet to the ACK (the records are shared by reference, exactly as
+        in :meth:`Packet.ack`); release the data packet with
+        :meth:`release`, not :meth:`release_with_hops`.
+        """
+        echo = echo_int and data_pkt.int_hops is not None
+        pkt = self._blank(
+            ACK, data_pkt.flow_id, data_pkt.dst, data_pkt.src,
+            0, 0,
+            ACK_BYTES + (INT_HOP_BYTES * len(data_pkt.int_hops) if echo else 0),
+            0,
+        )
+        pkt.ack_seq = ack_seq
+        pkt.acked_seq = data_pkt.seq
+        pkt.ts_echo = data_pkt.ts_tx
+        pkt.ts_tx = now
+        pkt.ecn_marked = data_pkt.ecn_marked
+        if echo:
+            pkt.int_hops = data_pkt.int_hops
+        return pkt
+
+    def cnp(self, flow_id: int, src: int, dst: int) -> Packet:
+        """Pooled equivalent of :meth:`Packet.cnp`."""
+        return self._blank(CNP, flow_id, src, dst, 0, 0, CNP_BYTES, 0)
+
+    def grant(
+        self, flow_id: int, src: int, dst: int, grant_bytes: int, sched_priority: int
+    ) -> Packet:
+        """Pooled equivalent of :meth:`Packet.grant`."""
+        pkt = self._blank(GRANT, flow_id, src, dst, 0, 0, GRANT_BYTES, 0)
+        pkt.grant_bytes = grant_bytes
+        pkt.sched_priority = sched_priority
+        return pkt
+
+    def hop(
+        self,
+        qlen: int,
+        ts_ns: int,
+        tx_bytes: int,
+        bandwidth_bps: float,
+        port_id: int,
+    ) -> HopRecord:
+        """Pooled equivalent of the :class:`HopRecord` constructor."""
+        free = self._hops
+        if free:
+            rec = free.pop()
+            rec.qlen = qlen
+            rec.ts_ns = ts_ns
+            rec.tx_bytes = tx_bytes
+            rec.bandwidth_bps = bandwidth_bps
+            rec.port_id = port_id
+            return rec
+        return HopRecord(qlen, ts_ns, tx_bytes, bandwidth_bps, port_id)
+
+    # -- release -------------------------------------------------------
+    def release(self, pkt: Packet) -> None:
+        """Recycle the shell only; any hop list is detached, not recycled
+        (its ownership moved elsewhere — e.g. into the echoing ACK)."""
+        pkt.int_hops = None
+        self._packets.append(pkt)
+
+    def release_with_hops(self, pkt: Packet) -> None:
+        """Recycle the shell *and* its hop records + list.
+
+        Only valid when nothing else retains the records — the consuming
+        endpoint's contract (CC laws copy INT scalars during ``on_ack``).
+        """
+        hops = pkt.int_hops
+        if hops is not None:
+            self._hops.extend(hops)
+            hops.clear()
+            self._lists.append(hops)
+            pkt.int_hops = None
+        self._packets.append(pkt)
+
+
+def get_pool(sim) -> PacketPool:
+    """The per-simulator packet pool, attached lazily to ``sim.pool``."""
+    pool = sim.pool
+    if pool is None:
+        pool = sim.pool = PacketPool()
+    return pool

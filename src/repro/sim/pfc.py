@@ -80,19 +80,22 @@ class PfcController:
         return self
 
     def _poll(self) -> None:
+        # Fires every poll interval for the whole run: keep it lean (the
+        # engine's tuple fast path makes the reschedule allocation-free).
+        sim = self.sim
         used = self.switch.buffer.used
         if not self.paused and used >= self.high_watermark:
             self.paused = True
             self.pause_events += 1
             for port in self.upstream_ports:
                 # The pause frame takes one propagation delay to act.
-                self.sim.after(port.prop_delay_ns, port.pause)
+                sim.after(port.prop_delay_ns, port.pause)
         elif self.paused and used <= self.low_watermark:
             self.paused = False
             self.resume_events += 1
             for port in self.upstream_ports:
-                self.sim.after(port.prop_delay_ns, port.resume)
-        self.sim.after(self.poll_interval_ns, self._poll)
+                sim.after(port.prop_delay_ns, port.resume)
+        sim.after(self.poll_interval_ns, self._poll)
 
 
 def enable_pfc(

@@ -15,22 +15,38 @@ bandwidth, all taken *when the packet is scheduled for transmission*
 from __future__ import annotations
 
 import random
+import weakref
+from array import array
 from collections import deque
+from heapq import heappush
 from typing import List, Optional
 
 from repro.sim.engine import Simulator
-from repro.sim.packet import DATA, HopRecord, Packet
+from repro.sim.packet import DATA, Packet, get_pool
 from repro.units import tx_time_ns
 
 NUM_PRIORITIES = 8
 
 _port_counter = 0
 
+#: per-simulator count of anonymous ports, for the fallback RNG seed —
+#: deterministic across runs (unlike the global port_id counter, which
+#: keeps incrementing across simulators in one process)
+_anon_ports = weakref.WeakKeyDictionary()
+
 
 def _next_port_id() -> int:
     global _port_counter
     _port_counter += 1
     return _port_counter
+
+
+def _anon_seed(sim: Simulator) -> str:
+    """Fallback ECN-RNG seed for an unnamed port: distinct per port,
+    stable across identical runs (a per-simulator construction counter)."""
+    n = _anon_ports.get(sim, 0) + 1
+    _anon_ports[sim] = n
+    return f"port#{n}"
 
 
 class EcnConfig:
@@ -114,7 +130,11 @@ class EgressPort:
         "max_qlen_bytes",
         "record_queuing",
         "queuing_delays_ns",
-        "_pending_head",
+        "_nonempty",
+        "_pool",
+        "_ser_cache",
+        "_deliver",
+        "_finish_cb",
     )
 
     def __init__(
@@ -146,8 +166,10 @@ class EgressPort:
         self.port_id = _next_port_id()
         # The RNG (ECN marking decisions) is seeded from the *name*, which
         # is stable across runs; the global port_id counter is not, and
-        # seeding from it would make identical runs diverge.
-        self.rng = rng if rng is not None else random.Random(name or "port")
+        # seeding from it would make identical runs diverge.  Unnamed
+        # ports fall back to a per-simulator construction counter, so two
+        # anonymous ports never share a mark sequence.
+        self.rng = rng if rng is not None else random.Random(name or _anon_seed(sim))
         self.queues: List[deque] = [deque() for _ in range(NUM_PRIORITIES)]
         self.qlen_bytes = 0
         self.tx_bytes = 0
@@ -157,13 +179,23 @@ class EgressPort:
         self.marks = 0
         self.max_qlen_bytes = 0
         self.record_queuing = record_queuing
-        self.queuing_delays_ns: List[int] = []
-        self._pending_head: Optional[Packet] = None
+        self.queuing_delays_ns = array("q")
+        self._nonempty = 0  # bitmask of non-empty priority queues
+        self._pool = get_pool(sim)
+        #: serialization-time memo: packet size -> ns at this port's rate
+        #: (the rate is fixed for the port's lifetime)
+        self._ser_cache = {}
+        #: cached bound methods for the per-packet events — recreating a
+        #: bound method per heappush is a measurable allocation on the
+        #: hot path
+        self._deliver = peer.receive if peer is not None else None
+        self._finish_cb = self._finish_tx
 
     # ------------------------------------------------------------------
     def connect(self, peer, prop_delay_ns: Optional[int] = None) -> None:
         """Attach the downstream node, optionally overriding the link delay."""
         self.peer = peer
+        self._deliver = peer.receive if peer is not None else None
         if prop_delay_ns is not None:
             self.prop_delay_ns = prop_delay_ns
 
@@ -177,25 +209,40 @@ class EgressPort:
         packets — small control packets (ACK/CNP/grant) are always admitted,
         mirroring how RDMA deployments protect control traffic.
         """
-        if self.buffer is not None and pkt.kind == DATA:
-            if not self.buffer.admits(self.qlen_bytes, pkt.size):
-                self.drops += 1
-                self.buffer.on_drop()
-                return False
-            self.buffer.on_enqueue(pkt.size)
-        elif self.buffer is not None:
-            self.buffer.on_enqueue(pkt.size)
+        size = pkt.size
+        buffer = self.buffer
+        if buffer is not None:
+            # Inlined SharedBuffer.admits / on_enqueue / on_drop — one
+            # call per enqueue on every switch port.
+            if pkt.kind == DATA:
+                used = buffer.used
+                if (
+                    used + size > buffer.capacity
+                    or self.qlen_bytes >= buffer.alpha * (buffer.capacity - used)
+                ):
+                    self.drops += 1
+                    buffer.drops += 1
+                    return False
+            buffer.used += size
+            buffer.total_admitted += size
+            # Control packets bypass DT admission, so the shared-memory
+            # invariant still needs its (stripped-with--O) safety net.
+            assert buffer.used <= buffer.capacity, "shared buffer overflow"
 
-        if self.ecn is not None and pkt.ecn_capable:
-            if self.ecn.should_mark(self.qlen_bytes, self.rng):
+        ecn = self.ecn
+        if ecn is not None and pkt.ecn_capable:
+            if ecn.should_mark(self.qlen_bytes, self.rng):
                 pkt.ecn_marked = True
                 self.marks += 1
 
         pkt.enqueue_ts = self.sim.now
-        self.queues[pkt.priority].append(pkt)
-        self.qlen_bytes += pkt.size
-        if self.qlen_bytes > self.max_qlen_bytes:
-            self.max_qlen_bytes = self.qlen_bytes
+        priority = pkt.priority
+        self.queues[priority].append(pkt)
+        self._nonempty |= 1 << priority
+        qlen = self.qlen_bytes + size
+        self.qlen_bytes = qlen
+        if qlen > self.max_qlen_bytes:
+            self.max_qlen_bytes = qlen
         if not self.busy and not self.paused:
             self._start_tx()
         return True
@@ -204,43 +251,84 @@ class EgressPort:
     # Dequeue path
     # ------------------------------------------------------------------
     def _pop_next(self) -> Optional[Packet]:
-        for queue in self.queues:
-            if queue:
-                return queue.popleft()
-        return None
+        # Strict priority without scanning empty queues: the lowest set
+        # bit of the nonempty mask is the highest-priority backlogged queue.
+        mask = self._nonempty
+        if not mask:
+            return None
+        priority = (mask & -mask).bit_length() - 1
+        queue = self.queues[priority]
+        pkt = queue.popleft()
+        if not queue:
+            self._nonempty = mask & (mask - 1)  # clear the lowest set bit
+        return pkt
 
     def _stamp_qlen(self, pkt: Packet) -> int:
-        """Queue length reported in INT records (overridden by VOQ ports)."""
+        """Queue length reported in INT records.
+
+        A subclass hook: the base-class hot path inlines the plain
+        ``qlen_bytes`` read, so VOQ ports (``CircuitPort``) override
+        :meth:`_start_tx` wholesale and route through this hook there.
+        """
         return self.qlen_bytes
 
     def _start_tx(self) -> None:
-        pkt = self._pop_next()
-        if pkt is None:
+        # The per-packet hot path: the strict-priority pop, the INT stamp,
+        # and the finish-event push are all inlined (no _pop_next /
+        # _stamp_qlen / sim.at indirection) — this method and _finish_tx
+        # execute once per packet per hop, millions of times per run.
+        mask = self._nonempty
+        if not mask:
             return
+        priority = (mask & -mask).bit_length() - 1
+        queue = self.queues[priority]
+        pkt = queue.popleft()
+        if not queue:
+            self._nonempty = mask & (mask - 1)  # clear the lowest set bit
         self.busy = True
-        self.qlen_bytes -= pkt.size
-        now = self.sim.now
-        self.tx_bytes += pkt.size
+        size = pkt.size
+        qlen = self.qlen_bytes - size
+        self.qlen_bytes = qlen
+        sim = self.sim
+        now = sim.now
+        tx_bytes = self.tx_bytes + size
+        self.tx_bytes = tx_bytes
         if self.int_stamping and pkt.int_enabled:
-            pkt.stamp_int(
-                HopRecord(
-                    qlen=self._stamp_qlen(pkt),
-                    ts_ns=now,
-                    tx_bytes=self.tx_bytes,
-                    bandwidth_bps=self.rate_bps,
-                    port_id=self.port_id,
-                )
+            hops = pkt.int_hops
+            if hops is None:
+                hops = pkt.int_hops = []
+            hops.append(
+                self._pool.hop(qlen, now, tx_bytes, self.rate_bps, self.port_id)
             )
         if self.record_queuing and pkt.kind == DATA:
             self.queuing_delays_ns.append(now - pkt.enqueue_ts)
-        serialization = tx_time_ns(pkt.size, self.rate_bps)
-        self.sim.after(serialization, self._finish_tx, pkt)
+        ser = self._ser_cache.get(size)
+        if ser is None:
+            ser = self._ser_cache[size] = tx_time_ns(size, self.rate_bps)
+        # Two heap events per hop, both on the engine's allocation-free
+        # tuple fast path: _finish_tx frees the transmitter at the end of
+        # serialization, then schedules the delivery at the peer.  The
+        # delivery is deliberately *not* scheduled here at _start_tx time:
+        # its heap sequence number would shift by one serialization time,
+        # flipping same-nanosecond tie-breaks between ports with unequal
+        # packet sizes/rates — and the fig4/6/7 series are bit-exact
+        # regression guardrails.
+        heappush(sim._heap, (now + ser, next(sim._seq), self._finish_cb, (pkt,)))
+        sim._live += 1
 
     def _finish_tx(self, pkt: Packet) -> None:
-        if self.buffer is not None:
-            self.buffer.on_dequeue(pkt.size)
-        if self.peer is not None:
-            self.sim.after(self.prop_delay_ns, self.peer.receive, pkt)
+        buffer = self.buffer
+        if buffer is not None:
+            buffer.used -= pkt.size  # inlined SharedBuffer.on_dequeue
+            assert buffer.used >= 0, "shared buffer underflow"
+        deliver = self._deliver
+        if deliver is not None:
+            sim = self.sim
+            heappush(
+                sim._heap,
+                (sim.now + self.prop_delay_ns, next(sim._seq), deliver, (pkt,)),
+            )
+            sim._live += 1
         self.busy = False
         if not self.paused and self.qlen_bytes > 0:
             self._start_tx()

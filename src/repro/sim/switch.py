@@ -61,9 +61,18 @@ class Switch:
         return options[index % len(options)]
 
     def receive(self, pkt: Packet) -> None:
-        """Forward an arriving packet to the routed egress port."""
+        """Forward an arriving packet to the routed egress port.
+
+        Fires once per packet per switch; the ECMP pick is inlined from
+        :meth:`route_for` (same arithmetic) to avoid the extra call.
+        """
         self.rx_packets += 1
-        self.route_for(pkt).enqueue(pkt)
+        options = self.routes[pkt.dst]
+        if len(options) == 1:
+            options[0].enqueue(pkt)
+        else:
+            index = ((pkt.flow_id ^ self.switch_id) * _HASH_MIX) & 0xFFFFFFFF
+            options[index % len(options)].enqueue(pkt)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Switch({self.name}, ports={len(self.ports)})"

@@ -46,11 +46,15 @@ class Probe:
         return self
 
     def _sample(self) -> None:
-        self.times_ns.append(self.sim.now)
+        # A probe tick fires thousands of times per run; the reschedule
+        # rides the engine's allocation-free fast path.
+        sim = self.sim
+        now = sim.now
+        self.times_ns.append(now)
         self.values.append(self.fn())
-        next_time = self.sim.now + self.interval_ns
+        next_time = now + self.interval_ns
         if self.until_ns is None or next_time <= self.until_ns:
-            self.sim.at(next_time, self._sample)
+            sim.at(next_time, self._sample)
 
 
 class CounterRateProbe:
@@ -82,14 +86,16 @@ class CounterRateProbe:
         return self
 
     def _sample(self) -> None:
+        sim = self.sim
+        now = sim.now
         count = self.counter_fn()
         delta = count - self._last_count
         self._last_count = count
-        self.times_ns.append(self.sim.now)
+        self.times_ns.append(now)
         self.rates_bps.append(delta * BITS_PER_BYTE * SEC / self.interval_ns)
-        next_time = self.sim.now + self.interval_ns
+        next_time = now + self.interval_ns
         if self.until_ns is None or next_time <= self.until_ns:
-            self.sim.at(next_time, self._sample)
+            sim.at(next_time, self._sample)
 
 
 class PortProbe:

@@ -23,7 +23,7 @@ from typing import Callable, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.host import Host
-from repro.sim.packet import DATA, Packet
+from repro.sim.packet import DATA, Packet, get_pool
 from repro.transport.flow import Flow
 
 DCQCN_CNP_INTERVAL_NS = 50_000
@@ -53,6 +53,7 @@ class Receiver:
         self.rcv_nxt = 0
         self.out_of_order = 0
         self._last_cnp_ns: Optional[int] = None
+        self._pool = get_pool(sim)
 
     def start(self) -> None:
         """Register with the destination host."""
@@ -71,9 +72,17 @@ class Receiver:
 
         self._maybe_send_cnp(pkt)
 
-        ack = Packet.ack(pkt, self.rcv_nxt, now=self.sim.now, echo_int=self.echo_int)
+        pool = self._pool
+        ack = pool.ack(pkt, self.rcv_nxt, now=self.sim.now, echo_int=self.echo_int)
         if self.stamp_acks and self.echo_int and ack.int_hops is not None:
             ack.int_enabled = True
+        # The data packet is consumed here.  With INT echo its hop list's
+        # ownership just moved into the ACK (shared by reference), so only
+        # the shell is recycled; without echo the records die with it.
+        if self.echo_int:
+            pool.release(pkt)
+        else:
+            pool.release_with_hops(pkt)
         self.host.send(ack)
 
         if self.rcv_nxt >= self.flow.size_bytes and self.flow.finish_ns is None:
@@ -87,7 +96,9 @@ class Receiver:
         now = self.sim.now
         if self._last_cnp_ns is None or now - self._last_cnp_ns >= self.cnp_interval_ns:
             self._last_cnp_ns = now
-            self.host.send(Packet.cnp(self.flow.flow_id, self.flow.dst, self.flow.src))
+            self.host.send(
+                self._pool.cnp(self.flow.flow_id, self.flow.dst, self.flow.src)
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Receiver(flow={self.flow.flow_id}, rcv_nxt={self.rcv_nxt})"

@@ -18,9 +18,9 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.cc.base import AckFeedback
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Simulator
 from repro.sim.host import Host
-from repro.sim.packet import ACK, CNP, Packet
+from repro.sim.packet import ACK, CNP, Packet, get_pool
 from repro.transport.flow import Flow
 from repro.units import MSEC, tx_time_ns
 
@@ -78,8 +78,20 @@ class Sender:
         self.done = False
 
         self._next_pace_ns = 0
-        self._pace_event: Optional[Event] = None
-        self._rto_event: Optional[Event] = None
+        # Pacing uses a fast-path event guarded by a flag (a stale fire
+        # after completion is a no-op); the RTO is a *lazy deadline*
+        # timer: ACKs just move the deadline, and the single outstanding
+        # heap event re-arms itself when it wakes early.  Both avoid the
+        # per-ACK cancel + re-push + Event-allocation churn of a naive
+        # cancellable timer.
+        self._pace_armed = False
+        self._rto_deadline = 0  # absolute ns; 0 = disarmed
+        self._rto_outstanding = False  # a wake event sits in the heap
+        self._pool = get_pool(sim)
+        # One reusable AckFeedback view per sender: on_ack receives a
+        # mutable snapshot valid only for the duration of the call (CC
+        # laws copy what they keep — see AckFeedback's docstring).
+        self._feedback_view = AckFeedback(ack_seq=0)
 
     # ------------------------------------------------------------------
     @property
@@ -116,7 +128,7 @@ class Sender:
                 self._arm_pacer()
                 return
             payload = min(self.mtu_payload, size - self.snd_nxt)
-            pkt = Packet.data(
+            pkt = self._pool.data(
                 self.flow.flow_id,
                 self.flow.src,
                 self.flow.dst,
@@ -132,26 +144,33 @@ class Sender:
             gap = tx_time_ns(pkt.size, self.pacing_rate_bps)
             base = self._next_pace_ns if self._next_pace_ns > now else now
             self._next_pace_ns = base + gap
-            if self._rto_event is None:
+            if self._rto_deadline == 0:
                 self._arm_rto()
 
     def _arm_pacer(self) -> None:
-        if self._pace_event is None or self._pace_event.cancelled:
-            self._pace_event = self.sim.at(self._next_pace_ns, self._pace_fire)
+        if not self._pace_armed:
+            self._pace_armed = True
+            self.sim.at(self._next_pace_ns, self._pace_fire)
 
     def _pace_fire(self) -> None:
-        self._pace_event = None
-        self._try_send()
+        self._pace_armed = False
+        self._try_send()  # no-op when the flow completed meanwhile
 
     # ------------------------------------------------------------------
     # Acknowledgments
     # ------------------------------------------------------------------
     def on_packet(self, pkt: Packet) -> None:
-        """Host-side dispatch entry: ACKs and CNPs arrive here."""
+        """Host-side dispatch entry: ACKs and CNPs arrive here.
+
+        The packet is consumed: after dispatch its shell — and, for ACKs,
+        its INT records — return to the simulator's pool.
+        """
         if pkt.kind == ACK:
             self._on_ack(pkt)
+            self._pool.release_with_hops(pkt)
         elif pkt.kind == CNP:
             self.cc.on_cnp(self)
+            self._pool.release(pkt)
 
     def _on_ack(self, ack: Packet) -> None:
         if self.done:
@@ -179,18 +198,20 @@ class Sender:
 
     def _feedback(self, ack: Packet, newly_acked: int) -> AckFeedback:
         """The typed per-ACK view handed to the CC law (see
-        :class:`repro.cc.base.AckFeedback` for the contract)."""
-        return AckFeedback(
-            ack_seq=ack.ack_seq,
-            acked_seq=ack.acked_seq,
-            newly_acked_bytes=newly_acked,
-            is_dup=newly_acked == 0,
-            rtt_ns=self.last_rtt_ns,
-            now_ns=self.sim.now,
-            ecn_marked=ack.ecn_marked,
-            int_hops=ack.int_hops,
-            sent_high=self.snd_nxt,
-        )
+        :class:`repro.cc.base.AckFeedback` for the contract).  The view is
+        a reused per-sender instance — valid only during the ``on_ack``
+        call it is passed to."""
+        view = self._feedback_view
+        view.ack_seq = ack.ack_seq
+        view.acked_seq = ack.acked_seq
+        view.newly_acked_bytes = newly_acked
+        view.is_dup = newly_acked == 0
+        view.rtt_ns = self.last_rtt_ns
+        view.now_ns = self.sim.now
+        view.ecn_marked = ack.ecn_marked
+        view.int_hops = ack.int_hops
+        view.sent_high = self.snd_nxt
+        return view
 
     # ------------------------------------------------------------------
     # Loss recovery (go-back-N, as on RDMA NICs)
@@ -206,15 +227,29 @@ class Sender:
         self._try_send()
 
     def _arm_rto(self, restart: bool = False) -> None:
-        if restart and self._rto_event is not None:
-            self._rto_event.cancel()
-            self._rto_event = None
-        if self._rto_event is None or self._rto_event.cancelled:
-            self._rto_event = self.sim.after(self.rto_ns, self._on_rto)
+        # Lazy deadline: restarting just moves the deadline forward; the
+        # one outstanding wake event (at the *old* deadline) re-arms
+        # itself on wake-up instead of being cancelled and re-pushed on
+        # every ACK.
+        if restart or self._rto_deadline == 0:
+            self._rto_deadline = self.sim.now + self.rto_ns
+            if not self._rto_outstanding:
+                self._rto_outstanding = True
+                self.sim.at(self._rto_deadline, self._rto_fire)
 
-    def _on_rto(self) -> None:
-        self._rto_event = None
-        if self.done or self.inflight == 0:
+    def _rto_fire(self) -> None:
+        self._rto_outstanding = False
+        deadline = self._rto_deadline
+        if self.done or deadline == 0:
+            return
+        now = self.sim.now
+        if now < deadline:
+            # The deadline moved while we slept — sleep again.
+            self._rto_outstanding = True
+            self.sim.at(deadline, self._rto_fire)
+            return
+        self._rto_deadline = 0
+        if self.inflight == 0:
             return
         self.cc.on_timeout(self)
         self._go_back_n(loss_signal=False)
@@ -223,12 +258,9 @@ class Sender:
     def _complete(self) -> None:
         self.done = True
         self.flow.sender_done_ns = self.sim.now
-        if self._rto_event is not None:
-            self._rto_event.cancel()
-            self._rto_event = None
-        if self._pace_event is not None:
-            self._pace_event.cancel()
-            self._pace_event = None
+        # Outstanding pace/RTO wake events fire as no-ops (done is set);
+        # disarming the deadline keeps _rto_fire from re-arming.
+        self._rto_deadline = 0
         if self.on_complete is not None:
             self.on_complete(self.flow)
 

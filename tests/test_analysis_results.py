@@ -1,0 +1,135 @@
+"""Unit tests for the sweep-result loading API (analysis/results.py)."""
+
+import json
+
+import pytest
+
+from repro.analysis.results import ResultCell, ResultSet
+
+
+def _sweep_doc(scenario="websearch", cells=None):
+    return {
+        "scenario": scenario,
+        "grid": {"algorithm": ["a", "b"], "load": [0.2, 0.6]},
+        "base": {},
+        "seed": 1,
+        "cells": cells or [],
+    }
+
+
+def _cell(algo, load, metric, scenario="websearch", seed=11):
+    return {
+        "scenario": scenario,
+        "params": {"algorithm": algo, "load": load},
+        "overrides": {"algorithm": algo, "load": load, "seed": seed},
+        "metrics": {"fct_p99": metric, "drops": 0},
+        "series": {"bins": [1, 2, 3]},
+        "provenance": {"seed": seed},
+    }
+
+
+@pytest.fixture
+def sweep_path(tmp_path):
+    doc = _sweep_doc(
+        cells=[
+            _cell("powertcp", 0.2, 1.5),
+            _cell("powertcp", 0.6, 2.5),
+            _cell("hpcc", 0.2, 1.8),
+            _cell("hpcc", 0.6, 3.1),
+        ]
+    )
+    path = tmp_path / "websearch_sweep.json"
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_load_and_basic_accessors(sweep_path):
+    rs = ResultSet.load(sweep_path)
+    assert len(rs) == 4
+    assert rs.scenarios() == ["websearch"]
+    assert rs.param_values("algorithm") == ["hpcc", "powertcp"]
+    assert sorted(rs.values("fct_p99")) == [1.5, 1.8, 2.5, 3.1]
+    assert all(c.source == sweep_path for c in rs)
+
+
+def test_filter_matches_params_and_overrides(sweep_path):
+    rs = ResultSet.load(sweep_path)
+    assert len(rs.filter(algorithm="hpcc")) == 2
+    assert len(rs.filter(algorithm="hpcc", load=0.6)) == 1
+    # seed only appears in overrides — filter falls back to them.
+    assert len(rs.filter(seed=11)) == 4
+    assert len(rs.filter(algorithm="nope")) == 0
+
+
+def test_only_requires_single_cell(sweep_path):
+    rs = ResultSet.load(sweep_path)
+    cell = rs.filter(algorithm="powertcp", load=0.2).only()
+    assert cell.metrics["fct_p99"] == 1.5
+    with pytest.raises(KeyError):
+        rs.only()
+
+
+def test_pivot_table(sweep_path):
+    rs = ResultSet.load(sweep_path)
+    rows, cols, table = rs.pivot("load", "algorithm", "fct_p99")
+    assert rows == [0.2, 0.6]
+    assert cols == ["hpcc", "powertcp"]
+    assert table == [[1.8, 1.5], [3.1, 2.5]]
+
+
+def test_pivot_rejects_ambiguous_groups_without_agg(tmp_path):
+    doc = _sweep_doc(
+        cells=[
+            _cell("powertcp", 0.2, 1.0, seed=1),
+            _cell("powertcp", 0.2, 3.0, seed=2),
+        ]
+    )
+    path = tmp_path / "dup_sweep.json"
+    path.write_text(json.dumps(doc))
+    rs = ResultSet.load(str(path))
+    with pytest.raises(ValueError):
+        rs.pivot("load", "algorithm", "fct_p99")
+    _rows, _cols, table = rs.pivot(
+        "load", "algorithm", "fct_p99", agg=lambda vs: sum(vs) / len(vs)
+    )
+    assert table == [[2.0]]
+
+
+def test_pivot_empty_groups_are_none(tmp_path):
+    doc = _sweep_doc(
+        cells=[_cell("powertcp", 0.2, 1.0), _cell("hpcc", 0.6, 2.0)]
+    )
+    path = tmp_path / "sparse_sweep.json"
+    path.write_text(json.dumps(doc))
+    rows, cols, table = ResultSet.load(str(path)).pivot(
+        "load", "algorithm", "fct_p99"
+    )
+    assert table == [[None, 1.0], [2.0, None]]
+
+
+def test_load_dir_merges_files(tmp_path):
+    for name, algo in (("a_sweep.json", "powertcp"), ("b_sweep.json", "hpcc")):
+        doc = _sweep_doc(cells=[_cell(algo, 0.2, 1.0)])
+        (tmp_path / name).write_text(json.dumps(doc))
+    (tmp_path / "unrelated.json").write_text("{}")
+    rs = ResultSet.load_dir(str(tmp_path))
+    assert len(rs) == 2
+    assert rs.param_values("algorithm") == ["hpcc", "powertcp"]
+
+
+def test_format_pivot_renders(sweep_path):
+    lines = ResultSet.load(sweep_path).format_pivot(
+        "load", "algorithm", "fct_p99"
+    )
+    assert lines[0].startswith("fct_p99")
+    assert any("hpcc" in line for line in lines)
+    assert len(lines) == 2 + 2  # title + header + one line per load
+
+
+def test_cell_param_fallback():
+    cell = ResultCell(
+        scenario="x", params={"a": 1}, overrides={"a": 99, "b": 2}
+    )
+    assert cell.param("a") == 1  # params win over overrides
+    assert cell.param("b") == 2
+    assert cell.param("c", "dflt") == "dflt"

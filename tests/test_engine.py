@@ -56,7 +56,7 @@ def test_after_is_relative_to_now():
 def test_cancelled_event_does_not_fire():
     sim = Simulator()
     fired = []
-    event = sim.at(100, fired.append, "x")
+    event = sim.at_cancellable(100, fired.append, "x")
     sim.at(50, event.cancel)
     sim.run()
     assert fired == []
@@ -105,7 +105,7 @@ def test_step_processes_single_event():
 
 def test_peek_time_skips_cancelled():
     sim = Simulator()
-    event = sim.at(10, lambda: None)
+    event = sim.at_cancellable(10, lambda: None)
     sim.at(20, lambda: None)
     event.cancel()
     assert sim.peek_time() == 20
@@ -113,22 +113,27 @@ def test_peek_time_skips_cancelled():
 
 def test_peek_time_prunes_cancelled_heap_entries():
     sim = Simulator()
-    events = [sim.at(10 + i, lambda: None) for i in range(3)]
-    live = sim.at(100, lambda: None)
+    events = [sim.at_cancellable(10 + i, lambda: None) for i in range(3)]
+    sim.at(100, lambda: None)
     for event in events:
         event.cancel()
-    assert sim.pending == 4  # lazily retained until popped
+    # pending reports the *live* count immediately; the heap keeps the
+    # cancelled entries only until lazy compaction reaches them.
+    assert sim.pending == 1
+    assert sim.heap_entries == 4
     assert sim.peek_time() == 100
-    assert sim.pending == 1  # cancelled prefix physically removed
+    assert sim.heap_entries == 1  # cancelled prefix physically removed
+    assert sim.pending == 1
 
 
 def test_peek_time_empty_and_all_cancelled():
     sim = Simulator()
     assert sim.peek_time() is None
-    event = sim.at(10, lambda: None)
+    event = sim.at_cancellable(10, lambda: None)
     event.cancel()
-    assert sim.peek_time() is None
     assert sim.pending == 0
+    assert sim.peek_time() is None
+    assert sim.heap_entries == 0
 
 
 def test_max_events_bound():
@@ -173,8 +178,113 @@ def test_max_events_zero_processes_nothing():
 def test_cancelled_events_do_not_consume_max_events_budget():
     sim = Simulator()
     fired = []
-    doomed = sim.at(10, fired.append, "doomed")
+    doomed = sim.at_cancellable(10, fired.append, "doomed")
     sim.at(20, fired.append, "live")
     doomed.cancel()
     assert sim.run(max_events=1) == 1
     assert fired == ["live"]
+
+
+# ----------------------------------------------------------------------
+# The cancellable-timer API (at_cancellable / after_cancellable)
+# ----------------------------------------------------------------------
+def test_fast_path_returns_no_handle():
+    sim = Simulator()
+    assert sim.at(10, lambda: None) is None
+    assert sim.after(10, lambda: None) is None
+
+
+def test_at_cancellable_fires_like_at():
+    sim = Simulator()
+    fired = []
+    sim.at_cancellable(100, fired.append, "timer")
+    sim.at(50, fired.append, "fast")
+    sim.run()
+    assert fired == ["fast", "timer"]
+
+
+def test_after_cancellable_relative_and_validated():
+    sim = Simulator()
+    fired = []
+    sim.at(100, lambda: sim.after_cancellable(50, lambda: fired.append(sim.now)))
+    sim.run()
+    assert fired == [150]
+    with pytest.raises(ValueError):
+        sim.after_cancellable(-1, lambda: None)
+    with pytest.raises(ValueError):
+        sim.at_cancellable(sim.now - 1, lambda: None)
+
+
+def test_cancel_is_idempotent_and_safe_after_firing():
+    sim = Simulator()
+    fired = []
+    event = sim.at_cancellable(10, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    event.cancel()  # already fired: must be a no-op
+    event.cancel()
+    assert sim.pending == 0
+    doomed = sim.at_cancellable(20, fired.append, "y")
+    doomed.cancel()
+    doomed.cancel()  # double-cancel must not decrement the live count twice
+    assert sim.pending == 0
+    sim.run()
+    assert fired == ["x"]
+
+
+def test_pending_tracks_live_events_only():
+    sim = Simulator()
+    sim.at(10, lambda: None)
+    timers = [sim.at_cancellable(20 + i, lambda: None) for i in range(5)]
+    assert sim.pending == 6
+    for timer in timers[:3]:
+        timer.cancel()
+    assert sim.pending == 3
+    assert sim.heap_entries == 6  # cancelled entries await lazy compaction
+    sim.run()
+    assert sim.pending == 0
+    assert sim.heap_entries == 0
+    assert sim.events_processed == 3
+
+
+def test_cancellation_heavy_timer_workload():
+    # Mimics retransmission timers: every "ack" cancels and re-arms the
+    # timer; only the final timer may fire.  Exercises live-count
+    # bookkeeping and lazy compaction under churn.
+    sim = Simulator()
+    fired = []
+    state = {"timer": None}
+
+    def fire():
+        fired.append(sim.now)
+
+    def arm():
+        if state["timer"] is not None:
+            state["timer"].cancel()
+        state["timer"] = sim.after_cancellable(1_000, fire)
+
+    for t in range(0, 500, 10):
+        sim.at(t, arm)
+    sim.run()
+    # Only the last re-armed timer fires (at 490 + 1000).
+    assert fired == [1490]
+    assert sim.pending == 0
+    assert sim.events_processed == 51  # 50 arms + 1 timer
+
+
+def test_mixed_fast_and_cancellable_tie_order():
+    sim = Simulator()
+    fired = []
+    sim.at(50, fired.append, "fast-1")
+    sim.at_cancellable(50, fired.append, "timer")
+    sim.at(50, fired.append, "fast-2")
+    sim.run()
+    assert fired == ["fast-1", "timer", "fast-2"]  # scheduling order
+
+
+def test_run_with_gc_pause_disabled():
+    sim = Simulator(pause_gc=False)
+    fired = []
+    sim.at(10, fired.append, 1)
+    sim.run()
+    assert fired == [1]

@@ -1,4 +1,4 @@
-"""Unit tests for packets and INT records."""
+"""Unit tests for packets, INT records, and the per-simulator pool."""
 
 from repro.sim.packet import (
     ACK,
@@ -10,6 +10,8 @@ from repro.sim.packet import (
     INT_HOP_BYTES,
     HopRecord,
     Packet,
+    PacketPool,
+    get_pool,
 )
 
 
@@ -91,3 +93,83 @@ def test_control_packets_have_zero_payload():
     data = Packet.data(1, 0, 1, 0, 100)
     ack = Packet.ack(data, 100, now=0)
     assert ack.payload == 0
+
+
+# ----------------------------------------------------------------------
+# PacketPool: pooled constructors must be field-identical to fresh ones
+# ----------------------------------------------------------------------
+def _fields(pkt):
+    return {name: getattr(pkt, name) for name in Packet.__slots__}
+
+
+def test_pooled_data_matches_fresh_after_reuse():
+    pool = PacketPool()
+    # Dirty a shell thoroughly, then recycle it.
+    dirty = pool.data(1, 0, 1, 0, 100, int_enabled=True, ecn_capable=True,
+                      priority=3, ts_tx=99)
+    dirty.ecn_marked = True
+    dirty.enqueue_ts = 12345
+    dirty.int_hops.append(HopRecord(1, 2, 3, 1e9, 4))
+    pool.release_with_hops(dirty)
+    reused = pool.data(7, 1, 2, 1000, 500, ts_tx=42)
+    assert reused is dirty  # the shell actually came from the free list
+    fresh = Packet.data(7, 1, 2, 1000, 500, ts_tx=42)
+    assert _fields(reused) == _fields(fresh)
+
+
+def test_pooled_ack_matches_fresh():
+    pool = PacketPool()
+    data = pool.data(9, 3, 8, 0, 1000, int_enabled=True, ts_tx=111)
+    data.int_hops.append(HopRecord(500, 60, 9999, 25e9, 4))
+    pooled = pool.ack(data, 1000, now=200)
+    fresh = Packet.ack(data, 1000, now=200)
+    pooled_fields = _fields(pooled)
+    fresh_fields = _fields(fresh)
+    assert pooled_fields.pop("int_hops") is fresh_fields.pop("int_hops")
+    assert pooled_fields == fresh_fields
+
+
+def test_release_detaches_but_does_not_recycle_shared_hops():
+    pool = PacketPool()
+    data = pool.data(1, 0, 1, 0, 100, int_enabled=True)
+    record = pool.hop(10, 20, 30, 1e9, 7)
+    data.int_hops.append(record)
+    ack = pool.ack(data, 100, now=0)  # hop list moves into the ack
+    pool.release(data)
+    assert data.int_hops is None
+    assert ack.int_hops == [record]  # alias survives the shell release
+    # The record was NOT recycled: a new hop allocation is a new object.
+    assert pool.hop(0, 0, 0, 1e9, 1) is not record
+
+
+def test_release_with_hops_recycles_records_and_list():
+    pool = PacketPool()
+    pkt = pool.data(1, 0, 1, 0, 100, int_enabled=True)
+    hops = pkt.int_hops
+    record = pool.hop(10, 20, 30, 1e9, 7)
+    hops.append(record)
+    pool.release_with_hops(pkt)
+    assert pkt.int_hops is None
+    reused_record = pool.hop(1, 2, 3, 2e9, 9)
+    assert reused_record is record
+    assert (reused_record.qlen, reused_record.ts_ns, reused_record.tx_bytes,
+            reused_record.bandwidth_bps, reused_record.port_id) == (1, 2, 3, 2e9, 9)
+    fresh_int = pool.data(2, 0, 1, 0, 50, int_enabled=True)
+    assert fresh_int.int_hops is hops  # the list itself recycles...
+    assert fresh_int.int_hops == []  # ...cleared
+
+
+def test_pooled_cnp_and_grant_match_fresh():
+    pool = PacketPool()
+    assert _fields(pool.cnp(5, 2, 0)) == _fields(Packet.cnp(5, 2, 0))
+    assert _fields(pool.grant(3, 9, 1, 48_000, 5)) == _fields(
+        Packet.grant(3, 9, 1, 48_000, 5)
+    )
+
+
+def test_get_pool_is_per_simulator():
+    from repro.sim.engine import Simulator
+
+    sim_a, sim_b = Simulator(), Simulator()
+    assert get_pool(sim_a) is get_pool(sim_a)
+    assert get_pool(sim_a) is not get_pool(sim_b)

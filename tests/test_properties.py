@@ -41,7 +41,7 @@ def test_engine_cancellation_is_exact(events):
     fired = []
     handles = []
     for t, cancel in events:
-        handles.append((sim.at(t, fired.append, t), cancel))
+        handles.append((sim.at_cancellable(t, fired.append, t), cancel))
     for handle, cancel in handles:
         if cancel:
             handle.cancel()

@@ -108,7 +108,7 @@ def test_completion_cancels_timers():
     sim.run(until=100_000)
     sender.on_packet(ack(sender.flow, 5_000))
     assert sender.done
-    assert sender._rto_event is None or sender._rto_event.cancelled
+    assert sender._rto_deadline == 0  # lazy timer disarmed
     # No retransmission fires afterwards.
     count = len(host.sent)
     sim.run(until=sender.rto_ns * 3)
