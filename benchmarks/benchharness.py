@@ -30,17 +30,28 @@ def emit(name: str, lines: Iterable[str]) -> None:
         handle.write(text + "\n")
 
 
-def grid_sweep(scenario, grid, base=None, seed=1):
+def grid_sweep(scenario, grid, base=None, seed=1, persist=None):
     """Run a parameter grid through the shared scenario SweepRunner.
 
     Runs in-process (``jobs=1``) so every cell's raw experiment result
     stays attached (``cell.result.raw``) for the benches' assertions.
     Pin ``seed`` in ``base`` to bypass per-cell seed derivation when a
-    bench must reproduce the experiment module's historical defaults.
+    bench must reproduce the experiment module's historical defaults
+    (scenarios with a ``seed`` config field would otherwise get derived
+    per-cell seeds and drift from the committed series).
+
+    ``persist`` names a results document: the sweep JSON is written to
+    ``benchmarks/results/<persist>_sweep.json`` (untracked; regenerated
+    by every bench run) so each figure's grid loads back through
+    ``repro.analysis.results.ResultSet``.
     """
     from repro.scenarios.sweep import run_sweep
 
-    return run_sweep(scenario, grid, base=base or {}, seed=seed)
+    sweep = run_sweep(scenario, grid, base=base or {}, seed=seed)
+    if persist:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        sweep.persist(os.path.join(RESULTS_DIR, f"{persist}_sweep.json"))
+    return sweep
 
 
 def once(benchmark, fn):

@@ -6,10 +6,9 @@ trade-off.  We sweep N (``expected_flows``) on the web-search workload
 and report tail slowdowns and buffer occupancy.
 """
 
-from benchharness import emit, once
+from benchharness import emit, grid_sweep, once
 
 from repro.analysis.stats import percentile
-from repro.experiments.websearch import WebsearchConfig, run_websearch
 from repro.units import MSEC
 
 NS = [8, 16, 32, 64, 128]
@@ -18,19 +17,23 @@ PCT = 99.0
 
 
 def run_all():
+    sweep = grid_sweep(
+        "websearch",
+        grid={"cc_params": [{"expected_flows": n} for n in NS]},
+        base=dict(
+            algorithm="powertcp",
+            load=0.6,
+            duration_ns=20 * MSEC,
+            drain_ns=40 * MSEC,
+            size_scale=SCALE,
+            max_flows=400,
+            seed=1,
+        ),
+        persist="ablation_beta",
+    )
     return {
-        n: run_websearch(
-            WebsearchConfig(
-                algorithm="powertcp",
-                load=0.6,
-                duration_ns=20 * MSEC,
-                drain_ns=40 * MSEC,
-                size_scale=SCALE,
-                max_flows=400,
-                cc_params={"expected_flows": n},
-            )
-        )
-        for n in NS
+        cell.params["cc_params"]["expected_flows"]: cell.result.raw
+        for cell in sweep.cells
     }
 
 

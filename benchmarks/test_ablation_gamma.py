@@ -6,25 +6,23 @@ trusts each (noisy) power sample fully.  We sweep γ on the 10:1 incast
 and report queue control and throughput.
 """
 
-from benchharness import emit, fmt_kb, once
+from benchharness import emit, fmt_kb, grid_sweep, once
 
-from repro.experiments.incast import IncastConfig, run_incast
 from repro.units import MSEC
 
 GAMMAS = [0.3, 0.5, 0.7, 0.9, 1.0]
 
 
 def run_all():
+    sweep = grid_sweep(
+        "incast",
+        grid={"cc_params": [{"gamma": gamma} for gamma in GAMMAS]},
+        base=dict(algorithm="powertcp", fanout=10, duration_ns=4 * MSEC),
+        persist="ablation_gamma",
+    )
     return {
-        gamma: run_incast(
-            IncastConfig(
-                algorithm="powertcp",
-                fanout=10,
-                duration_ns=4 * MSEC,
-                cc_params={"gamma": gamma},
-            )
-        )
-        for gamma in GAMMAS
+        cell.params["cc_params"]["gamma"]: cell.result.raw
+        for cell in sweep.cells
     }
 
 

@@ -6,6 +6,10 @@ rare drop).  This ablation validates the substitution: under a severe
 incast with a deliberately small buffer, PFC eliminates drops entirely,
 and PowerTCP's behaviour (queue control, completion) is equivalent in
 both modes — i.e. the substitution does not change who wins.
+
+This bench stays on the plain ``once`` harness (not ``grid_sweep``): the
+PFC watermark wiring (``enable_pfc`` on a hand-built dumbbell) lives
+outside any registered scenario's config surface.
 """
 
 from benchharness import emit, fmt_kb, once

@@ -3,33 +3,39 @@
 The paper limits PowerTCP (and HPCC) to once-per-RTT updates in the RDCN
 case study "for a fair comparison with reTCP"; per-ACK updates are the
 default everywhere else.  We compare both modes on the RDCN scenario and
-on the incast microbenchmark.
+on the incast microbenchmark — each a one-axis declarative grid over
+``cc_params``.
 """
 
-from benchharness import emit, fmt_kb, once
+from benchharness import emit, fmt_kb, grid_sweep, once
 
-from repro.experiments.incast import IncastConfig, run_incast
-from repro.experiments.rdcn import RdcnConfig, run_rdcn, scaled_rdcn
+from repro.experiments.rdcn import scaled_rdcn
 from repro.units import MSEC
 
 MODES = {"per-ack": False, "once-per-rtt": True}
 
 
-def test_ablation_update_interval_rdcn(benchmark):
-    def run():
-        return {
-            name: run_rdcn(
-                RdcnConfig(
-                    algorithm="powertcp",
-                    params=scaled_rdcn(),
-                    duration_ns=4 * MSEC,
-                    cc_params={"once_per_rtt": flag},
-                )
-            )
-            for name, flag in MODES.items()
-        }
+def run_modes(scenario, base, persist):
+    sweep = grid_sweep(
+        scenario,
+        grid={"cc_params": [{"once_per_rtt": flag} for flag in MODES.values()]},
+        base=base,
+        persist=persist,
+    )
+    return dict(zip(MODES, (cell.result.raw for cell in sweep.cells)))
 
-    results = once(benchmark, run)
+
+def test_ablation_update_interval_rdcn(benchmark):
+    results = once(
+        benchmark,
+        lambda: run_modes(
+            "rdcn",
+            base=dict(
+                algorithm="powertcp", params=scaled_rdcn(), duration_ns=4 * MSEC
+            ),
+            persist="ablation_update_interval_rdcn",
+        ),
+    )
     lines = [
         f"{'mode':>14s} {'circuit-util':>12s} {'peak-VOQ':>10s} {'p99 q-lat':>12s}"
     ]
@@ -49,20 +55,14 @@ def test_ablation_update_interval_rdcn(benchmark):
 
 
 def test_ablation_update_interval_incast(benchmark):
-    def run():
-        return {
-            name: run_incast(
-                IncastConfig(
-                    algorithm="powertcp",
-                    fanout=10,
-                    duration_ns=4 * MSEC,
-                    cc_params={"once_per_rtt": flag},
-                )
-            )
-            for name, flag in MODES.items()
-        }
-
-    results = once(benchmark, run)
+    results = once(
+        benchmark,
+        lambda: run_modes(
+            "incast",
+            base=dict(algorithm="powertcp", fanout=10, duration_ns=4 * MSEC),
+            persist="ablation_update_interval_incast",
+        ),
+    )
     lines = [
         f"{'mode':>14s} {'peakQ':>10s} {'settledQ':>10s} {'burst-util':>10s}"
     ]

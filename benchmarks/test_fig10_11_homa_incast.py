@@ -6,26 +6,28 @@ unscheduled+granted traffic concurrently, so queues grow with the level
 while throughput stays saturated.
 """
 
-from benchharness import emit, fmt_kb, once
+from benchharness import emit, fmt_kb, grid_sweep, once
 
-from repro.experiments.incast import IncastConfig, run_incast
 from repro.units import MSEC
 
 LEVELS = [1, 2, 4, 6]
 
 
-def run_levels(fanout, burst_bytes, duration_ns):
+def run_levels(fanout, burst_bytes, duration_ns, persist):
+    sweep = grid_sweep(
+        "incast",
+        grid={"cc_params": [{"overcommitment": oc} for oc in LEVELS]},
+        base=dict(
+            algorithm="homa",
+            fanout=fanout,
+            burst_bytes=burst_bytes,
+            duration_ns=duration_ns,
+        ),
+        persist=persist,
+    )
     return {
-        oc: run_incast(
-            IncastConfig(
-                algorithm="homa",
-                fanout=fanout,
-                burst_bytes=burst_bytes,
-                duration_ns=duration_ns,
-                cc_params={"overcommitment": oc},
-            )
-        )
-        for oc in LEVELS
+        cell.params["cc_params"]["overcommitment"]: cell.result.raw
+        for cell in sweep.cells
     }
 
 
@@ -46,7 +48,10 @@ def summarize(name, results, fanout):
 
 
 def test_fig11_homa_10to1(benchmark):
-    results = once(benchmark, lambda: run_levels(10, 200_000, 4 * MSEC))
+    results = once(
+        benchmark,
+        lambda: run_levels(10, 200_000, 4 * MSEC, "fig11_homa_10to1"),
+    )
     summarize("fig11_homa_10to1", results, 10)
     for oc, r in results.items():
         assert len(r.burst_fcts_ns) == 10, oc
@@ -54,7 +59,10 @@ def test_fig11_homa_10to1(benchmark):
 
 
 def test_fig10_homa_large_fanin(benchmark):
-    results = once(benchmark, lambda: run_levels(64, 60_000, 10 * MSEC))
+    results = once(
+        benchmark,
+        lambda: run_levels(64, 60_000, 10 * MSEC, "fig10_homa_large_fanin"),
+    )
     summarize("fig10_homa_large_fanin", results, 64)
     for oc, r in results.items():
         # High overcommitment lets SRPT starve the largest-remaining

@@ -6,17 +6,16 @@ slowly (delay signal); TIMELY oscillates; HOMA's sharing depends on its
 scheduler.
 """
 
-from benchharness import emit, once
-
-from repro.experiments.fairness import FairnessConfig, run_fairness
+from benchharness import emit, grid_sweep, once
 
 ALGOS = ["powertcp", "theta-powertcp", "timely", "homa"]
 
 
 def run_all():
-    return {
-        algo: run_fairness(FairnessConfig(algorithm=algo)) for algo in ALGOS
-    }
+    sweep = grid_sweep(
+        "fairness", grid={"algorithm": ALGOS}, persist="fig5_fairness"
+    )
+    return {cell.params["algorithm"]: cell.result.raw for cell in sweep.cells}
 
 
 def test_fig5_fairness(benchmark):

@@ -3,13 +3,14 @@
 7g: web-search at 80 % load — PowerTCP consistently occupies less buffer
 and cuts the tail occupancy versus HPCC.  7h: with incast queries layered
 on top, PowerTCP and θ-PowerTCP cut the 99-percentile buffer vs HPCC.
+
+Both grids pin ``seed=1`` (the config default) so the sweep reproduces
+the historical workload draws exactly.
 """
 
-from benchharness import emit, fmt_kb, once
+from benchharness import emit, fmt_kb, grid_sweep, once
 
 from repro.analysis.stats import percentile
-from repro.experiments.bursty import BurstyConfig, run_bursty
-from repro.experiments.websearch import WebsearchConfig, run_websearch
 from repro.units import MSEC
 
 ALGOS = ["powertcp", "theta-powertcp", "hpcc"]
@@ -30,18 +31,22 @@ def cdf_rows(results):
 
 def test_fig7g_buffer_cdf_websearch(benchmark):
     def run():
+        sweep = grid_sweep(
+            "websearch",
+            grid={"algorithm": ALGOS},
+            base=dict(
+                load=0.8,
+                duration_ns=20 * MSEC,
+                drain_ns=40 * MSEC,
+                size_scale=SCALE,
+                max_flows=FLOWS,
+                seed=1,
+            ),
+            persist="fig7g_buffer_cdf_websearch",
+        )
         return {
-            algo: run_websearch(
-                WebsearchConfig(
-                    algorithm=algo,
-                    load=0.8,
-                    duration_ns=20 * MSEC,
-                    drain_ns=40 * MSEC,
-                    size_scale=SCALE,
-                    max_flows=FLOWS,
-                )
-            ).buffer_samples_bytes
-            for algo in ALGOS
+            cell.params["algorithm"]: cell.result.raw.buffer_samples_bytes
+            for cell in sweep.cells
         }
 
     results = once(benchmark, run)
@@ -57,21 +62,25 @@ def test_fig7g_buffer_cdf_websearch(benchmark):
 
 def test_fig7h_buffer_cdf_bursty(benchmark):
     def run():
+        sweep = grid_sweep(
+            "bursty",
+            grid={"algorithm": ALGOS},
+            base=dict(
+                load=0.8,
+                requests_per_duration=16,
+                request_size_bytes=2_000_000,
+                fanout=8,
+                duration_ns=20 * MSEC,
+                drain_ns=40 * MSEC,
+                size_scale=SCALE,
+                max_flows=FLOWS,
+                seed=1,
+            ),
+            persist="fig7h_buffer_cdf_bursty",
+        )
         return {
-            algo: run_bursty(
-                BurstyConfig(
-                    algorithm=algo,
-                    load=0.8,
-                    requests_per_duration=16,
-                    request_size_bytes=2_000_000,
-                    fanout=8,
-                    duration_ns=20 * MSEC,
-                    drain_ns=40 * MSEC,
-                    size_scale=SCALE,
-                    max_flows=FLOWS,
-                )
-            ).buffer_samples_bytes
-            for algo in ALGOS
+            cell.params["algorithm"]: cell.result.raw.buffer_samples_bytes
+            for cell in sweep.cells
         }
 
     results = once(benchmark, run)

@@ -4,11 +4,14 @@
 7e/7f sweep the request *size* at a fixed rate.  Claims reproduced:
 PowerTCP improves short-flow tails over HPCC under bursty traffic without
 sacrificing long flows; θ-PowerTCP helps short flows but hurts long ones.
+
+Each sub-figure is one declarative grid (algorithm x rate, algorithm x
+size) over the ``bursty`` scenario with ``seed=1`` pinned so the sweep
+reproduces the historical workload draws exactly.
 """
 
-from benchharness import emit, once
+from benchharness import emit, grid_sweep, once
 
-from repro.experiments.bursty import BurstyConfig, run_bursty
 from repro.units import MSEC
 
 ALGOS = ["powertcp", "theta-powertcp", "hpcc"]
@@ -16,32 +19,36 @@ SCALE = 1 / 16
 PCT = 99.0
 FLOWS = 200
 
+BASE = dict(
+    load=0.8,
+    fanout=8,
+    duration_ns=20 * MSEC,
+    drain_ns=40 * MSEC,
+    size_scale=SCALE,
+    max_flows=FLOWS,
+    seed=1,
+)
 
-def run_cell(algo, requests, request_size):
-    return run_bursty(
-        BurstyConfig(
-            algorithm=algo,
-            load=0.8,
-            requests_per_duration=requests,
-            request_size_bytes=request_size,
-            fanout=8,
-            duration_ns=20 * MSEC,
-            drain_ns=40 * MSEC,
-            size_scale=SCALE,
-            max_flows=FLOWS,
-        )
-    )
+
+def sweep_matrix(grid, base, axis, persist):
+    """Grid -> {(algorithm, axis value): raw bursty result}."""
+    sweep = grid_sweep("bursty", grid=grid, base=base, persist=persist)
+    return {
+        (cell.params["algorithm"], cell.params[axis]): cell.result.raw
+        for cell in sweep.cells
+    }
 
 
 def test_fig7cd_request_rate(benchmark):
     rates = [1, 4, 16]
 
     def run():
-        return {
-            (algo, rate): run_cell(algo, rate, 2_000_000)
-            for algo in ALGOS
-            for rate in rates
-        }
+        return sweep_matrix(
+            grid={"algorithm": ALGOS, "requests_per_duration": rates},
+            base=dict(BASE, request_size_bytes=2_000_000),
+            axis="requests_per_duration",
+            persist="fig7cd_request_rate",
+        )
 
     matrix = once(benchmark, run)
     lines = [f"request-rate sweep @ 2MB requests, p{PCT:g} slowdown"]
@@ -72,11 +79,12 @@ def test_fig7ef_request_size(benchmark):
     sizes = [1_000_000, 2_000_000, 8_000_000]
 
     def run():
-        return {
-            (algo, size): run_cell(algo, 4, size)
-            for algo in ALGOS
-            for size in sizes
-        }
+        return sweep_matrix(
+            grid={"algorithm": ALGOS, "request_size_bytes": sizes},
+            base=dict(BASE, requests_per_duration=4),
+            axis="request_size_bytes",
+            persist="fig7ef_request_size",
+        )
 
     matrix = once(benchmark, run)
     lines = [f"request-size sweep @ 4 requests/run, p{PCT:g} slowdown"]

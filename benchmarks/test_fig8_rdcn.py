@@ -12,17 +12,15 @@ bandwidth.  Claims reproduced:
   tail latency by >= 5x vs reTCP.
 
 Prebuffer values are the paper's, scaled to the shortened rotation week
-(see ``scaled_prebuffer_ns``).
+(see ``scaled_prebuffer_ns``).  The variant set is not a full product —
+prebuffering only applies to reTCP — so each figure runs two declarative
+grids over the ``rdcn`` scenario: algorithm x params for the
+feedback-based schemes, prebuffer x params for reTCP.
 """
 
-from benchharness import emit, fmt_gbps, fmt_kb, once
+from benchharness import emit, fmt_gbps, fmt_kb, grid_sweep, once
 
-from repro.experiments.rdcn import (
-    RdcnConfig,
-    run_rdcn,
-    scaled_prebuffer_ns,
-    scaled_rdcn,
-)
+from repro.experiments.rdcn import scaled_prebuffer_ns, scaled_rdcn
 from repro.units import GBPS, MSEC, USEC
 
 VARIANTS = [
@@ -31,37 +29,59 @@ VARIANTS = [
     ("retcp", 600 * USEC),
     ("retcp", 1800 * USEC),
 ]
+PAPER_PREBUFFERS = [600 * USEC, 1800 * USEC]
 
 
 def label(algo, paper_pre):
     return f"{algo}-{paper_pre // 1000}us" if paper_pre else algo
 
 
-def run_variant(algo, paper_pre, packet_bw):
-    params = scaled_rdcn(packet_bw_bps=packet_bw)
-    pre = scaled_prebuffer_ns(params, paper_pre) if paper_pre else 0
-    return run_rdcn(
-        RdcnConfig(
-            algorithm=algo,
-            params=params,
-            prebuffer_ns=pre,
-            duration_ns=4 * MSEC,
-        )
+def scaled_pre(paper_pre):
+    return scaled_prebuffer_ns(scaled_rdcn(), paper_pre)
+
+
+def run_variants(packet_bw, persist):
+    """Both grids at one packet bandwidth -> {variant label: raw result}.
+
+    Each grid gets its own RdcnParams instance: run_rdcn writes the cell's
+    prebuffer into params, so the reTCP grid must not alias the object the
+    feedback grid persisted.
+    """
+    feedback = grid_sweep(
+        "rdcn",
+        grid={"algorithm": ["powertcp", "hpcc"]},
+        base=dict(
+            duration_ns=4 * MSEC, params=scaled_rdcn(packet_bw_bps=packet_bw)
+        ),
+        persist=f"{persist}_feedback",
     )
+    retcp = grid_sweep(
+        "rdcn",
+        grid={"prebuffer_ns": [scaled_pre(p) for p in PAPER_PREBUFFERS]},
+        base=dict(
+            algorithm="retcp",
+            duration_ns=4 * MSEC,
+            params=scaled_rdcn(packet_bw_bps=packet_bw),
+        ),
+        persist=f"{persist}_retcp",
+    )
+    results = {
+        cell.params["algorithm"]: cell.result.raw for cell in feedback.cells
+    }
+    for paper, cell in zip(PAPER_PREBUFFERS, retcp.cells):
+        results[label("retcp", paper)] = cell.result.raw
+    return results
 
 
 def test_fig8a_timeseries(benchmark):
-    results = once(
-        benchmark,
-        lambda: {
-            label(a, p): run_variant(a, p, 25 * GBPS) for a, p in VARIANTS
-        },
-    )
+    results = once(benchmark, lambda: run_variants(25 * GBPS, "fig8a_rdcn"))
     lines = [
         f"{'variant':>15s} {'circuit-util':>12s} {'peak-VOQ':>12s} "
         f"{'p99 q-latency':>14s} {'goodput':>9s}"
     ]
-    for name, r in results.items():
+    for algo, paper in VARIANTS:
+        name = label(algo, paper)
+        r = results[name]
         lines.append(
             f"{name:>15s} {r.circuit_utilization:12.2f} "
             f"{fmt_kb(r.peak_voq_bytes()):>12s} "
@@ -98,9 +118,11 @@ def test_fig8b_tail_latency_vs_packet_bw(benchmark):
 
     def run():
         return {
-            (label(a, p), bw): run_variant(a, p, bw)
-            for a, p in VARIANTS
+            (name, bw): r
             for bw in bandwidths
+            for name, r in run_variants(
+                bw, f"fig8b_latency_{int(bw/1e9)}g"
+            ).items()
         }
 
     matrix = once(benchmark, run)

@@ -5,17 +5,20 @@ each overcommitment level; level 1 performed best in their setup (and is
 what the main-body figures use).
 """
 
-from benchharness import emit, once
-
-from repro.experiments.fairness import FairnessConfig, run_fairness
+from benchharness import emit, grid_sweep, once
 
 LEVELS = [1, 2, 3, 4, 5, 6]
 
 
 def run_all():
+    sweep = grid_sweep(
+        "fairness",
+        grid={"homa_overcommit": LEVELS},
+        base=dict(algorithm="homa"),
+        persist="fig9_homa_overcommitment",
+    )
     return {
-        oc: run_fairness(FairnessConfig(algorithm="homa", homa_overcommit=oc))
-        for oc in LEVELS
+        cell.params["homa_overcommit"]: cell.result.raw for cell in sweep.cells
     }
 
 

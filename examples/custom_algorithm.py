@@ -13,10 +13,11 @@ everywhere — ``FlowDriver(net, "half-power")``,
 ``python -m repro run incast --algorithm half-power``, sweeps, and even
 mixed per-flow deployments next to other schemes.
 
-Run:  python examples/custom_algorithm.py
+Run:  python examples/custom_algorithm.py    (HORIZON_NS tunes run length)
 """
 
 import math
+import os
 
 from repro.cc.registry import Requirements, make_algorithm, register
 from repro.core.powertcp import PowerTcp
@@ -25,6 +26,8 @@ from repro.sim.engine import Simulator
 from repro.sim.tracing import PortProbe
 from repro.topology.dumbbell import DumbbellParams, build_dumbbell
 from repro.units import GBPS, MSEC, USEC
+
+HORIZON_NS = int(os.environ.get("HORIZON_NS", 4 * MSEC))
 
 
 @register(
@@ -71,7 +74,7 @@ def race(spec, label):
     for src in range(1, 11):  # 10:1 incast
         driver.start_flow(src, 11, 200_000, at_ns=150 * USEC)
     probe = PortProbe(sim, net.port("bottleneck"), 10 * USEC).start()
-    driver.run(until_ns=4 * MSEC)
+    driver.run(until_ns=HORIZON_NS)
     settled = probe.qlen_bytes[len(probe.qlen_bytes) // 2 :]
     print(
         f"  {label:12s} peak queue "

@@ -6,11 +6,15 @@ at t ~ 150 us.  Prints an ASCII time series of bottleneck queue length
 and throughput for each algorithm — the shape to look for is the paper's:
 PowerTCP drains the queue to ~zero *without* a throughput gap afterwards.
 
-Run:  python examples/incast_reaction.py
+Run:  python examples/incast_reaction.py     (HORIZON_NS tunes run length)
 """
 
-from repro.experiments.incast import IncastConfig, run_incast
+import os
 
+from repro.experiments.incast import IncastConfig, run_incast
+from repro.units import MSEC
+
+HORIZON_NS = int(os.environ.get("HORIZON_NS", 4 * MSEC))
 ALGORITHMS = ["powertcp", "theta-powertcp", "hpcc", "timely", "homa"]
 SPARK = " .:-=+*#%@"
 
@@ -27,7 +31,11 @@ def sparkline(values, peak):
 
 def main() -> None:
     for algorithm in ALGORITHMS:
-        result = run_incast(IncastConfig(algorithm=algorithm, fanout=10))
+        result = run_incast(
+            IncastConfig(
+                algorithm=algorithm, fanout=10, duration_ns=HORIZON_NS
+            )
+        )
         stride = max(len(result.qlen_bytes) // 100, 1)
         qlen = result.qlen_bytes[::stride]
         thr = result.throughput_bps[::stride]

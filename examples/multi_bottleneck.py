@@ -7,45 +7,45 @@ PowerTCP's INT feedback isolates the most-bottlenecked hop; θ-PowerTCP's
 RTT signal sums the queueing of both hops and over-throttles the
 end-to-end flow — run it and compare the shares.
 
-Run:  python examples/multi_bottleneck.py
+This is a thin wrapper over the registered ``multi_bottleneck`` scenario;
+the same experiment is runnable as ``python -m repro run multi_bottleneck``
+and sweepable as ``python -m repro sweep multi_bottleneck ...``.
+
+Run:  python examples/multi_bottleneck.py          (HORIZON_NS tunes length)
 """
 
-from repro.experiments.driver import FlowDriver
-from repro.sim.engine import Simulator
-from repro.topology.parkinglot import ParkingLotParams, build_parking_lot
-from repro.units import GBPS, MSEC
+import os
 
-HORIZON_NS = 20 * MSEC
+from repro.scenarios import get_scenario
+from repro.units import MSEC
+
+HORIZON_NS = int(os.environ.get("HORIZON_NS", 20 * MSEC))
 
 
 def run(algorithm: str) -> None:
-    sim = Simulator()
-    params = ParkingLotParams(
-        segments=2,
-        host_bw_bps=10 * GBPS,
-        segment_bw_bps=[10 * GBPS, 5 * GBPS],
+    result = get_scenario("multi_bottleneck").run(
+        algorithm=algorithm, duration_ns=HORIZON_NS
     )
-    net = build_parking_lot(sim, params)
-    driver = FlowDriver(net, algorithm)
-    e2e = driver.start_flow(params.e2e_src, params.e2e_dst, 10 ** 10, at_ns=0)
-    cross = [
-        driver.start_flow(
-            params.cross_src(i), params.cross_dst(i), 10 ** 10, at_ns=0
-        )
-        for i in range(2)
-    ]
-    driver.run(until_ns=HORIZON_NS)
-
-    def gbps(flow):
-        return flow.bytes_received * 8 / HORIZON_NS
-
+    metrics = result.metrics
+    cross = result.series["cross_goodput_bps"]
+    rates = result.series["segment_bw_bps"]
     print(f"--- {algorithm} ---")
-    print(f"  end-to-end flow (2 hops): {gbps(e2e):5.2f} Gbps")
-    print(f"  cross flow seg0 (10G):    {gbps(cross[0]):5.2f} Gbps")
-    print(f"  cross flow seg1 (5G):     {gbps(cross[1]):5.2f} Gbps")
     print(
-        f"  max queues: link0 {net.port('link0').max_qlen_bytes / 1000:.1f} KB, "
-        f"link1 {net.port('link1').max_qlen_bytes / 1000:.1f} KB"
+        f"  end-to-end flow (2 hops): "
+        f"{metrics['e2e_goodput_bps'] / 1e9:5.2f} Gbps "
+        f"(share of 5G bottleneck: {metrics['e2e_bottleneck_share']:.2f})"
+    )
+    for segment, (goodput, rate) in enumerate(zip(cross, rates)):
+        print(
+            f"  cross flow seg{segment} ({rate / 1e9:.0f}G):"
+            f"{goodput / 1e9:9.2f} Gbps"
+        )
+    peaks = result.series["link_peak_qlen_bytes"]
+    print(
+        "  max queues: "
+        + ", ".join(
+            f"link{i} {peak / 1000:.1f} KB" for i, peak in enumerate(peaks)
+        )
     )
     print()
 

@@ -6,13 +6,17 @@ link), starts four simultaneous 1 MB transfers under each algorithm, and
 prints flow completion times, queue behaviour, and the measured
 normalized power at the bottleneck.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py          (HORIZON_NS tunes run length)
 """
+
+import os
 
 from repro import GBPS, MSEC, DumbbellParams, Simulator, build_dumbbell
 from repro.experiments.driver import FlowDriver
 from repro.sim.tracing import PortProbe
 from repro.units import USEC
+
+HORIZON_NS = int(os.environ.get("HORIZON_NS", 10 * MSEC))
 
 
 def run(algorithm: str) -> None:
@@ -34,7 +38,7 @@ def run(algorithm: str) -> None:
 
     bottleneck = net.port("bottleneck")
     probe = PortProbe(sim, bottleneck, interval_ns=50 * USEC).start()
-    driver.run(until_ns=10 * MSEC)
+    driver.run(until_ns=HORIZON_NS)
 
     print(f"--- {algorithm} ---")
     print(f"  base RTT: {net.base_rtt_ns / 1000:.1f} us")
@@ -42,7 +46,8 @@ def run(algorithm: str) -> None:
         status = f"{flow.fct_ns / 1000:8.1f} us" if flow.completed else "unfinished"
         print(f"  flow {flow.flow_id}: {flow.size_bytes} B in {status}")
     print(f"  peak bottleneck queue: {bottleneck.max_qlen_bytes / 1000:.1f} KB")
-    last_finish = max(f.finish_ns for f in flows if f.completed)
+    finished = [f.finish_ns for f in flows if f.completed]
+    last_finish = max(finished) if finished else HORIZON_NS
     active = [
         rate
         for t, rate in zip(probe.throughput.times_ns, probe.throughput_bps)

@@ -7,8 +7,10 @@ One ToR pair runs persistent flows; a rotating optical circuit gives them
 VOQ occupancy and tail queuing latency for PowerTCP, HPCC, and reTCP
 with both paper prebuffer settings.
 
-Run:  python examples/rdcn_circuit.py
+Run:  python examples/rdcn_circuit.py        (HORIZON_NS tunes run length)
 """
+
+import os
 
 from repro.experiments.rdcn import (
     RdcnConfig,
@@ -17,6 +19,8 @@ from repro.experiments.rdcn import (
     scaled_rdcn,
 )
 from repro.units import MSEC, USEC
+
+HORIZON_NS = int(os.environ.get("HORIZON_NS", 4 * MSEC))
 
 VARIANTS = [
     ("powertcp", 0),
@@ -41,7 +45,7 @@ def main() -> None:
                 algorithm=algorithm,
                 params=params,
                 prebuffer_ns=prebuffer,
-                duration_ns=4 * MSEC,
+                duration_ns=HORIZON_NS,
             )
         )
         name = (

@@ -6,14 +6,16 @@ PowerTCP, θ-PowerTCP and HPCC, and prints the tail slowdown per flow-size
 class and per Fig. 6 size bin.  Flow sizes are scaled by 1/16 (bins are
 rescaled symmetrically) to fit a quick interactive run.
 
-Run:  python examples/websearch_fct.py [load]
+Run:  python examples/websearch_fct.py [load]   (HORIZON_NS tunes length)
 """
 
+import os
 import sys
 
 from repro.experiments.websearch import WebsearchConfig, run_websearch
 from repro.units import MSEC
 
+HORIZON_NS = int(os.environ.get("HORIZON_NS", 15 * MSEC))
 ALGORITHMS = ["powertcp", "theta-powertcp", "hpcc"]
 
 
@@ -26,8 +28,8 @@ def main() -> None:
             WebsearchConfig(
                 algorithm=algorithm,
                 load=load,
-                duration_ns=15 * MSEC,
-                drain_ns=30 * MSEC,
+                duration_ns=HORIZON_NS,
+                drain_ns=2 * HORIZON_NS,
                 size_scale=1 / 16,
                 max_flows=300,
             )

@@ -28,6 +28,24 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 
+def _canonical(value: Any) -> str:
+    """A stable string form of one parameter value (dedup/sort fallback)."""
+    try:
+        return json.dumps(value, sort_keys=True)
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+def _param_sort_key(value: Any) -> Tuple[int, float, str]:
+    """Type-aware sort key: numbers first (numerically), then everything
+    else by canonical string — mixed axes must never raise TypeError."""
+    if isinstance(value, bool):
+        return (1, float(value), "")
+    if isinstance(value, (int, float)):
+        return (0, float(value), "")
+    return (2, 0.0, _canonical(value))
+
+
 @dataclass
 class ResultCell:
     """One executed sweep cell, as persisted."""
@@ -42,10 +60,17 @@ class ResultCell:
     source: str = ""
 
     def param(self, key: str, default: Any = None) -> Any:
-        """A cell parameter, falling back to the full override set."""
+        """A cell parameter: grid params first, then the full override
+        set, then the provenance config (which records *every* field, so
+        defaulted values — e.g. ``segments`` left at 2 — still pivot)."""
         if key in self.params:
             return self.params[key]
-        return self.overrides.get(key, default)
+        if key in self.overrides:
+            return self.overrides[key]
+        config = self.provenance.get("config")
+        if isinstance(config, dict) and key in config:
+            return config[key]
+        return default
 
     def matches(self, **params: Any) -> bool:
         """True when every given key=value matches this cell."""
@@ -106,18 +131,32 @@ class ResultSet:
         """Distinct scenario names present, sorted."""
         return sorted({c.scenario for c in self.cells})
 
+    def for_scenario(self, name: str) -> "ResultSet":
+        """Cells belonging to one scenario (load_dir merges many)."""
+        return ResultSet([c for c in self.cells if c.scenario == name])
+
     def param_values(self, key: str) -> List[Any]:
         """Distinct values of one parameter, sorted.
 
         Numbers sort numerically regardless of int/float mixing (the CLI's
         ``ast.literal_eval`` happily yields ``[1, 1.5, 2.0]`` for one
-        axis); non-numeric values follow, ordered by their string form.
+        axis); non-numeric values follow, ordered by their canonical string
+        form.  The sort key is fully type-aware, so a string-valued axis
+        (``algorithm``) merged with a numeric axis file via
+        :meth:`load_dir` never raises ``TypeError``, and unhashable values
+        (a ``segment_bw_bps`` list, a ``cc_params`` dict) deduplicate by
+        their canonical JSON form instead of crashing the set build.
         """
-        values = {c.param(key) for c in self.cells if c.param(key) is not None}
-        return sorted(
-            values,
-            key=lambda v: (0, v, "") if isinstance(v, (int, float)) else (1, 0, str(v)),
-        )
+        distinct: Dict[Any, Any] = {}
+        for cell in self.cells:
+            value = cell.param(key)
+            if value is None:
+                continue
+            try:
+                distinct.setdefault(value, value)
+            except TypeError:  # unhashable (list/dict axis values)
+                distinct.setdefault(_canonical(value), value)
+        return sorted(distinct.values(), key=_param_sort_key)
 
     def values(self, metric: str) -> List[Any]:
         """One metric across all cells (cells lacking it are skipped)."""
@@ -186,3 +225,43 @@ class ResultSet:
             )
             lines.append(f"{str(row):>{width}s} {cells}")
         return lines
+
+
+def parking_lot_pivot(
+    results: ResultSet,
+    metric: str = "e2e_cross_ratio",
+    row_key: str = "segments",
+    agg: Optional[Callable[[List[float]], float]] = None,
+) -> Tuple[List[Any], List[Any], List[List[Optional[float]]]]:
+    """The §3.5 view over a persisted ``multi_bottleneck`` sweep.
+
+    Rows are chain lengths (``segments``), columns are CC algorithms, and
+    the default metric is the end-to-end flow's goodput relative to the
+    cross traffic on its most-bottlenecked segment — the quantity the
+    INT-vs-delay-feedback argument is about (the delay law over-throttles
+    the multi-hop flow as the summed queueing grows with chain length).
+    """
+    return _parking_lot_cells(results).pivot(row_key, "algorithm", metric, agg)
+
+
+def format_parking_lot(
+    results: ResultSet,
+    metric: str = "e2e_cross_ratio",
+    row_key: str = "segments",
+    agg: Optional[Callable[[List[float]], float]] = None,
+) -> List[str]:
+    """:func:`parking_lot_pivot` as printable table lines."""
+    return _parking_lot_cells(results).format_pivot(
+        row_key, "algorithm", metric, agg
+    )
+
+
+def _parking_lot_cells(results: ResultSet) -> ResultSet:
+    """The multi_bottleneck subset; empty sets fail with a pointer."""
+    rs = results.for_scenario("multi_bottleneck")
+    if not rs.cells:
+        raise ValueError(
+            "no multi_bottleneck cells in this result set; run "
+            "`python -m repro sweep multi_bottleneck ...` first"
+        )
+    return rs

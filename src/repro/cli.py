@@ -455,7 +455,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--jobs", type=int, default=1, help="worker processes")
     sweep_p.add_argument("--seed", type=int, default=1, help="sweep base seed")
     sweep_p.add_argument(
-        "--out", help="JSON output path (default benchmarks/results/<scenario>_sweep.json)"
+        "--out",
+        help="JSON output path (default <repo>/benchmarks/results/"
+             "<scenario>_sweep.json, cwd-independent)",
     )
     sweep_p.add_argument(
         "--force", action="store_true",

@@ -1,0 +1,221 @@
+"""§3.5: INT versus delay feedback across multiple bottlenecks.
+
+A parking-lot chain: one end-to-end flow crosses every segment link
+while each segment carries its own local cross traffic.  The paper's
+claim (§3.5): the INT control law reacts precisely to the *most
+bottlenecked* hop, while the RTT/delay law (θ-PowerTCP — the same
+critique the delay-based designs in "It's Time to Replace TCP in the
+Datacenter" inherit) reacts to the *sum* of per-hop queueing delays and
+therefore over-throttles the multi-hop flow.  HPCC, the paper's chief
+INT baseline, makes the comparison three-way.
+
+Reported per run: the end-to-end flow's goodput and its share of the
+most-bottlenecked segment, per-segment cross-traffic goodput, the
+end-to-end-vs-cross throughput ratio on the tightest segment (the §3.5
+figure of merit — the delay law drags it down as the chain grows), and
+every segment link's peak queue.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.experiments.driver import FlowDriver
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.base import Scenario
+from repro.sim.engine import Simulator
+from repro.sim.tracing import CounterRateProbe
+from repro.topology.parkinglot import ParkingLotParams, build_parking_lot
+from repro.units import GBPS, MSEC, USEC
+
+
+@dataclass
+class MultiBottleneckConfig:
+    """One parking-lot cell: chain shape, per-segment rates, cross load.
+
+    ``segment_bw_bps=None`` makes the *last* segment the clear bottleneck
+    (half the host rate; every other segment runs at the host rate), the
+    §3.5 microbenchmark shape.  ``cross_flows_per_segment`` is the cross
+    *load* knob: every segment carries that many local long flows.
+    """
+
+    algorithm: str = "powertcp"
+    segments: int = 2
+    host_bw_bps: float = 10 * GBPS
+    segment_bw_bps: Optional[List[float]] = None
+    cross_flows_per_segment: int = 1
+    flow_bytes: int = 10 ** 10  # effectively long-running
+    duration_ns: int = 20 * MSEC
+    probe_interval_ns: int = 100 * USEC
+    buffer_bytes: int = 4_000_000
+    mtu_payload: int = 1000
+    seed: int = 1  # deterministic scenario; kept for sweep provenance
+    cc_params: Optional[dict] = None
+
+    def resolved_segment_bw_bps(self) -> List[float]:
+        """Per-segment rates with the default bottleneck-last shape."""
+        if self.segment_bw_bps is not None:
+            return list(self.segment_bw_bps)
+        rates = [self.host_bw_bps] * self.segments
+        rates[-1] = self.host_bw_bps / 2
+        return rates
+
+
+@dataclass
+class MultiBottleneckResult:
+    """Per-flow goodputs, per-link peak queues, and the §3.5 ratio."""
+
+    algorithm: str
+    segments: int
+    segment_bw_bps: List[float] = field(default_factory=list)
+    cross_flows_per_segment: int = 1
+    duration_ns: int = 0
+    e2e_goodput_bps: float = 0.0
+    #: per-segment cross goodput (summed over that segment's cross flows)
+    cross_goodput_bps: List[float] = field(default_factory=list)
+    #: per-segment-link peak queue occupancy
+    link_peak_qlen_bytes: List[int] = field(default_factory=list)
+    times_ns: List[int] = field(default_factory=list)
+    e2e_throughput_bps: List[float] = field(default_factory=list)
+    drops: int = 0
+    events_processed: int = 0
+
+    @property
+    def bottleneck_segment(self) -> int:
+        """Index of the most-bottlenecked (slowest) segment link."""
+        rates = self.segment_bw_bps
+        return min(range(len(rates)), key=lambda i: rates[i])
+
+    def e2e_bottleneck_share(self) -> float:
+        """End-to-end goodput as a fraction of the tightest link's rate."""
+        rate = self.segment_bw_bps[self.bottleneck_segment]
+        return self.e2e_goodput_bps / rate if rate > 0 else 0.0
+
+    def e2e_cross_ratio(self) -> Optional[float]:
+        """End-to-end goodput over the per-flow mean cross goodput on the
+        most-bottlenecked segment — §3.5's figure of merit.  1.0 means the
+        multi-hop flow holds its own against single-hop traffic; the delay
+        law drags it down as summed queueing charges it once per hop.
+        None when there is no cross traffic to compare against."""
+        if self.cross_flows_per_segment <= 0:
+            return None
+        per_flow = (
+            self.cross_goodput_bps[self.bottleneck_segment]
+            / self.cross_flows_per_segment
+        )
+        if per_flow <= 0:
+            return None
+        return self.e2e_goodput_bps / per_flow
+
+    def settled_e2e_throughput_bps(self, settle_fraction: float = 0.5) -> float:
+        """Mean end-to-end throughput over the settled (second) half."""
+        split = int(len(self.e2e_throughput_bps) * settle_fraction)
+        tail = self.e2e_throughput_bps[split:]
+        return statistics.fmean(tail) if tail else 0.0
+
+
+def run_multi_bottleneck(config: MultiBottleneckConfig) -> MultiBottleneckResult:
+    """Run one parking-lot cell under one algorithm."""
+    rates = config.resolved_segment_bw_bps()
+    sim = Simulator()
+    params = ParkingLotParams(
+        segments=config.segments,
+        host_bw_bps=config.host_bw_bps,
+        segment_bw_bps=rates,
+        buffer_bytes=config.buffer_bytes,
+        mtu_payload=config.mtu_payload,
+    )
+    net = build_parking_lot(sim, params)
+    driver = FlowDriver(
+        net,
+        config.algorithm,
+        mtu_payload=config.mtu_payload,
+        cc_params=config.cc_params,
+    )
+
+    e2e = driver.start_flow(
+        params.e2e_src, params.e2e_dst, config.flow_bytes, at_ns=0, tag="e2e"
+    )
+    cross: List[List] = []
+    for segment in range(config.segments):
+        cross.append(
+            [
+                driver.start_flow(
+                    params.cross_src(segment),
+                    params.cross_dst(segment),
+                    config.flow_bytes,
+                    at_ns=0,
+                    tag=f"cross-{segment}",
+                )
+                for _ in range(config.cross_flows_per_segment)
+            ]
+        )
+
+    e2e_probe = CounterRateProbe(
+        sim, config.probe_interval_ns, lambda: e2e.bytes_received
+    ).start()
+    driver.run(until_ns=config.duration_ns)
+
+    def goodput(flow) -> float:
+        return flow.bytes_received * 8e9 / config.duration_ns
+
+    result = MultiBottleneckResult(
+        algorithm=config.algorithm,
+        segments=config.segments,
+        segment_bw_bps=rates,
+        cross_flows_per_segment=config.cross_flows_per_segment,
+        duration_ns=config.duration_ns,
+    )
+    result.e2e_goodput_bps = goodput(e2e)
+    result.cross_goodput_bps = [
+        sum(goodput(flow) for flow in members) for members in cross
+    ]
+    result.link_peak_qlen_bytes = [
+        net.port(f"link{i}").max_qlen_bytes for i in range(config.segments)
+    ]
+    result.times_ns = e2e_probe.times_ns
+    result.e2e_throughput_bps = e2e_probe.rates_bps
+    result.drops = net.total_drops()
+    result.events_processed = sim.events_processed
+    return result
+
+
+@scenario_registry.register
+class MultiBottleneckScenario(Scenario):
+    """§3.5: parking-lot chain — INT reacts to the most-bottlenecked hop,
+    the delay law to the sum of hop queues."""
+
+    name = "multi_bottleneck"
+    description = "parking-lot chain; e2e flow vs per-segment cross traffic"
+    config_cls = MultiBottleneckConfig
+
+    def tiny_overrides(self) -> dict:
+        return dict(duration_ns=1 * MSEC, flow_bytes=10 ** 8)
+
+    def build(self, config):
+        return lambda: run_multi_bottleneck(config)
+
+    def collect(self, config, raw: MultiBottleneckResult):
+        metrics = {
+            "e2e_goodput_bps": raw.e2e_goodput_bps,
+            "e2e_bottleneck_share": raw.e2e_bottleneck_share(),
+            "e2e_cross_ratio": raw.e2e_cross_ratio(),
+            "settled_e2e_throughput_bps": raw.settled_e2e_throughput_bps(),
+            "cross_goodput_total_bps": sum(raw.cross_goodput_bps),
+            "bottleneck_segment": raw.bottleneck_segment,
+            "bottleneck_peak_qlen_bytes": raw.link_peak_qlen_bytes[
+                raw.bottleneck_segment
+            ],
+            "max_link_peak_qlen_bytes": max(raw.link_peak_qlen_bytes),
+            "drops": raw.drops,
+        }
+        series = {
+            "segment_bw_bps": list(raw.segment_bw_bps),
+            "cross_goodput_bps": list(raw.cross_goodput_bps),
+            "link_peak_qlen_bytes": list(raw.link_peak_qlen_bytes),
+            "times_ns": list(raw.times_ns),
+            "e2e_throughput_bps": list(raw.e2e_throughput_bps),
+        }
+        return metrics, series

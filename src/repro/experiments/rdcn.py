@@ -14,6 +14,7 @@ network; during the pair's day a 100 Gbps circuit opens for ~10 RTTs.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -110,7 +111,10 @@ def run_rdcn(config: RdcnConfig) -> RdcnResult:
     """Run the ToR-pair scenario for one algorithm/prebuffer setting."""
     params = config.params or scaled_rdcn()
     if config.prebuffer_ns:
-        params.prebuffer_ns = config.prebuffer_ns
+        # Copy instead of mutating: the caller's params object may be
+        # shared across sweep cells (e.g. a grid base), and a persisted
+        # sweep must record each cell's own prebuffer.
+        params = dataclasses.replace(params, prebuffer_ns=config.prebuffer_ns)
     sim = Simulator()
     net = build_rdcn(sim, params)
 

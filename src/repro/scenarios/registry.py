@@ -32,6 +32,7 @@ BUILTIN_MODULES = (
     "repro.experiments.bursty",
     "repro.experiments.coexistence",
     "repro.experiments.permutation",
+    "repro.experiments.multibottleneck",
 )
 
 

@@ -13,8 +13,11 @@ keys, and each cell's seed is a pure function of (base seed, cell
 parameters) — two identical invocations produce identical metric values
 regardless of ``jobs``.
 
-Results persist to JSON (default ``benchmarks/results/<scenario>_sweep.json``)
-as ``{spec, cells: [{params, metrics, series, provenance}]}``.
+Results persist to JSON (default ``benchmarks/results/<scenario>_sweep.json``
+under the *repository root*, regardless of the caller's cwd — the file
+doubles as the ``(config, seed)`` incremental cache, so a cwd-relative
+default would silently grow a fresh tree and defeat cell reuse) as
+``{spec, cells: [{params, metrics, series, provenance}]}``.
 """
 
 from __future__ import annotations
@@ -30,8 +33,29 @@ from typing import Any, Dict, List, Optional
 from repro.scenarios.base import ScenarioResult, config_to_jsonable
 from repro.scenarios.registry import get_scenario
 
-#: default persistence directory (repo's benchmarks/results), relative to cwd
-DEFAULT_RESULTS_DIR = os.path.join("benchmarks", "results")
+def _repo_root() -> str:
+    """The repository root: the nearest ancestor of this file that looks
+    like *this* checkout (has both ``benchmarks/`` and ``src/repro/``).
+    Falls back to the cwd when the package is installed outside a
+    checkout — deliberately not keyed on ``.git`` alone, so a
+    site-packages install living under some unrelated git repo never
+    writes sweep caches into that foreign tree."""
+    node = os.path.dirname(os.path.abspath(__file__))
+    while True:
+        if os.path.isdir(os.path.join(node, "benchmarks")) and os.path.isdir(
+            os.path.join(node, "src", "repro")
+        ):
+            return node
+        parent = os.path.dirname(node)
+        if parent == node:
+            return os.getcwd()
+        node = parent
+
+
+#: default persistence directory: the repo's benchmarks/results, anchored on
+#: the repository root so ``python -m repro sweep`` finds (and reuses) the
+#: same incremental cache no matter where it is invoked from.
+DEFAULT_RESULTS_DIR = os.path.join(_repo_root(), "benchmarks", "results")
 
 
 def default_results_path(scenario: str) -> str:

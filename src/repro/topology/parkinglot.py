@@ -23,8 +23,9 @@ then the end-to-end sink, then one cross sink per segment.
 
 from __future__ import annotations
 
+from collections.abc import Sequence as AbcSequence
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 from repro.sim.buffer import SharedBuffer
 from repro.sim.engine import Simulator
@@ -37,13 +38,19 @@ from repro.units import GBPS, USEC
 
 @dataclass
 class ParkingLotParams:
-    """Chain shape and rates.  ``segment_bw_bps[i]`` is link i's rate."""
+    """Chain shape and rates.  ``segment_bw_bps[i]`` is link i's rate.
+
+    ``segment_delay_ns`` accepts either one scalar applied to every
+    segment link or a per-segment list; both per-segment overrides are
+    validated eagerly against ``segments`` (a silent mismatch used to
+    surface only as an IndexError deep inside :func:`build_parking_lot`).
+    """
 
     segments: int = 2
     host_bw_bps: float = 10 * GBPS
     segment_bw_bps: Optional[List[float]] = None
     host_link_delay_ns: int = 1 * USEC
-    segment_delay_ns: int = 2 * USEC
+    segment_delay_ns: Union[int, Sequence[int]] = 2 * USEC
     buffer_bytes: int = 4_000_000
     dt_alpha: float = 1.0
     mtu_payload: int = 1000
@@ -54,8 +61,38 @@ class ParkingLotParams:
             raise ValueError("need at least one segment")
         if self.segment_bw_bps is None:
             self.segment_bw_bps = [self.host_bw_bps] * self.segments
+        else:
+            self.segment_bw_bps = list(self.segment_bw_bps)
         if len(self.segment_bw_bps) != self.segments:
-            raise ValueError("one rate per segment required")
+            raise ValueError(
+                f"segment_bw_bps has {len(self.segment_bw_bps)} rate(s) "
+                f"but segments={self.segments}; provide one rate per segment"
+            )
+        if any(rate <= 0 for rate in self.segment_bw_bps):
+            raise ValueError(
+                f"segment rates must be positive, got {self.segment_bw_bps}"
+            )
+        if isinstance(self.segment_delay_ns, AbcSequence) and not isinstance(
+            self.segment_delay_ns, str
+        ):
+            self.segment_delay_ns = list(self.segment_delay_ns)
+            if len(self.segment_delay_ns) != self.segments:
+                raise ValueError(
+                    f"segment_delay_ns has {len(self.segment_delay_ns)} "
+                    f"delay(s) but segments={self.segments}; provide one "
+                    f"delay per segment (or a single scalar)"
+                )
+        if any(delay < 0 for delay in self.segment_delays_ns):
+            raise ValueError(
+                f"segment delays must be >= 0, got {self.segment_delay_ns}"
+            )
+
+    @property
+    def segment_delays_ns(self) -> List[int]:
+        """Per-segment propagation delays, normalized to a list."""
+        if isinstance(self.segment_delay_ns, list):
+            return self.segment_delay_ns
+        return [self.segment_delay_ns] * self.segments
 
     # Host-id helpers -------------------------------------------------
     @property
@@ -126,17 +163,18 @@ def build_parking_lot(
         host_switch[host_id] = switch
 
     # Segment links (forward) and their reverse twins for ACKs.
+    segment_delays = p.segment_delays_ns
     for i in range(p.segments):
         forward = switches[i].add_port(
             EgressPort(
-                sim, p.segment_bw_bps[i], p.segment_delay_ns,
+                sim, p.segment_bw_bps[i], segment_delays[i],
                 peer=switches[i + 1], int_stamping=p.int_stamping,
                 name=f"link{i}",
             )
         )
         reverse = switches[i + 1].add_port(
             EgressPort(
-                sim, p.segment_bw_bps[i], p.segment_delay_ns,
+                sim, p.segment_bw_bps[i], segment_delays[i],
                 peer=switches[i], int_stamping=p.int_stamping,
                 name=f"link{i}-rev",
             )
@@ -169,9 +207,7 @@ def build_parking_lot(
     # Base RTT: the end-to-end path (the longest one).
     e2e_rates = [p.host_bw_bps] + list(p.segment_bw_bps) + [p.host_bw_bps]
     e2e_props = (
-        [p.host_link_delay_ns]
-        + [p.segment_delay_ns] * p.segments
-        + [p.host_link_delay_ns]
+        [p.host_link_delay_ns] + segment_delays + [p.host_link_delay_ns]
     )
     net.base_rtt_ns = path_base_rtt_ns(e2e_rates, e2e_props, p.mtu_payload)
 
@@ -181,7 +217,7 @@ def build_parking_lot(
         rates = [p.host_bw_bps] + list(p.segment_bw_bps[lo:hi]) + [p.host_bw_bps]
         props = (
             [p.host_link_delay_ns]
-            + [p.segment_delay_ns] * (hi - lo)
+            + segment_delays[lo:hi]
             + [p.host_link_delay_ns]
         )
         return rates, props

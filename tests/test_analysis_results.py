@@ -126,6 +126,89 @@ def test_format_pivot_renders(sweep_path):
     assert len(lines) == 2 + 2  # title + header + one line per load
 
 
+def test_param_values_mixed_types_do_not_raise(tmp_path):
+    """Regression: an `algorithm` (string) axis file merged with a numeric
+    axis file via load_dir used to be able to TypeError inside the sort."""
+    doc_a = _sweep_doc(cells=[_cell("powertcp", 0.2, 1.0)])
+    doc_b = _sweep_doc(cells=[_cell(3, 0.2, 2.0), _cell(1.5, 0.2, 3.0)])
+    (tmp_path / "a_sweep.json").write_text(json.dumps(doc_a))
+    (tmp_path / "b_sweep.json").write_text(json.dumps(doc_b))
+    rs = ResultSet.load_dir(str(tmp_path))
+    # Numbers first (numerically), strings after — never a TypeError.
+    assert rs.param_values("algorithm") == [1.5, 3, "powertcp"]
+    # Pivoting over the mixed axis works too.
+    _rows, cols, _table = rs.pivot("load", "algorithm", "fct_p99")
+    assert cols == [1.5, 3, "powertcp"]
+
+
+def test_param_values_unhashable_axis_values():
+    """List/dict axis values (segment_bw_bps, cc_params) must dedupe by
+    canonical form instead of crashing the distinct-value set build."""
+    cells = [
+        ResultCell(scenario="m", params={"segment_bw_bps": [1e9, 5e8]}),
+        ResultCell(scenario="m", params={"segment_bw_bps": [1e9, 5e8]}),
+        ResultCell(scenario="m", params={"segment_bw_bps": [1e9, 1e9]}),
+        ResultCell(scenario="m", params={"cc_params": {"gamma": 0.9}}),
+    ]
+    rs = ResultSet(cells)
+    assert rs.param_values("segment_bw_bps") == [
+        [1e9, 5e8],
+        [1e9, 1e9],
+    ] or rs.param_values("segment_bw_bps") == [[1e9, 1e9], [1e9, 5e8]]
+    assert rs.param_values("cc_params") == [{"gamma": 0.9}]
+
+
+def test_param_values_bools_sort_between_numbers_and_strings():
+    cells = [
+        ResultCell(scenario="m", params={"x": v})
+        for v in ("per-ack", True, 2.5, False)
+    ]
+    assert ResultSet(cells).param_values("x") == [2.5, False, True, "per-ack"]
+
+
+def test_parking_lot_pivot_view(tmp_path):
+    from repro.analysis.results import format_parking_lot, parking_lot_pivot
+
+    def mb_cell(algo, segments, ratio):
+        return {
+            "scenario": "multi_bottleneck",
+            "params": {"algorithm": algo, "segments": segments},
+            "overrides": {"algorithm": algo, "segments": segments},
+            "metrics": {"e2e_cross_ratio": ratio},
+            "series": {},
+            "provenance": {},
+        }
+
+    doc = {
+        "scenario": "multi_bottleneck",
+        "grid": {},
+        "base": {},
+        "seed": 1,
+        "cells": [
+            mb_cell("powertcp", 2, 0.9),
+            mb_cell("theta-powertcp", 2, 0.5),
+            mb_cell("powertcp", 3, 0.8),
+            mb_cell("theta-powertcp", 3, 0.3),
+        ],
+    }
+    path = tmp_path / "multi_bottleneck_sweep.json"
+    path.write_text(json.dumps(doc))
+    rs = ResultSet.load(str(path))
+    rows, cols, table = parking_lot_pivot(rs)
+    assert rows == [2, 3]
+    assert cols == ["powertcp", "theta-powertcp"]
+    assert table == [[0.9, 0.5], [0.8, 0.3]]
+    lines = format_parking_lot(rs)
+    assert lines[0].startswith("e2e_cross_ratio")
+    # Foreign-scenario cells are excluded; an empty set fails loudly from
+    # both entry points (not a useless header-only table).
+    empty = ResultSet.load(str(path)).filter(algorithm="nope")
+    with pytest.raises(ValueError, match="multi_bottleneck"):
+        parking_lot_pivot(empty)
+    with pytest.raises(ValueError, match="multi_bottleneck"):
+        format_parking_lot(empty)
+
+
 def test_cell_param_fallback():
     cell = ResultCell(
         scenario="x", params={"a": 1}, overrides={"a": 99, "b": 2}
@@ -133,3 +216,18 @@ def test_cell_param_fallback():
     assert cell.param("a") == 1  # params win over overrides
     assert cell.param("b") == 2
     assert cell.param("c", "dflt") == "dflt"
+
+
+def test_cell_param_falls_back_to_provenance_config():
+    """Config fields left at their defaults appear only in the provenance
+    config record; param()/filter()/pivot() must still see them."""
+    cell = ResultCell(
+        scenario="multi_bottleneck",
+        params={"algorithm": "powertcp"},
+        overrides={"algorithm": "powertcp", "seed": 7},
+        provenance={"config": {"algorithm": "powertcp", "segments": 2}},
+    )
+    assert cell.param("segments") == 2
+    assert cell.param("seed") == 7  # overrides still win over provenance
+    assert ResultSet([cell]).param_values("segments") == [2]
+    assert len(ResultSet([cell]).filter(segments=2)) == 1

@@ -25,6 +25,66 @@ def test_validation():
         ParkingLotParams(segments=2, segment_bw_bps=[1e9])
 
 
+def test_validation_names_the_mismatch():
+    # The length mismatch must fail eagerly with a clear message, not as
+    # an IndexError deep inside build_parking_lot.
+    with pytest.raises(ValueError, match=r"3 rate\(s\).*segments=2"):
+        ParkingLotParams(segments=2, segment_bw_bps=[1e9, 2e9, 3e9])
+    with pytest.raises(ValueError, match="positive"):
+        ParkingLotParams(segments=2, segment_bw_bps=[1e9, 0])
+
+
+def test_validation_per_segment_delays():
+    with pytest.raises(ValueError, match=r"1 delay\(s\).*segments=3"):
+        ParkingLotParams(segments=3, segment_delay_ns=[1000])
+    with pytest.raises(ValueError, match=">= 0"):
+        ParkingLotParams(segments=2, segment_delay_ns=[1000, -1])
+    # Scalar stays valid and normalizes to one delay per segment.
+    scalar = ParkingLotParams(segments=3, segment_delay_ns=2000)
+    assert scalar.segment_delays_ns == [2000, 2000, 2000]
+    explicit = ParkingLotParams(segments=2, segment_delay_ns=(1000, 3000))
+    assert explicit.segment_delays_ns == [1000, 3000]
+    # Any sequence type is accepted per the annotation, not just list/tuple.
+    ranged = ParkingLotParams(segments=2, segment_delay_ns=range(1000, 3000, 1000))
+    assert ranged.segment_delays_ns == [1000, 2000]
+    with pytest.raises(ValueError, match=r"3 delay\(s\).*segments=2"):
+        ParkingLotParams(segments=2, segment_delay_ns=range(3))
+
+
+def test_per_segment_delays_shape_the_base_rtt():
+    sim_a, sim_b = Simulator(), Simulator()
+    uniform = build_parking_lot(
+        sim_a, ParkingLotParams(segments=2, segment_delay_ns=2000)
+    )
+    skewed = build_parking_lot(
+        sim_b, ParkingLotParams(segments=2, segment_delay_ns=[2000, 50_000])
+    )
+    # The extra one-way 48 us on segment 1 shows up twice in the RTT.
+    assert skewed.base_rtt_ns - uniform.base_rtt_ns == 2 * 48_000
+
+
+def test_three_segment_chain_delivers_under_cc():
+    """>2 segments: end-to-end CC traffic crosses every link and each
+    segment's cross traffic stays local."""
+    sim = Simulator()
+    p = ParkingLotParams(
+        segments=3,
+        host_bw_bps=10 * GBPS,
+        segment_bw_bps=[10 * GBPS, 5 * GBPS, 10 * GBPS],
+    )
+    net = build_parking_lot(sim, p)
+    driver = FlowDriver(net, "powertcp")
+    e2e = driver.start_flow(p.e2e_src, p.e2e_dst, 500_000, at_ns=0)
+    cross = [
+        driver.start_flow(p.cross_src(i), p.cross_dst(i), 200_000, at_ns=0)
+        for i in range(3)
+    ]
+    driver.run(until_ns=10 * MSEC)
+    assert e2e.completed
+    assert all(f.completed for f in cross)
+    assert net.total_drops() == 0
+
+
 def test_end_to_end_delivery():
     sim = Simulator()
     p = ParkingLotParams(segments=3)

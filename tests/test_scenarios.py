@@ -1,6 +1,7 @@
 """Tests for the scenario registry and the parallel sweep runner."""
 
 import json
+import os
 
 import pytest
 
@@ -27,6 +28,7 @@ ALL_SCENARIOS = [
     "coexistence",
     "fairness",
     "incast",
+    "multi_bottleneck",
     "permutation",
     "rdcn",
     "websearch",
@@ -197,15 +199,72 @@ def test_identical_sweeps_are_byte_identical(tmp_path):
 
 
 def test_persist_default_path(tmp_path, monkeypatch):
-    monkeypatch.chdir(tmp_path)
+    # Redirect the default results dir into tmp (never write the real
+    # benchmarks/results tree from a unit test), then persist from a
+    # *different* cwd: the default path must not depend on the cwd.
+    import repro.scenarios.sweep as sweep_mod
+
+    results_dir = tmp_path / "anchored" / "results"
+    monkeypatch.setattr(
+        sweep_mod, "DEFAULT_RESULTS_DIR", str(results_dir)
+    )
+    elsewhere = tmp_path / "elsewhere"
+    elsewhere.mkdir()
+    monkeypatch.chdir(elsewhere)
     sweep = run_sweep("incast", grid={"fanout": [2]}, base=TINY_INCAST)
     path = sweep.persist()
-    assert path.endswith("incast_sweep.json")
+    assert path == str(results_dir / "incast_sweep.json")
     doc = json.load(open(path))
     assert doc["scenario"] == "incast"
     assert len(doc["cells"]) == 1
     assert doc["cells"][0]["params"] == {"fanout": 2}
     assert "metrics" in doc["cells"][0]
+    # Nothing leaked into the cwd (the pre-fix behaviour grew a fresh
+    # benchmarks/results tree wherever the sweep happened to run).
+    assert not (elsewhere / "benchmarks").exists()
+
+
+def test_default_results_path_anchored_on_repo_root(tmp_path, monkeypatch):
+    """`python -m repro sweep` invoked outside the repo root must target
+    the same results file (the incremental cache) as one invoked inside."""
+    import repro.scenarios.sweep as sweep_mod
+    from repro.scenarios.sweep import default_results_path
+
+    inside = default_results_path("websearch")
+    monkeypatch.chdir(tmp_path)
+    outside = default_results_path("websearch")
+    assert inside == outside
+    assert os.path.isabs(outside)
+    assert outside.endswith(
+        os.path.join("benchmarks", "results", "websearch_sweep.json")
+    )
+    # The anchor is the checkout containing this package, not the cwd.
+    assert outside.startswith(sweep_mod._repo_root())
+    assert sweep_mod._repo_root() != str(tmp_path)
+
+
+def test_rdcn_sweep_does_not_mutate_shared_base_params(tmp_path):
+    """A grid base is shallow-copied into every cell, so run_rdcn must not
+    write the cell's prebuffer into the shared RdcnParams — the persisted
+    JSON used to record the *last* cell's prebuffer for every cell."""
+    from repro.experiments.rdcn import scaled_rdcn
+
+    shared = scaled_rdcn(num_tors=2, hosts_per_tor=2)
+    sweep = run_sweep(
+        "rdcn",
+        grid={"prebuffer_ns": [10_000, 30_000]},
+        base=dict(params=shared, duration_ns=500_000, flows_per_pair=1),
+    )
+    assert shared.prebuffer_ns == 0  # untouched
+    path = sweep.persist(str(tmp_path / "rdcn_sweep.json"))
+    doc = json.load(open(path))
+    persisted = [
+        (c["params"]["prebuffer_ns"], c["overrides"]["params"]["prebuffer_ns"])
+        for c in doc["cells"]
+    ]
+    assert persisted == [(10_000, 0), (30_000, 0)]
+    # Each cell's *result* still saw its own prebuffer.
+    assert [c.result.raw.prebuffer_ns for c in sweep.cells] == [10_000, 30_000]
 
 
 def test_config_to_jsonable_handles_opaque_leaves():
