@@ -26,6 +26,9 @@ from repro.topology import (
     build_dumbbell,
     build_fattree,
     build_rdcn,
+    build_topology,
+    get_topology,
+    topology_names,
 )
 from repro.transport import Flow, Receiver, Sender
 
@@ -55,4 +58,7 @@ __all__ = [
     "build_dumbbell",
     "build_fattree",
     "build_rdcn",
+    "build_topology",
+    "get_topology",
+    "topology_names",
 ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 import glob
 import json
 import os
+import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -114,6 +115,64 @@ class ResultSet:
         merged = cls()
         for path in sorted(glob.glob(os.path.join(directory, pattern))):
             merged.cells.extend(cls.load(path).cells)
+        return merged
+
+    @classmethod
+    def merge_shards(
+        cls, directory: str, base: Optional[str] = None
+    ) -> "ResultSet":
+        """Merge the per-shard files a ``sweep --shard I/N`` run persisted.
+
+        Shards are named ``<base>.shard-I-of-N.json``; ``base`` narrows
+        the merge to one sweep's shards (e.g. ``"coexistence_sweep"`` —
+        the stem without ``.json``), otherwise every shard file under
+        ``directory`` merges.  Raises when shard files disagree on the
+        shard count or indices are missing (a partial merge would
+        silently under-report the grid); duplicate cells across shards
+        (same scenario + overrides) are dropped.
+        """
+        pattern = f"{base or '*'}.shard-*-of-*.json"
+        paths = sorted(glob.glob(os.path.join(directory, pattern)))
+        if not paths:
+            raise ValueError(
+                f"no shard files matching {pattern!r} under {directory!r}"
+            )
+        shard_re = re.compile(r"\.shard-(\d+)-of-(\d+)\.json$")
+        #: stem -> set of (index, count) pairs seen in file names
+        by_stem: Dict[str, set] = {}
+        merged = cls()
+        seen = set()
+        for path in paths:
+            match = shard_re.search(path)
+            if match is None:
+                continue
+            index, count = int(match.group(1)), int(match.group(2))
+            stem = path[: match.start()]
+            by_stem.setdefault(stem, set()).add((index, count))
+            for cell in cls.load(path).cells:
+                key = json.dumps(
+                    {"scenario": cell.scenario, "overrides": cell.overrides},
+                    sort_keys=True,
+                    default=repr,
+                )
+                if key in seen:
+                    continue
+                seen.add(key)
+                merged.cells.append(cell)
+        for stem, pairs in by_stem.items():
+            counts = {count for _index, count in pairs}
+            if len(counts) > 1:
+                raise ValueError(
+                    f"{stem}: shard files disagree on the shard count "
+                    f"({sorted(counts)})"
+                )
+            count = counts.pop()
+            indices = {index for index, _count in pairs}
+            missing = sorted(set(range(1, count + 1)) - indices)
+            if missing:
+                raise ValueError(
+                    f"{stem}: missing shard(s) {missing} of {count}"
+                )
         return merged
 
     # -- querying ------------------------------------------------------
@@ -265,3 +324,103 @@ def _parking_lot_cells(results: ResultSet) -> ResultSet:
             "`python -m repro sweep multi_bottleneck ...` first"
         )
     return rs
+
+
+def merge_shards(directory: str, base: Optional[str] = None) -> ResultSet:
+    """Module-level alias of :meth:`ResultSet.merge_shards`."""
+    return ResultSet.merge_shards(directory, base)
+
+
+def rollout_pivot(
+    results: ResultSet,
+    metric: str = "cross_group_ratio",
+    col_key: str = "topology",
+    agg: Optional[Callable[[List[float]], float]] = None,
+) -> Tuple[List[Any], List[Any], List[List[Optional[float]]]]:
+    """The deployment-mix view over a persisted ``coexistence`` sweep.
+
+    Rows are rollout fractions (``rollout_fraction``), columns default to
+    the topology axis, and the default metric is the newcomer-vs-
+    incumbent per-flow throughput ratio — the §6 deployment question as
+    one table: how the mix shares at every rollout step, on every fabric.
+    """
+    return _coexistence_cells(results).pivot(
+        "rollout_fraction", col_key, metric, agg
+    )
+
+
+def format_rollout(
+    results: ResultSet,
+    metric: str = "cross_group_ratio",
+    col_key: str = "topology",
+    agg: Optional[Callable[[List[float]], float]] = None,
+) -> List[str]:
+    """:func:`rollout_pivot` as printable table lines."""
+    return _coexistence_cells(results).format_pivot(
+        "rollout_fraction", col_key, metric, agg
+    )
+
+
+def _coexistence_cells(results: ResultSet) -> ResultSet:
+    """The coexistence subset; empty sets fail with a pointer."""
+    rs = results.for_scenario("coexistence")
+    if not rs.cells:
+        raise ValueError(
+            "no coexistence cells in this result set; run "
+            "`python -m repro sweep coexistence ...` first"
+        )
+    return rs
+
+
+# ----------------------------------------------------------------------
+# perf trend: events/sec over historical BENCH_perf.json documents
+# ----------------------------------------------------------------------
+def perf_trend(
+    paths: Sequence[str], *, include_tiny: bool = False
+) -> Dict[str, List[Dict[str, Any]]]:
+    """Per-case events/sec series over historical BENCH documents.
+
+    ``paths`` is an ordered list of ``BENCH_perf.json`` snapshots
+    (oldest first — e.g. one per PR, extracted from git history or CI
+    artifacts).  Returns ``{case: [{label, events_per_sec,
+    events_processed, wall_time_s}, ...]}`` with one entry per document
+    that contains the case, labeled by the document's ``generated_utc``
+    date (file basename when absent).  Reduced CI-smoke documents
+    (``tiny: true``) are skipped unless ``include_tiny`` — their grids
+    are not comparable to the full macro grid.
+    """
+    trend: Dict[str, List[Dict[str, Any]]] = {}
+    for path in paths:
+        with open(path) as handle:
+            doc = json.load(handle)
+        if doc.get("tiny") and not include_tiny:
+            continue
+        label = doc.get("generated_utc") or os.path.basename(path)
+        for case in doc.get("cases", []):
+            name = case.get("case")
+            if not name or not case.get("events_per_sec"):
+                continue
+            trend.setdefault(name, []).append(
+                {
+                    "label": label,
+                    "events_per_sec": case["events_per_sec"],
+                    "events_processed": case.get("events_processed"),
+                    "wall_time_s": case.get("wall_time_s"),
+                }
+            )
+    return trend
+
+
+def format_perf_trend(
+    paths: Sequence[str], *, include_tiny: bool = False
+) -> List[str]:
+    """:func:`perf_trend` as printable table lines (one row per case)."""
+    trend = perf_trend(paths, include_tiny=include_tiny)
+    lines = []
+    for case in sorted(trend):
+        entries = trend[case]
+        series = " -> ".join(
+            f"{e['label']}:{e['events_per_sec']:,.0f}" for e in entries
+        )
+        lines.append(f"{case:>15s} {series}")
+    return lines

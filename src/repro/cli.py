@@ -43,7 +43,14 @@ from repro.fluid.reaction import (
 )
 from repro.cc.registry import ALGORITHMS, HOMA_TRANSPORT, algorithm_names
 from repro.scenarios import get_scenario, scenario_names
-from repro.scenarios.sweep import SweepRunner, SweepSpec, default_results_path
+from repro.scenarios.sweep import (
+    SweepRunner,
+    SweepSpec,
+    default_results_path,
+    parse_shard,
+    shard_results_path,
+)
+from repro.topology.registry import TOPOLOGIES, topology_names
 from repro.units import GBPS, MSEC, USEC
 
 DEFAULT_ALGOS = ["powertcp", "theta-powertcp", "hpcc", "dcqcn", "timely", "homa"]
@@ -292,13 +299,24 @@ def cmd_sweep(args) -> None:
     spec = SweepSpec(
         scenario=args.scenario, grid=grid, base=base, seed=args.seed
     )
+    shard = None
+    if args.shard:
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
     out_path = args.out or default_results_path(args.scenario)
+    if shard is not None:
+        # Each shard persists (and caches) its own file; merge_shards in
+        # repro.analysis.results recombines them.
+        out_path = shard_results_path(out_path, shard)
     try:
         # The constructor validates grid axes and the job count.  The
         # output file doubles as the incremental cache: cells whose
         # (config, seed) already exist there are reused unless --force.
         runner = SweepRunner(
-            spec, jobs=args.jobs, reuse_path=out_path, force=args.force
+            spec, jobs=args.jobs, reuse_path=out_path, force=args.force,
+            shard=shard,
         )
     except ValueError as exc:  # unknown/empty grid axis, bad jobs
         raise SystemExit(str(exc))
@@ -312,7 +330,7 @@ def cmd_sweep(args) -> None:
     # keep_existing: the file doubles as the incremental cache, so a
     # narrower re-run must not discard previously persisted cells —
     # --force bypasses cache *reads* but never purges unrelated results.
-    path = sweep.persist(args.out, keep_existing=True)
+    path = sweep.persist(out_path, keep_existing=True)
     total = sweep.persisted_cell_count
     extra = f", {total} total in file" if total > len(sweep.cells) else ""
     reused = (
@@ -363,12 +381,21 @@ def _requirements_summary(entry) -> str:
 
 
 def cmd_list(args) -> None:
-    """Print the scenario and CC registries and the figure aliases."""
+    """Print the scenario, CC, and topology registries and the figure
+    aliases."""
     print("scenarios (python -m repro run|sweep <name>):")
     for name in scenario_names():
         scenario = get_scenario(name)
         print(f"  {name:12s} {scenario.description}")
         print(f"  {'':12s}   fields: {', '.join(scenario.config_fields())}")
+    print()
+    print("topologies (--set topology=<name> where scenarios support it):")
+    for name in topology_names():
+        entry = TOPOLOGIES[name]
+        print(f"  {name:12s} {entry.description}")
+        print(f"  {'':12s}   params: {', '.join(entry.param_fields())}")
+        if entry.aliases:
+            print(f"  {'':12s}   aliases: {', '.join(entry.aliases)}")
     print()
     print("congestion-control algorithms (--algorithm/--algorithms):")
     for name in algorithm_names():
@@ -462,6 +489,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "--force", action="store_true",
         help="re-run every cell even if present in the output JSON",
+    )
+    sweep_p.add_argument(
+        "--shard", metavar="I/N",
+        help="run only this machine's 1/N of the grid (1-based; output "
+             "goes to <out>.shard-I-of-N.json; merge with "
+             "analysis.results.merge_shards)",
     )
 
     perf_p = sub.add_parser(

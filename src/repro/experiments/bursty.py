@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.analysis.fct import FctSummary, summarize_fct
 from repro.analysis.stats import percentile
@@ -21,12 +21,15 @@ from repro.scenarios import registry as scenario_registry
 from repro.scenarios.base import Scenario
 from repro.sim.engine import Simulator
 from repro.sim.tracing import Probe
-from repro.topology.fattree import FatTreeParams, build_fattree
+from repro.topology.registry import build_topology
 from repro.transport.flow import Flow
 from repro.units import MSEC, USEC
 from repro.workloads.arrivals import poisson_flows
 from repro.workloads.distributions import WEB_SEARCH, EmpiricalCdf
 from repro.workloads.incast import incast_events
+
+if TYPE_CHECKING:  # params type only; built via the topology registry
+    from repro.topology.fattree import FatTreeParams
 
 
 @dataclass
@@ -93,7 +96,7 @@ def run_bursty(config: BurstyConfig) -> BurstyResult:
     """Run web-search + incast for one (rate, size) cell."""
     params = config.params or scaled_fattree()
     sim = Simulator()
-    net = build_fattree(sim, params)
+    net = build_topology(sim, "fattree", params)
     driver = FlowDriver(
         net,
         config.algorithm,

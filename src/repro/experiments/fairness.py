@@ -22,7 +22,7 @@ from repro.scenarios import registry as scenario_registry
 from repro.scenarios.base import Scenario
 from repro.sim.engine import Simulator
 from repro.sim.tracing import CounterRateProbe
-from repro.topology.dumbbell import DumbbellParams, build_dumbbell
+from repro.topology.registry import build_topology
 from repro.units import GBPS, MSEC, USEC
 
 
@@ -63,15 +63,14 @@ class FairnessResult:
 def run_fairness(config: FairnessConfig) -> FairnessResult:
     """Run the staggered-join fairness scenario for one algorithm."""
     sim = Simulator()
-    net = build_dumbbell(
+    net = build_topology(
         sim,
-        DumbbellParams(
-            left_hosts=config.num_flows,
-            right_hosts=1,
-            host_bw_bps=config.host_bw_bps,
-            bottleneck_bw_bps=config.bottleneck_bw_bps,
-            mtu_payload=config.mtu_payload,
-        ),
+        "dumbbell",
+        left_hosts=config.num_flows,
+        right_hosts=1,
+        host_bw_bps=config.host_bw_bps,
+        bottleneck_bw_bps=config.bottleneck_bw_bps,
+        mtu_payload=config.mtu_payload,
     )
     spec_params = dict(config.cc_params or {})
     if config.algorithm == "homa":

@@ -25,7 +25,7 @@ from repro.scenarios import registry as scenario_registry
 from repro.scenarios.base import Scenario
 from repro.sim.engine import Simulator
 from repro.sim.tracing import PortProbe
-from repro.topology.dumbbell import DumbbellParams, build_dumbbell
+from repro.topology.registry import build_topology
 from repro.units import GBPS, MSEC, USEC
 
 
@@ -119,16 +119,15 @@ class IncastResult:
 def run_incast(config: IncastConfig) -> IncastResult:
     """Run one Fig. 4 cell: ``config.fanout``:1 incast under one algorithm."""
     sim = Simulator()
-    net = build_dumbbell(
+    net = build_topology(
         sim,
-        DumbbellParams(
-            left_hosts=config.fanout + 1,
-            right_hosts=1,
-            host_bw_bps=config.host_bw_bps,
-            bottleneck_bw_bps=config.bottleneck_bw_bps,
-            buffer_bytes=config.buffer_bytes,
-            mtu_payload=config.mtu_payload,
-        ),
+        "dumbbell",
+        left_hosts=config.fanout + 1,
+        right_hosts=1,
+        host_bw_bps=config.host_bw_bps,
+        bottleneck_bw_bps=config.bottleneck_bw_bps,
+        buffer_bytes=config.buffer_bytes,
+        mtu_payload=config.mtu_payload,
     )
     driver = FlowDriver(
         net,

@@ -27,7 +27,7 @@ from repro.scenarios import registry as scenario_registry
 from repro.scenarios.base import Scenario
 from repro.sim.engine import Simulator
 from repro.sim.tracing import CounterRateProbe
-from repro.topology.parkinglot import ParkingLotParams, build_parking_lot
+from repro.topology.registry import get_topology
 from repro.units import GBPS, MSEC, USEC
 
 
@@ -120,14 +120,15 @@ def run_multi_bottleneck(config: MultiBottleneckConfig) -> MultiBottleneckResult
     """Run one parking-lot cell under one algorithm."""
     rates = config.resolved_segment_bw_bps()
     sim = Simulator()
-    params = ParkingLotParams(
+    entry = get_topology("parkinglot")
+    params = entry.make_params(
         segments=config.segments,
         host_bw_bps=config.host_bw_bps,
         segment_bw_bps=rates,
         buffer_bytes=config.buffer_bytes,
         mtu_payload=config.mtu_payload,
     )
-    net = build_parking_lot(sim, params)
+    net = entry.build(sim, params)
     driver = FlowDriver(
         net,
         config.algorithm,

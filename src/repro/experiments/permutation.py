@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.analysis.fairness import jain_index
 from repro.analysis.fct import FctSummary, summarize_fct
@@ -26,10 +26,13 @@ from repro.experiments.websearch import scaled_fattree
 from repro.scenarios import registry as scenario_registry
 from repro.scenarios.base import Scenario
 from repro.sim.engine import Simulator
-from repro.topology.fattree import FatTreeParams, build_fattree
+from repro.topology.registry import build_topology
 from repro.transport.flow import Flow
 from repro.units import BITS_PER_BYTE, MSEC, SEC
 from repro.workloads.permutation import permutation_pairs
+
+if TYPE_CHECKING:  # params type only; built via the topology registry
+    from repro.topology.fattree import FatTreeParams
 
 
 @dataclass
@@ -38,7 +41,7 @@ class PermutationConfig:
 
     algorithm: str = "powertcp"
     flow_bytes: int = 1_000_000
-    params: Optional[FatTreeParams] = None
+    params: Optional["FatTreeParams"] = None
     duration_ns: int = 4 * MSEC
     drain_ns: int = 16 * MSEC
     seed: int = 1
@@ -95,7 +98,7 @@ def run_permutation(config: PermutationConfig) -> PermutationResult:
     """Run one permutation cell: every host sends to its derangement peer."""
     params = config.params or scaled_fattree()
     sim = Simulator()
-    net = build_fattree(sim, params)
+    net = build_topology(sim, "fattree", params)
     driver = FlowDriver(
         net,
         config.algorithm,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.analysis.stats import percentile
 from repro.experiments.driver import FlowDriver
@@ -25,8 +25,11 @@ from repro.scenarios.base import Scenario
 from repro.sim.circuit import CircuitSchedule
 from repro.sim.engine import Simulator
 from repro.sim.tracing import CounterRateProbe, Probe
-from repro.topology.rdcn import RdcnParams, build_rdcn
+from repro.topology.registry import build_topology, make_topology_params
 from repro.units import GBPS, MSEC, USEC
+
+if TYPE_CHECKING:  # params type only; built via the topology registry
+    from repro.topology.rdcn import RdcnParams
 
 
 def scaled_rdcn(
@@ -38,10 +41,11 @@ def scaled_rdcn(
     day_ns: int = 225 * USEC,
     night_ns: int = 20 * USEC,
     prebuffer_ns: int = 0,
-) -> RdcnParams:
+) -> "RdcnParams":
     """A small RDCN: fewer ToRs so the watched pair's day recurs often,
     with the paper's link rates and day/night durations."""
-    return RdcnParams(
+    return make_topology_params(
+        "rdcn",
         num_tors=num_tors,
         hosts_per_tor=hosts_per_tor,
         host_bw_bps=host_bw_bps,
@@ -116,7 +120,7 @@ def run_rdcn(config: RdcnConfig) -> RdcnResult:
         # sweep must record each cell's own prebuffer.
         params = dataclasses.replace(params, prebuffer_ns=config.prebuffer_ns)
     sim = Simulator()
-    net = build_rdcn(sim, params)
+    net = build_topology(sim, "rdcn", params)
 
     cc_params = dict(config.cc_params or {})
     if config.algorithm == "retcp":

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.analysis.fct import FctSummary, slowdown_by_size_bin, summarize_fct
 from repro.analysis.stats import percentile
@@ -24,11 +24,14 @@ from repro.scenarios import registry as scenario_registry
 from repro.scenarios.base import Scenario
 from repro.sim.engine import Simulator
 from repro.sim.tracing import Probe
-from repro.topology.fattree import FatTreeParams, build_fattree
+from repro.topology.registry import build_topology, make_topology_params
 from repro.transport.flow import Flow
 from repro.units import GBPS, MSEC, USEC
 from repro.workloads.arrivals import poisson_flows
 from repro.workloads.distributions import WEB_SEARCH, EmpiricalCdf
+
+if TYPE_CHECKING:  # params type only; built via the topology registry
+    from repro.topology.fattree import FatTreeParams
 
 
 def scaled_fattree(
@@ -37,7 +40,7 @@ def scaled_fattree(
     fabric_bw_bps: float = 10 * GBPS,
     num_pods: int = 2,
     paper_oversub: bool = False,
-) -> FatTreeParams:
+) -> "FatTreeParams":
     """A small 2-tier fat-tree.
 
     The default builds a **2:1** ToR oversubscription (4 hosts x 10 G =
@@ -54,7 +57,8 @@ def scaled_fattree(
         hosts_per_tor = 8
     elif hosts_per_tor is None:
         hosts_per_tor = 4
-    return FatTreeParams(
+    return make_topology_params(
+        "fattree",
         num_pods=num_pods,
         tors_per_pod=2,
         aggs_per_pod=2,
@@ -71,7 +75,7 @@ class WebsearchConfig:
 
     algorithm: str = "powertcp"
     load: float = 0.6
-    params: Optional[FatTreeParams] = None
+    params: Optional["FatTreeParams"] = None
     duration_ns: int = 20 * MSEC
     drain_ns: int = 20 * MSEC
     seed: int = 1
@@ -129,7 +133,7 @@ def run_websearch(config: WebsearchConfig) -> WebsearchResult:
     """Run one load point of the web-search workload."""
     params = config.params or scaled_fattree()
     sim = Simulator()
-    net = build_fattree(sim, params)
+    net = build_topology(sim, "fattree", params)
     driver = FlowDriver(
         net,
         config.algorithm,

@@ -28,7 +28,7 @@ import os
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.scenarios.base import ScenarioResult, config_to_jsonable
 from repro.scenarios.registry import get_scenario
@@ -61,6 +61,31 @@ DEFAULT_RESULTS_DIR = os.path.join(_repo_root(), "benchmarks", "results")
 def default_results_path(scenario: str) -> str:
     """Default JSON persistence path for one scenario's sweep."""
     return os.path.join(DEFAULT_RESULTS_DIR, f"{scenario}_sweep.json")
+
+
+def shard_results_path(path: str, shard: Tuple[int, int]) -> str:
+    """The per-shard variant of a sweep output path.
+
+    ``results.json`` + shard (2, 4) -> ``results.shard-2-of-4.json``, the
+    naming :func:`repro.analysis.results.merge_shards` recombines.
+    """
+    index, count = shard
+    stem, ext = os.path.splitext(path)
+    return f"{stem}.shard-{index}-of-{count}{ext or '.json'}"
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a ``I/N`` shard designator (1-based; 1 <= I <= N)."""
+    index_text, sep, count_text = text.partition("/")
+    try:
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        index = count = 0
+    if not sep or count < 1 or not 1 <= index <= count:
+        raise ValueError(
+            f"shard must be I/N with 1 <= I <= N, got {text!r}"
+        )
+    return index, count
 
 
 def _cell_key(scenario: str, overrides: Dict[str, Any]) -> str:
@@ -258,6 +283,15 @@ class SweepRunner:
     already appear in that file are loaded instead of re-simulated, so
     growing a grid or re-running a persisted sweep only pays for the
     missing cells.  ``force=True`` re-runs everything regardless.
+
+    **Sharding**: ``shard=(i, n)`` (1-based) keeps only the cells whose
+    position in the deterministic grid expansion is congruent to
+    ``i - 1`` modulo ``n``, so ``n`` machines each running one shard
+    cover the grid exactly once.  Per-cell seeds are a pure function of
+    the cell parameters, so shard results are identical to the cells an
+    unsharded run would produce, and
+    :func:`repro.analysis.results.merge_shards` recombines the persisted
+    shard files.
     """
 
     def __init__(
@@ -267,14 +301,22 @@ class SweepRunner:
         *,
         reuse_path: Optional[str] = None,
         force: bool = False,
+        shard: Optional[Tuple[int, int]] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if shard is not None:
+            index, count = shard
+            if count < 1 or not 1 <= index <= count:
+                raise ValueError(
+                    f"shard must be (i, n) with 1 <= i <= n, got {shard}"
+                )
         spec.validate()
         self.spec = spec
         self.jobs = jobs
         self.reuse_path = reuse_path
         self.force = force
+        self.shard = shard
         #: cells served from ``reuse_path`` by the last :meth:`run`
         self.reused_cells = 0
 
@@ -305,6 +347,11 @@ class SweepRunner:
         """Execute every cell; cells come back in grid order."""
         spec = self.spec
         cells = expand_cells(spec)
+        if self.shard is not None:
+            index, count = self.shard
+            cells = [
+                c for k, c in enumerate(cells) if k % count == index - 1
+            ]
         overrides = [cell_overrides(spec, params) for params in cells]
         cached = self._load_cached()
         keys = [_cell_key(spec.scenario, ov) for ov in overrides]
@@ -343,7 +390,10 @@ def run_sweep(
     jobs: int = 1,
     reuse_path: Optional[str] = None,
     force: bool = False,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`SweepRunner`."""
     spec = SweepSpec(scenario=scenario, grid=grid, base=base or {}, seed=seed)
-    return SweepRunner(spec, jobs=jobs, reuse_path=reuse_path, force=force).run()
+    return SweepRunner(
+        spec, jobs=jobs, reuse_path=reuse_path, force=force, shard=shard
+    ).run()

@@ -17,6 +17,7 @@ from repro.sim.host import Host
 from repro.sim.port import EgressPort
 from repro.sim.switch import Switch
 from repro.topology.network import Network, path_base_rtt_ns
+from repro.topology.registry import register_topology
 from repro.units import GBPS, USEC
 
 
@@ -37,6 +38,11 @@ class DumbbellParams:
     int_stamping: bool = True
 
 
+@register_topology(
+    "dumbbell",
+    params_cls=DumbbellParams,
+    description="N senders, M receivers, one shared bottleneck (§2.1)",
+)
 def build_dumbbell(sim: Simulator, params: Optional[DumbbellParams] = None) -> Network:
     """Build a dumbbell.  Host ids: left hosts first, then right hosts."""
     p = params or DumbbellParams()
@@ -123,5 +129,9 @@ def build_dumbbell(sim: Simulator, params: Optional[DumbbellParams] = None) -> N
         return local_profile if same_side else cross_profile
 
     net.path_profile_fn = path_profile
+    net.sender_hosts = [h.host_id for h in left_hosts]
+    net.receiver_hosts = [h.host_id for h in right_hosts]
+    net.bottleneck_label = "bottleneck"
+    net.shared_bottleneck = True
     net.extras["params"] = p
     return net

@@ -23,6 +23,7 @@ from repro.sim.host import Host
 from repro.sim.port import EgressPort
 from repro.sim.switch import Switch
 from repro.topology.network import Network, path_base_rtt_ns
+from repro.topology.registry import register_topology
 from repro.units import GBPS, USEC
 
 
@@ -75,6 +76,12 @@ def _switch_buffer(p: FatTreeParams, total_bw_bps: float) -> SharedBuffer:
     return SharedBuffer(max(capacity, 100_000), p.dt_alpha)
 
 
+@register_topology(
+    "fattree",
+    params_cls=FatTreeParams,
+    aliases=("fat-tree",),
+    description="the §4.1 oversubscribed fat-tree (ECMP, labeled ToR uplinks)",
+)
 def build_fattree(sim: Simulator, params: Optional[FatTreeParams] = None) -> Network:
     """Construct the fat-tree and its ECMP routing tables.
 
@@ -316,6 +323,21 @@ def build_fattree(sim: Simulator, params: Optional[FatTreeParams] = None) -> Net
         ],
         p.mtu_payload,
     )
+    # Pairing policy: seeded host-level permutations (derangements), the
+    # canonical fabric stress — no receiver NIC is oversubscribed, so
+    # contention lands on the oversubscribed ToR uplinks.  Counts beyond
+    # one permutation draw further derangements from the same RNG.
+    def fattree_pairs(count, rng):
+        # Imported lazily: repro.workloads pulls in arrivals, which needs
+        # FatTreeParams from this module (circular at import time).
+        from repro.workloads.permutation import permutation_pairs
+
+        pairs = []
+        while len(pairs) < count:
+            pairs.extend(permutation_pairs(rng, p.num_hosts))
+        return pairs[:count]
+
+    net.pair_policy_fn = fattree_pairs
     net.extras["params"] = p
     net.extras["tor_uplinks"] = tor_uplinks
     net.extras["tors"] = tors

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Simulator
 from repro.sim.host import Host
@@ -94,6 +95,28 @@ class Network:
         self.labeled_ports: Dict[str, EgressPort] = {}
         #: builder-specific extras (circuit controller, schedule, ...).
         self.extras: Dict[str, object] = {}
+        # -- uniform introspection surface (set by builders) -----------
+        #: canonical traffic sources under the topology's pairing policy
+        #: (dumbbell: left hosts; parking lot: the e2e + cross sources);
+        #: empty means "every host".
+        self.sender_hosts: List[int] = []
+        #: canonical traffic sinks (empty means "every host").
+        self.receiver_hosts: List[int] = []
+        #: label of the port long flows contend on, when the topology has
+        #: a single well-defined one (dumbbell: "bottleneck"; parking
+        #: lot: the slowest segment link); None on multi-path fabrics.
+        self.bottleneck_label: Optional[str] = None
+        #: True when *every* sender->receiver pair crosses the labeled
+        #: bottleneck (dumbbell), so its rate is the capacity that
+        #: per-group shares normalize by; False where the label is just
+        #: the tightest of several contended links (parking lot).
+        self.shared_bottleneck: bool = False
+        #: pairing policy ``(count, rng) -> [(src, dst), ...]`` placing
+        #: ``count`` long flows the way this topology is meant to be
+        #: loaded; None falls back to sender/receiver round-robin.
+        self.pair_policy_fn: Optional[
+            Callable[[int, random.Random], List[Tuple[int, int]]]
+        ] = None
 
     def add_host(self, host: Host) -> Host:
         """Register a host (ids must match list positions)."""
@@ -124,6 +147,77 @@ class Network:
     def num_hosts(self) -> int:
         """Number of hosts."""
         return len(self.hosts)
+
+    # -- introspection / pairing policy --------------------------------
+    def senders(self) -> List[int]:
+        """Canonical source host ids (every host when unset)."""
+        return self.sender_hosts or [h.host_id for h in self.hosts]
+
+    def receivers(self) -> List[int]:
+        """Canonical sink host ids (every host when unset)."""
+        return self.receiver_hosts or [h.host_id for h in self.hosts]
+
+    def bottleneck_port(self):
+        """The contended port, when the topology declares one (else None)."""
+        if self.bottleneck_label is None:
+            return None
+        return self.labeled_ports[self.bottleneck_label]
+
+    def flow_pairs(
+        self, count: int, rng: Optional[random.Random] = None
+    ) -> List[Tuple[int, int]]:
+        """``count`` (src, dst) pairs under this topology's pairing policy.
+
+        Builders install topology-specific policies (seeded permutation
+        pairs on the fat-tree, per-segment cross paths on the parking
+        lot); the fallback walks senders round-robin against receivers,
+        skipping src == dst.  Deterministic for a given (count, rng
+        state).
+        """
+        if count < 0:
+            raise ValueError(f"flow count must be >= 0, got {count}")
+        if self.pair_policy_fn is not None:
+            pairs = self.pair_policy_fn(count, rng or random.Random(0))
+            if len(pairs) != count:
+                raise ValueError(
+                    f"{self.name}: pairing policy returned {len(pairs)} "
+                    f"pairs for count={count}"
+                )
+            return pairs
+        senders = self.senders()
+        receivers = self.receivers()
+        pairs: List[Tuple[int, int]] = []
+        shift = 0
+        for i in range(count):
+            src = senders[i % len(senders)]
+            dst = receivers[(i + shift) % len(receivers)]
+            for _ in range(len(receivers)):
+                if dst != src:
+                    break
+                shift += 1
+                dst = receivers[(i + shift) % len(receivers)]
+            if dst == src:
+                raise ValueError(
+                    f"{self.name}: cannot pair host {src} with a distinct "
+                    "receiver (single-host receiver set)"
+                )
+            pairs.append((src, dst))
+        return pairs
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-able summary of the built network (catalog / tests)."""
+        return {
+            "name": self.name,
+            "num_hosts": self.num_hosts,
+            "num_switches": len(self.switches),
+            "host_bw_bps": self.host_bw_bps,
+            "base_rtt_ns": self.base_rtt_ns,
+            "senders": self.senders(),
+            "receivers": self.receivers(),
+            "bottleneck_label": self.bottleneck_label,
+            "shared_bottleneck": self.shared_bottleneck,
+            "labeled_ports": sorted(self.labeled_ports),
+        }
 
     def path_rtt_ns(self, src: int, dst: int) -> int:
         """Base RTT of the (src, dst) path; the network max if unknown."""

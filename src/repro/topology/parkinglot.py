@@ -33,6 +33,7 @@ from repro.sim.host import Host
 from repro.sim.port import EgressPort
 from repro.sim.switch import Switch
 from repro.topology.network import Network, path_base_rtt_ns, path_ideal_fct_ns
+from repro.topology.registry import register_topology
 from repro.units import GBPS, USEC
 
 
@@ -119,6 +120,12 @@ class ParkingLotParams:
         return 2 + 2 * self.segments
 
 
+@register_topology(
+    "parkinglot",
+    params_cls=ParkingLotParams,
+    aliases=("parking-lot",),
+    description="switch chain with per-segment cross traffic (§3.5)",
+)
 def build_parking_lot(
     sim: Simulator, params: Optional[ParkingLotParams] = None
 ) -> Network:
@@ -223,6 +230,24 @@ def build_parking_lot(
         return rates, props
 
     net.path_profile_fn = path_profile
+    net.sender_hosts = [p.e2e_src] + [p.cross_src(i) for i in range(p.segments)]
+    net.receiver_hosts = [p.e2e_dst] + [
+        p.cross_dst(i) for i in range(p.segments)
+    ]
+    # The slowest segment link is the contended port (first index on ties).
+    tightest = min(range(p.segments), key=lambda i: p.segment_bw_bps[i])
+    net.bottleneck_label = f"link{tightest}"
+
+    # Pairing policy: flows land on the segment cross paths round-robin,
+    # so every segment link carries an even mix of the requested flows —
+    # the multi-bottleneck coexistence stress.
+    def parking_lot_pairs(count, rng):
+        return [
+            (p.cross_src(i % p.segments), p.cross_dst(i % p.segments))
+            for i in range(count)
+        ]
+
+    net.pair_policy_fn = parking_lot_pairs
     net.extras["params"] = p
     net.extras["switches"] = switches
     return net

@@ -26,6 +26,7 @@ from repro.sim.packet import DATA
 from repro.sim.port import EgressPort
 from repro.sim.switch import Switch
 from repro.topology.network import Network, path_base_rtt_ns
+from repro.topology.registry import register_topology
 from repro.units import GBPS, USEC
 
 
@@ -97,6 +98,11 @@ class RdcnToR(Switch):
             self.packet_port.enqueue(pkt)
 
 
+@register_topology(
+    "rdcn",
+    params_cls=RdcnParams,
+    description="rotating-circuit RDCN plus a 25 Gbps packet network (§5)",
+)
 def build_rdcn(sim: Simulator, params: Optional[RdcnParams] = None) -> Network:
     """Construct the RDCN; the rotor controller starts immediately.
 
@@ -238,6 +244,16 @@ def build_rdcn(sim: Simulator, params: Optional[RdcnParams] = None) -> Network:
         return packet_profile
 
     net.path_profile_fn = path_profile
+
+    # Pairing policy: shift each source one ToR to the right, so every
+    # pair crosses the circuit/packet fabric (never stays rack-local).
+    def rdcn_pairs(count, rng):
+        total = p.num_tors * p.hosts_per_tor
+        return [
+            (i % total, (i + p.hosts_per_tor) % total) for i in range(count)
+        ]
+
+    net.pair_policy_fn = rdcn_pairs
     net.extras["params"] = p
     net.extras["schedule"] = schedule
     net.extras["controller"] = controller

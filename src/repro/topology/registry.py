@@ -1,0 +1,194 @@
+"""Declarative topology registry, mirroring the CC and scenario registries.
+
+Every builder (``dumbbell``, ``fattree``, ``parkinglot``, ``rdcn``)
+registers itself with the :func:`register_topology` decorator, declaring
+its typed params dataclass::
+
+    @register_topology("dumbbell", params_cls=DumbbellParams)
+    def build_dumbbell(sim, params=None) -> Network:
+        ...
+
+Experiments then resolve topologies by *name* instead of importing
+concrete builders::
+
+    from repro.topology.registry import build_topology, make_topology_params
+
+    net = build_topology(sim, "fattree", num_pods=2, hosts_per_tor=4)
+
+which keeps every scenario topology-parametric: a ``topology=`` config
+field plus a ``topology_params`` dict is enough to move an experiment
+from the dumbbell to the fat-tree.  Unknown parameter names fail eagerly
+with the accepted set (mirroring ``Scenario.configure``).
+
+Lookup is lazy: the built-in builder modules are imported on first use,
+so ``import repro.topology.registry`` stays cheap and free of circular
+imports.  ``python -m repro list`` prints the catalog.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+#: canonical name -> entry
+TOPOLOGIES: Dict[str, "RegisteredTopology"] = {}
+#: normalized alias -> canonical name (canonical names are self-aliases)
+_ALIASES: Dict[str, str] = {}
+
+#: the modules that self-register built-in topology builders
+BUILTIN_MODULES = (
+    "repro.topology.dumbbell",
+    "repro.topology.fattree",
+    "repro.topology.parkinglot",
+    "repro.topology.rdcn",
+)
+
+
+def normalize(name: str) -> str:
+    """Canonical key form: lowercase, underscores/spaces -> dashes."""
+    return name.lower().replace("_", "-").replace(" ", "-")
+
+
+def _first_doc_line(obj) -> str:
+    doc = inspect.getdoc(obj) or ""
+    return doc.splitlines()[0].strip() if doc else ""
+
+
+@dataclass(frozen=True)
+class RegisteredTopology:
+    """One registry entry: a named builder plus its params dataclass."""
+
+    name: str
+    params_cls: type
+    builder: Callable
+    aliases: Tuple[str, ...] = ()
+    description: str = ""
+
+    def param_fields(self) -> List[str]:
+        """Names of the tunable params-dataclass fields."""
+        return [f.name for f in dataclasses.fields(self.params_cls)]
+
+    def make_params(self, params: Any = None, **overrides) -> Any:
+        """Instantiate the params dataclass, rejecting unknown fields.
+
+        Pass either a ready params object (returned as-is) or keyword
+        overrides — not both.
+        """
+        if params is not None:
+            if overrides:
+                raise ValueError(
+                    f"topology {self.name!r}: pass either a params object or "
+                    f"keyword overrides, not both (got params and "
+                    f"{', '.join(sorted(overrides))})"
+                )
+            if not isinstance(params, self.params_cls):
+                raise TypeError(
+                    f"topology {self.name!r} expects {self.params_cls.__name__}"
+                    f" params, got {type(params).__name__}"
+                )
+            return params
+        valid = set(self.param_fields())
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise ValueError(
+                f"topology {self.name!r}: unknown param(s) "
+                f"{', '.join(unknown)}; valid params: "
+                f"{', '.join(sorted(valid))}"
+            )
+        return self.params_cls(**overrides)
+
+    def build(self, sim, params: Any = None, **overrides):
+        """Build the network from a params object or keyword overrides."""
+        return self.builder(sim, self.make_params(params, **overrides))
+
+
+def _add_entry(entry: RegisteredTopology) -> RegisteredTopology:
+    existing = TOPOLOGIES.get(entry.name)
+    if existing is not None:
+        # Idempotent module re-import re-registers the identical builder;
+        # anything else is a genuine name collision.
+        if existing.builder is not entry.builder:
+            raise ValueError(
+                f"topology name {entry.name!r} already registered"
+            )
+    keys = [normalize(alias) for alias in (entry.name,) + entry.aliases]
+    for alias, key in zip((entry.name,) + entry.aliases, keys):
+        owner = _ALIASES.get(key)
+        if owner is not None and owner != entry.name:
+            raise ValueError(
+                f"topology alias {alias!r} already maps to {owner!r}"
+            )
+    TOPOLOGIES[entry.name] = entry
+    for key in keys:
+        _ALIASES[key] = entry.name
+    return entry
+
+
+def register_topology(
+    name: str,
+    *,
+    params_cls: type,
+    aliases: Iterable[str] = (),
+    description: str = "",
+):
+    """Function decorator: register a builder under ``name`` (+ aliases).
+
+    The builder keeps its original signature (``(sim, params=None)``) and
+    remains directly callable; registration only indexes it.
+    """
+    if not dataclasses.is_dataclass(params_cls):
+        raise TypeError(
+            f"topology {name!r}: params_cls must be a dataclass, got "
+            f"{params_cls!r}"
+        )
+
+    def decorate(builder: Callable) -> Callable:
+        _add_entry(
+            RegisteredTopology(
+                name=normalize(name),
+                params_cls=params_cls,
+                builder=builder,
+                aliases=tuple(aliases),
+                description=description or _first_doc_line(builder),
+            )
+        )
+        return builder
+
+    return decorate
+
+
+def load_builtin_topologies() -> None:
+    """Import every built-in builder module (idempotent)."""
+    for module in BUILTIN_MODULES:
+        importlib.import_module(module)
+
+
+def get_topology(name: str) -> RegisteredTopology:
+    """Look up a registry entry by name or alias; KeyError with catalog."""
+    load_builtin_topologies()
+    canonical = _ALIASES.get(normalize(name))
+    if canonical is None:
+        raise KeyError(
+            f"unknown topology: {name!r} "
+            f"(registered: {', '.join(topology_names())})"
+        )
+    return TOPOLOGIES[canonical]
+
+
+def topology_names() -> List[str]:
+    """Sorted canonical names of every registered topology."""
+    load_builtin_topologies()
+    return sorted(TOPOLOGIES)
+
+
+def make_topology_params(name: str, params: Any = None, **overrides) -> Any:
+    """Instantiate one topology's params dataclass by name."""
+    return get_topology(name).make_params(params, **overrides)
+
+
+def build_topology(sim, name: str, params: Any = None, **overrides):
+    """Resolve ``name`` and build the network in one call."""
+    return get_topology(name).build(sim, params, **overrides)

@@ -218,6 +218,164 @@ def test_cell_param_fallback():
     assert cell.param("c", "dflt") == "dflt"
 
 
+# ----------------------------------------------------------------------
+# shard merging
+# ----------------------------------------------------------------------
+def _shard_file(tmp_path, stem, index, count, cells):
+    doc = _sweep_doc(cells=cells)
+    path = tmp_path / f"{stem}.shard-{index}-of-{count}.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def test_merge_shards_recombines_a_sharded_sweep(tmp_path):
+    from repro.analysis.results import merge_shards
+
+    _shard_file(
+        tmp_path, "websearch_sweep", 1, 2,
+        [_cell("powertcp", 0.2, 1.5), _cell("hpcc", 0.2, 1.8)],
+    )
+    _shard_file(
+        tmp_path, "websearch_sweep", 2, 2,
+        [_cell("powertcp", 0.6, 2.5), _cell("hpcc", 0.6, 3.1)],
+    )
+    rs = merge_shards(str(tmp_path))
+    assert len(rs) == 4
+    rows, cols, table = rs.pivot("load", "algorithm", "fct_p99")
+    assert table == [[1.8, 1.5], [3.1, 2.5]]
+
+
+def test_merge_shards_dedupes_and_narrows_by_base(tmp_path):
+    from repro.analysis.results import merge_shards
+
+    shared = _cell("powertcp", 0.2, 1.5)
+    _shard_file(tmp_path, "websearch_sweep", 1, 2, [shared])
+    _shard_file(tmp_path, "websearch_sweep", 2, 2, [shared])
+    _shard_file(tmp_path, "other_sweep", 1, 1, [_cell("hpcc", 0.6, 9.0)])
+    # Duplicate (scenario, overrides) cells collapse to one.
+    assert len(merge_shards(str(tmp_path), "websearch_sweep")) == 1
+    # Without base, both sweeps' shards merge.
+    assert len(merge_shards(str(tmp_path))) == 2
+
+
+def test_merge_shards_rejects_incomplete_or_conflicting_sets(tmp_path):
+    from repro.analysis.results import merge_shards
+
+    _shard_file(tmp_path, "websearch_sweep", 1, 3, [_cell("a", 0.2, 1.0)])
+    with pytest.raises(ValueError, match="missing shard"):
+        merge_shards(str(tmp_path))
+    _shard_file(tmp_path, "websearch_sweep", 2, 3, [_cell("b", 0.2, 1.0)])
+    _shard_file(tmp_path, "websearch_sweep", 3, 3, [_cell("c", 0.2, 1.0)])
+    assert len(merge_shards(str(tmp_path))) == 3
+    _shard_file(tmp_path, "websearch_sweep", 2, 2, [_cell("d", 0.2, 1.0)])
+    with pytest.raises(ValueError, match="disagree"):
+        merge_shards(str(tmp_path))
+
+
+def test_merge_shards_requires_matches(tmp_path):
+    from repro.analysis.results import merge_shards
+
+    with pytest.raises(ValueError, match="no shard files"):
+        merge_shards(str(tmp_path))
+
+
+# ----------------------------------------------------------------------
+# perf trend
+# ----------------------------------------------------------------------
+def _bench_doc(date, eps_by_case, tiny=False):
+    return {
+        "schema": 1,
+        "generated_utc": date,
+        "tiny": tiny,
+        "cases": [
+            {
+                "case": name,
+                "events_per_sec": eps,
+                "events_processed": 1000,
+                "wall_time_s": 0.5,
+            }
+            for name, eps in eps_by_case.items()
+        ],
+    }
+
+
+def test_perf_trend_builds_per_case_series(tmp_path):
+    from repro.analysis.results import format_perf_trend, perf_trend
+
+    old = tmp_path / "bench_old.json"
+    new = tmp_path / "bench_new.json"
+    old.write_text(json.dumps(_bench_doc(
+        "2026-01-01", {"incast": 200_000.0, "websearch_fct": 210_000.0}
+    )))
+    new.write_text(json.dumps(_bench_doc(
+        "2026-02-01", {"incast": 520_000.0, "permutation": 500_000.0}
+    )))
+    trend = perf_trend([str(old), str(new)])
+    assert [e["events_per_sec"] for e in trend["incast"]] == [
+        200_000.0, 520_000.0,
+    ]
+    assert [e["label"] for e in trend["incast"]] == [
+        "2026-01-01", "2026-02-01",
+    ]
+    # Cases appearing in only one snapshot still show a 1-point series.
+    assert len(trend["websearch_fct"]) == 1
+    assert len(trend["permutation"]) == 1
+    lines = format_perf_trend([str(old), str(new)])
+    assert any("incast" in line and "->" in line for line in lines)
+
+
+def test_perf_trend_skips_tiny_documents_by_default(tmp_path):
+    from repro.analysis.results import perf_trend
+
+    full = tmp_path / "full.json"
+    tiny = tmp_path / "tiny.json"
+    full.write_text(json.dumps(_bench_doc("2026-01-01", {"incast": 2e5})))
+    tiny.write_text(
+        json.dumps(_bench_doc("2026-01-02", {"incast": 9e5}, tiny=True))
+    )
+    assert len(perf_trend([str(full), str(tiny)])["incast"]) == 1
+    both = perf_trend([str(full), str(tiny)], include_tiny=True)
+    assert len(both["incast"]) == 2
+
+
+# ----------------------------------------------------------------------
+# rollout pivot (deployment mix)
+# ----------------------------------------------------------------------
+def test_rollout_pivot_view(tmp_path):
+    from repro.analysis.results import format_rollout, rollout_pivot
+
+    def mix_cell(topology, fraction, ratio):
+        return {
+            "scenario": "coexistence",
+            "params": {"rollout_fraction": fraction, "topology": topology},
+            "overrides": {"rollout_fraction": fraction, "topology": topology},
+            "metrics": {"cross_group_ratio": ratio},
+            "series": {},
+            "provenance": {},
+        }
+
+    doc = {
+        "scenario": "coexistence", "grid": {}, "base": {}, "seed": 1,
+        "cells": [
+            mix_cell("dumbbell", 0.25, 1.2),
+            mix_cell("dumbbell", 0.5, 1.0),
+            mix_cell("fattree", 0.25, 1.5),
+            mix_cell("fattree", 0.5, 1.1),
+        ],
+    }
+    path = tmp_path / "coexistence_sweep.json"
+    path.write_text(json.dumps(doc))
+    rs = ResultSet.load(str(path))
+    rows, cols, table = rollout_pivot(rs)
+    assert rows == [0.25, 0.5]
+    assert cols == ["dumbbell", "fattree"]
+    assert table == [[1.2, 1.5], [1.0, 1.1]]
+    lines = format_rollout(rs)
+    assert lines[0].startswith("cross_group_ratio")
+    with pytest.raises(ValueError, match="coexistence"):
+        rollout_pivot(ResultSet([]))
+
+
 def test_cell_param_falls_back_to_provenance_config():
     """Config fields left at their defaults appear only in the provenance
     config record; param()/filter()/pivot() must still see them."""

@@ -1,0 +1,260 @@
+"""Tests for the N-group deployment-mix subsystem (`coexistence`)."""
+
+import pytest
+
+from repro.experiments.coexistence import (
+    DeploymentMixConfig,
+    GroupSpec,
+    apportion_flows,
+    run_deployment_mix,
+)
+from repro.scenarios import get_scenario
+from repro.units import MSEC
+
+THREE_GROUPS = [
+    {"algorithm": "powertcp", "fraction": 0.5},
+    {"algorithm": "dcqcn", "fraction": 0.25},
+    {"algorithm": "hpcc", "fraction": 0.25},
+]
+
+
+# ----------------------------------------------------------------------
+# config normalization
+# ----------------------------------------------------------------------
+def test_default_config_is_the_legacy_two_group_cell():
+    config = DeploymentMixConfig()
+    assert [g.name for g in config.groups] == ["a", "b"]
+    assert [g.algorithm for g in config.groups] == ["powertcp", "dcqcn"]
+    assert config.total_flows == 4
+    assert config.algorithm == "powertcp+dcqcn"
+
+
+def test_legacy_keys_map_onto_two_groups():
+    config = DeploymentMixConfig(
+        algorithm_a="hpcc",
+        algorithm_b="timely",
+        flows_per_group=3,
+        cc_params_b={"beta": 0.5},
+    )
+    assert config.total_flows == 6
+    assert config.groups[0].algorithm == "hpcc"
+    assert config.groups[1].algorithm == "timely"
+    assert config.groups[1].cc_params == {"beta": 0.5}
+    assert config.group_flow_counts() == [3, 3]
+
+
+def test_groups_cannot_mix_with_legacy_keys():
+    with pytest.raises(ValueError, match="deprecated"):
+        DeploymentMixConfig(groups=THREE_GROUPS, algorithm_a="powertcp")
+    with pytest.raises(ValueError, match="not both"):
+        DeploymentMixConfig(flows_per_group=2, total_flows=4)
+
+
+def test_group_dicts_are_coerced_and_auto_named():
+    config = DeploymentMixConfig(groups=THREE_GROUPS, total_flows=8)
+    assert [g.name for g in config.groups] == ["a", "b", "c"]
+    assert all(isinstance(g, GroupSpec) for g in config.groups)
+    assert config.group_flow_counts() == [4, 2, 2]
+    assert config.algorithm == "powertcp+dcqcn+hpcc"
+
+
+def test_bare_algorithm_strings_make_equal_weight_groups():
+    config = DeploymentMixConfig(
+        groups=["powertcp", "dcqcn", "timely"], total_flows=6
+    )
+    assert [g.algorithm for g in config.groups] == [
+        "powertcp", "dcqcn", "timely",
+    ]
+    assert config.group_flow_counts() == [2, 2, 2]
+
+
+def test_group_spec_rejects_unknown_keys_and_bad_values():
+    with pytest.raises(ValueError, match="bogus"):
+        DeploymentMixConfig(groups=[{"algorithm": "powertcp", "bogus": 1}])
+    with pytest.raises(ValueError, match="fraction"):
+        DeploymentMixConfig(groups=[{"fraction": -0.5}])
+    with pytest.raises(ValueError, match="duplicate"):
+        DeploymentMixConfig(groups=[{"name": "x"}, {"name": "x"}])
+
+
+def test_rollout_fraction_reweights_the_newcomer():
+    config = DeploymentMixConfig(
+        groups=THREE_GROUPS, total_flows=8, rollout_fraction=0.5
+    )
+    fractions = [g.fraction for g in config.groups]
+    assert fractions[-1] == 0.5
+    assert sum(fractions) == pytest.approx(1.0)
+    # Incumbents keep their relative 2:1 weighting inside the other half.
+    assert fractions[0] == pytest.approx(2 * fractions[1])
+    with pytest.raises(ValueError, match="rollout_fraction"):
+        DeploymentMixConfig(rollout_fraction=1.5)
+
+
+def test_apportion_flows_is_exact_and_deterministic():
+    assert apportion_flows([0.5, 0.25, 0.25], 8) == [4, 2, 2]
+    assert apportion_flows([1, 1, 1], 4) == [2, 1, 1]
+    assert sum(apportion_flows([3, 2, 2], 10)) == 10
+    with pytest.raises(ValueError, match="positive"):
+        apportion_flows([0.0, 0.0], 4)
+
+
+def test_apportion_flows_never_zeroes_a_positive_fraction_group():
+    # Skewed fractions must not round a declared group out of the mix.
+    assert apportion_flows([0.9, 0.1], 2) == [1, 1]
+    assert apportion_flows([10, 1, 1], 3) == [1, 1, 1]
+    assert apportion_flows([10, 1, 1], 12) == [10, 1, 1]
+    # Zero-weight groups stay at zero; total below the positive-group
+    # count falls back to plain largest remainder.
+    assert apportion_flows([1, 0, 1], 4) == [2, 0, 2]
+    assert apportion_flows([2, 1, 1], 1) == [1, 0, 0]
+
+
+def test_config_spec_objects_are_not_mutated():
+    """Regression (PR 4 fixed the same class of bug for RdcnParams): a
+    caller-owned spec list reused across configs must keep its weights."""
+    specs = [
+        GroupSpec("dcqcn", fraction=0.75),
+        GroupSpec("powertcp", fraction=0.25),
+    ]
+    config = DeploymentMixConfig(groups=specs, rollout_fraction=0.5)
+    assert [g.fraction for g in config.groups] == [0.5, 0.5]
+    assert [g.fraction for g in specs] == [0.75, 0.25]  # untouched
+    assert [g.name for g in specs] == ["", ""]
+    again = DeploymentMixConfig(groups=specs, total_flows=8)
+    assert again.group_flow_counts() == [6, 2]
+
+
+# ----------------------------------------------------------------------
+# N-group runs
+# ----------------------------------------------------------------------
+def test_three_group_mix_reports_per_group_and_pairwise_metrics():
+    scenario = get_scenario("coexistence")
+    result = scenario.run(
+        groups=THREE_GROUPS, total_flows=4, duration_ns=1 * MSEC
+    )
+    metrics = result.metrics
+    for group in ("a", "b", "c"):
+        assert 0.0 <= metrics[f"group_{group}_share"] <= 1.0
+        assert metrics[f"group_{group}_jain"] is not None
+    for pair in ("a_b", "a_c", "b_c"):
+        assert metrics[f"cross_ratio_{pair}"] is not None
+    # Legacy alias: first-vs-second group.
+    assert metrics["cross_group_ratio"] == metrics["cross_ratio_a_b"]
+    assert result.provenance["algorithm"] == "powertcp+dcqcn+hpcc"
+    for group in ("a", "b", "c"):
+        assert f"group_{group}_throughput_bps" in result.series
+
+
+def test_n_group_determinism_same_seed_identical_series():
+    """Same seed -> identical per-group series (regression guard)."""
+    scenario = get_scenario("coexistence")
+    kwargs = dict(
+        groups=THREE_GROUPS, total_flows=6, duration_ns=1 * MSEC, seed=11
+    )
+    a = scenario.run(**kwargs)
+    b = scenario.run(**kwargs)
+    assert a.metrics == b.metrics
+    assert a.series == b.series
+
+
+def test_fattree_coexistence_smoke():
+    """>=3 groups on the fat-tree: permutation placement, short horizon."""
+    scenario = get_scenario("coexistence")
+    result = scenario.run(
+        groups=THREE_GROUPS,
+        total_flows=6,
+        topology="fattree",
+        duration_ns=500_000,
+    )
+    shares = [
+        result.metrics[f"group_{g}_share"] for g in ("a", "b", "c")
+    ]
+    # No shared bottleneck: shares normalize by the delivered aggregate.
+    assert sum(shares) == pytest.approx(1.0)
+    assert all(s > 0 for s in shares)
+    assert result.provenance["events_processed"] > 0
+
+
+def test_parkinglot_coexistence_smoke():
+    scenario = get_scenario("coexistence")
+    result = scenario.run(
+        groups=[{"algorithm": "powertcp"}, {"algorithm": "dcqcn"}],
+        total_flows=4,
+        topology="parkinglot",
+        topology_params={"segments": 2},
+        duration_ns=500_000,
+    )
+    shares = [result.metrics["group_a_share"], result.metrics["group_b_share"]]
+    assert sum(shares) == pytest.approx(1.0)
+
+
+def test_staggered_start_time_to_fair_sanity():
+    """A staggered group's time-to-fair is measured from its own step."""
+    raw = run_deployment_mix(
+        DeploymentMixConfig(
+            groups=[
+                {"algorithm": "powertcp"},
+                {"algorithm": "powertcp", "start_ns": 1 * MSEC},
+            ],
+            total_flows=4,
+            duration_ns=4 * MSEC,
+        )
+    )
+    # Homogeneous PowerTCP converges to fair within the horizon.
+    ttf = raw.time_to_fair_ns("b", threshold=0.9)
+    assert ttf is not None
+    assert 0 <= ttf <= 3 * MSEC
+    # The incumbent was alone (trivially fair) before the step.
+    assert raw.time_to_fair_ns("a", threshold=0.9) is not None
+    # Staggered flows really started late: zero rate before the step.
+    b_series = raw.group_throughput_bps["b"]
+    before = [
+        v for t, v in zip(raw.times_ns, b_series) if t <= 1 * MSEC
+    ]
+    assert max(before, default=0.0) == 0.0
+
+
+def test_staggered_group_share_ignores_pre_start_samples():
+    raw = run_deployment_mix(
+        DeploymentMixConfig(
+            groups=[
+                {"algorithm": "powertcp"},
+                {"algorithm": "powertcp", "start_ns": 2 * MSEC},
+            ],
+            total_flows=2,
+            duration_ns=4 * MSEC,
+        )
+    )
+    # With pre-start samples excluded, the late group's settled share is
+    # comparable to the incumbent's (both ~half the bottleneck).
+    assert raw.group_share("b") > 0.25
+
+
+def test_homogeneous_control_shares_evenly_across_three_groups():
+    scenario = get_scenario("coexistence")
+    result = scenario.run(
+        groups=[{"algorithm": "powertcp"}] * 3,
+        total_flows=6,
+        duration_ns=2 * MSEC,
+    )
+    for pair in ("a_b", "a_c", "b_c"):
+        assert 0.7 < result.metrics[f"cross_ratio_{pair}"] < 1.4
+
+
+def test_sweep_over_rollout_fraction_persists_per_group_metrics(tmp_path):
+    from repro.scenarios import run_sweep
+
+    sweep = run_sweep(
+        "coexistence",
+        grid={"rollout_fraction": [0.25, 0.5]},
+        base=dict(total_flows=4, duration_ns=500_000),
+    )
+    path = sweep.persist(str(tmp_path / "coexistence_sweep.json"))
+    import json
+
+    doc = json.load(open(path))
+    assert len(doc["cells"]) == 2
+    for cell in doc["cells"]:
+        assert "group_a_share" in cell["metrics"]
+        assert "group_b_share" in cell["metrics"]
+        assert "cross_group_ratio" in cell["metrics"]

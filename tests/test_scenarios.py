@@ -385,6 +385,72 @@ def test_reuse_survives_missing_or_corrupt_file(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# sharded sweeps
+# ----------------------------------------------------------------------
+def test_parse_shard_and_shard_path():
+    from repro.scenarios.sweep import parse_shard, shard_results_path
+
+    assert parse_shard("1/2") == (1, 2)
+    assert parse_shard("3/3") == (3, 3)
+    for bad in ("0/2", "3/2", "2", "a/b", "1/0", ""):
+        with pytest.raises(ValueError, match="shard"):
+            parse_shard(bad)
+    assert shard_results_path("/x/results.json", (2, 4)).endswith(
+        "results.shard-2-of-4.json"
+    )
+
+
+def test_sharded_runners_partition_the_grid_exactly():
+    grid = {"fanout": [2, 3, 4]}
+    full = run_sweep("incast", grid=grid, base=TINY_INCAST)
+    shard1 = run_sweep("incast", grid=grid, base=TINY_INCAST, shard=(1, 2))
+    shard2 = run_sweep("incast", grid=grid, base=TINY_INCAST, shard=(2, 2))
+    assert [c.params["fanout"] for c in shard1.cells] == [2, 4]
+    assert [c.params["fanout"] for c in shard2.cells] == [3]
+    # The shards' cells are exactly the full run's (same derived seeds,
+    # same metrics), so the merged result is shard-invariant.
+    merged = {
+        c.params["fanout"]: c.result.metrics
+        for c in shard1.cells + shard2.cells
+    }
+    assert merged == {
+        c.params["fanout"]: c.result.metrics for c in full.cells
+    }
+
+
+def test_shard_validation():
+    spec = SweepSpec(scenario="incast", grid={"fanout": [2]})
+    with pytest.raises(ValueError, match="shard"):
+        SweepRunner(spec, shard=(0, 2))
+    with pytest.raises(ValueError, match="shard"):
+        SweepRunner(spec, shard=(3, 2))
+
+
+def test_cli_sharded_sweep_writes_mergeable_files(tmp_path, capsys):
+    from repro.analysis.results import merge_shards
+
+    out_path = str(tmp_path / "incast_sweep.json")
+    for shard in ("1/2", "2/2"):
+        args = ["sweep", "incast", "--tiny", "--grid", "fanout=2,3,4",
+                "--out", out_path, "--shard", shard]
+        assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "incast_sweep.shard-1-of-2.json" in out
+    assert "incast_sweep.shard-2-of-2.json" in out
+    merged = merge_shards(str(tmp_path), "incast_sweep")
+    assert sorted(c.param("fanout") for c in merged) == [2, 3, 4]
+    # Each shard file doubles as that shard's incremental cache.
+    assert main(args) == 0
+    assert "reused 1 cached" in capsys.readouterr().out
+
+
+def test_cli_rejects_bad_shard():
+    with pytest.raises(SystemExit, match="shard"):
+        main(["sweep", "incast", "--tiny", "--grid", "fanout=2",
+              "--shard", "5/2"])
+
+
+# ----------------------------------------------------------------------
 # the new scenarios
 # ----------------------------------------------------------------------
 def test_coexistence_mixed_deployment_reports_groups():
