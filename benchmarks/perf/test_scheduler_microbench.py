@@ -1,0 +1,109 @@
+"""Microbenchmark: binary heap vs calendar queue across pending-set depths.
+
+The simulator can run on either scheduler (``Simulator(scheduler=...)``).
+Their asymptotics differ — heapq is O(log n) per op at any depth, the
+calendar queue is amortized O(1) once events spread across epochs — so
+the crossover depth should be *measured*, not guessed.  This file both
+smoke-tests the microbench harness under tier-1 (tiny depths, no timing
+assertions) and, when run directly, prints the full depth sweep that the
+README's crossover guidance quotes:
+
+    PYTHONPATH=src python benchmarks/perf/test_scheduler_microbench.py
+
+The workload is hold-model churn: seed ``depth`` pending events, then
+pop the earliest and push a replacement at ``now + random hold`` for
+``ops`` iterations, which is exactly the steady-state shape of the
+simulator's event loop (packet finish events replace themselves).
+"""
+
+import random
+import time
+
+from repro.sim.engine import CalendarQueue
+import heapq
+
+
+def _run_heap(depth, ops, holds):
+    heap = []
+    seq = 0
+    now = 0
+    for _ in range(depth):
+        heapq.heappush(heap, (now + holds[seq % len(holds)], seq, None, ()))
+        seq += 1
+    start = time.perf_counter()
+    for i in range(ops):
+        now = heapq.heappop(heap)[0]
+        heapq.heappush(heap, (now + holds[(seq + i) % len(holds)], seq + i, None, ()))
+    return time.perf_counter() - start
+
+
+def _run_calendar(depth, ops, holds):
+    cal = CalendarQueue()
+    seq = 0
+    now = 0
+    for _ in range(depth):
+        cal.push((now + holds[seq % len(holds)], seq, None, ()))
+        seq += 1
+    start = time.perf_counter()
+    for i in range(ops):
+        now = cal.pop()[0]
+        cal.push((now + holds[(seq + i) % len(holds)], seq + i, None, ()))
+    return time.perf_counter() - start
+
+
+def sweep(depths, ops=50_000, seed=7):
+    """Return [(depth, heap_s, calendar_s, ratio)] for the hold-model churn."""
+    rng = random.Random(seed)
+    # hold times comparable to packet serialization+propagation: most
+    # events land a few epochs ahead of now (calendar width is 4096 ns)
+    holds = [rng.randrange(200, 40_000) for _ in range(1024)]
+    rows = []
+    for depth in depths:
+        heap_s = _run_heap(depth, ops, holds)
+        cal_s = _run_calendar(depth, ops, holds)
+        rows.append((depth, heap_s, cal_s, heap_s / cal_s))
+    return rows
+
+
+def format_sweep(rows, ops):
+    lines = [f"hold-model churn, {ops} pop+push ops per cell"]
+    lines.append(f"{'depth':>8s} {'heap(s)':>10s} {'calendar(s)':>12s} {'heap/cal':>9s}")
+    for depth, heap_s, cal_s, ratio in rows:
+        lines.append(f"{depth:8d} {heap_s:10.4f} {cal_s:12.4f} {ratio:9.2f}x")
+    return "\n".join(lines)
+
+
+def test_microbench_harness_runs():
+    # Tier-1 smoke: tiny depths, few ops, shape-only — CI clocks are noise.
+    rows = sweep([64, 512], ops=2_000)
+    assert [r[0] for r in rows] == [64, 512]
+    for _, heap_s, cal_s, ratio in rows:
+        assert heap_s > 0 and cal_s > 0 and ratio > 0
+
+
+def test_schedulers_agree_on_churn_order():
+    # Same churn stream through both schedulers must pop identical
+    # (time, seq) sequences — the parity contract the microbench relies
+    # on to be an apples-to-apples comparison.
+    rng = random.Random(13)
+    heap, cal = [], CalendarQueue()
+    seq = 0
+    for _ in range(300):
+        entry = (rng.randrange(0, 1_000_000), seq, None, ())
+        heapq.heappush(heap, entry)
+        cal.push(entry)
+        seq += 1
+    for i in range(600):
+        a = heapq.heappop(heap)
+        b = cal.pop()
+        assert a == b, i
+        entry = (a[0] + rng.randrange(1, 30_000), seq, None, ())
+        heapq.heappush(heap, entry)
+        cal.push(entry)
+        seq += 1
+
+
+if __name__ == "__main__":
+    OPS = 200_000
+    rows = sweep([16, 64, 256, 1024, 4096, 16384, 65536], ops=OPS)
+    print(format_sweep(rows, OPS))

@@ -89,3 +89,34 @@ def test_fig2c_three_cases(benchmark):
     assert c2.voltage == c3.voltage
     assert c1.current == c3.current
     assert len({round(c.power, 9) for c in cases}) == 3
+
+
+def test_fig2_grid_mode_matches_scalar():
+    # Grid mode: the control-law lambdas are pure arithmetic, so one
+    # vectorized multiplicative_factor call over the whole sweep must
+    # equal the scalar per-point series exactly.
+    np = __import__("pytest").importorskip("numpy")
+    from repro.fluid.laws import GRADIENT_LAW, QUEUE_LAW
+
+    rates = [0, 1, 2, 3, 4, 5, 6, 7, 8]
+    scalar = decrease_vs_buildup_rate(
+        bandwidth_Bps=B_BPS, tau_s=TAU,
+        queue_bytes=0.5 * BDP, rate_multiples=rates,
+    )
+    qdot = np.array(rates, dtype=np.float64) * B_BPS
+    for law in (QUEUE_LAW, GRADIENT_LAW):
+        vec = law.multiplicative_factor(0.5 * BDP, qdot, B_BPS, B_BPS, TAU)
+        # A law blind to the swept variable yields a scalar — broadcast it.
+        vec = np.broadcast_to(np.asarray(vec), qdot.shape)
+        assert vec.tolist() == scalar[law.name]
+
+    fracs = [0.0, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0]
+    scalar = decrease_vs_queue_length(
+        bandwidth_Bps=B_BPS, tau_s=TAU,
+        queue_lengths_bytes=[f * BDP for f in fracs],
+    )
+    q = np.array([f * BDP for f in fracs], dtype=np.float64)
+    for law in (QUEUE_LAW, GRADIENT_LAW):
+        vec = law.multiplicative_factor(q, 0.0, B_BPS, B_BPS, TAU)
+        vec = np.broadcast_to(np.asarray(vec), q.shape)
+        assert vec.tolist() == scalar[law.name]

@@ -9,11 +9,13 @@ Paper claims reproduced (100 Gbps bottleneck, 20 µs base RTT):
 * 3c power-based CC: unique equilibrium, accurate control, no loss.
 """
 
+import pytest
+
 from benchharness import emit, once
 
 from repro.fluid.laws import GRADIENT_LAW, POWER_LAW, QUEUE_LAW
 from repro.fluid.model import FluidParams
-from repro.fluid.phase import phase_portrait
+from repro.fluid.phase import phase_portrait, phase_portrait_grid
 
 
 def params():
@@ -56,3 +58,21 @@ def test_fig3_phase_portraits(benchmark):
     assert current.equilibrium_spread() > 0.5
     assert power.equilibrium_spread() < 0.05
     assert power.fraction_with_loss() == 0.0
+
+
+def test_fig3_grid_mode_matches_scalar():
+    # Grid mode: the numpy-vectorized sweep must reproduce the scalar
+    # trajectories bit-for-bit (the vectorized module's equivalence
+    # contract), so the portrait diagnostics are interchangeable.
+    pytest.importorskip("numpy")
+    p = params()
+    for law in (QUEUE_LAW, GRADIENT_LAW, POWER_LAW):
+        scalar = phase_portrait(law, p)
+        grid = phase_portrait_grid(law, p)
+        for s, g in zip(scalar.traces, grid.traces):
+            assert s.times_s == g.times_s
+            assert s.window_bytes == g.window_bytes
+            assert s.queue_bytes == g.queue_bytes
+            assert s.inflight_bytes == g.inflight_bytes
+        assert scalar.equilibrium_spread() == grid.equilibrium_spread()
+        assert scalar.worst_throughput_loss() == grid.worst_throughput_loss()

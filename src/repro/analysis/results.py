@@ -382,32 +382,42 @@ def perf_trend(
 
     ``paths`` is an ordered list of ``BENCH_perf.json`` snapshots
     (oldest first — e.g. one per PR, extracted from git history or CI
-    artifacts).  Returns ``{case: [{label, events_per_sec,
-    events_processed, wall_time_s}, ...]}`` with one entry per document
-    that contains the case, labeled by the document's ``generated_utc``
-    date (file basename when absent).  Reduced CI-smoke documents
-    (``tiny: true``) are skipped unless ``include_tiny`` — their grids
-    are not comparable to the full macro grid.
+    artifacts).  A path may also be an accumulated *history* document
+    (``{"snapshots": [...]}`` as written by
+    :func:`repro.perf.bench.append_history` / ``repro perf --history``);
+    its snapshots expand in order, each labeled by its own ``label``.
+    Returns ``{case: [{label, events_per_sec, events_processed,
+    wall_time_s}, ...]}`` with one entry per document that contains the
+    case, labeled by the document's ``generated_utc`` date (file basename
+    when absent).  Reduced CI-smoke documents (``tiny: true``) are
+    skipped unless ``include_tiny`` — their grids are not comparable to
+    the full macro grid.
     """
     trend: Dict[str, List[Dict[str, Any]]] = {}
     for path in paths:
         with open(path) as handle:
             doc = json.load(handle)
-        if doc.get("tiny") and not include_tiny:
-            continue
-        label = doc.get("generated_utc") or os.path.basename(path)
-        for case in doc.get("cases", []):
-            name = case.get("case")
-            if not name or not case.get("events_per_sec"):
+        docs = doc.get("snapshots", [doc]) if "snapshots" in doc else [doc]
+        for snapshot in docs:
+            if snapshot.get("tiny") and not include_tiny:
                 continue
-            trend.setdefault(name, []).append(
-                {
-                    "label": label,
-                    "events_per_sec": case["events_per_sec"],
-                    "events_processed": case.get("events_processed"),
-                    "wall_time_s": case.get("wall_time_s"),
-                }
+            label = (
+                snapshot.get("label")
+                or snapshot.get("generated_utc")
+                or os.path.basename(path)
             )
+            for case in snapshot.get("cases", []):
+                name = case.get("case")
+                if not name or not case.get("events_per_sec"):
+                    continue
+                trend.setdefault(name, []).append(
+                    {
+                        "label": label,
+                        "events_per_sec": case["events_per_sec"],
+                        "events_processed": case.get("events_processed"),
+                        "wall_time_s": case.get("wall_time_s"),
+                    }
+                )
     return trend
 
 

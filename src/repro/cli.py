@@ -364,6 +364,17 @@ def cmd_perf(args) -> None:
     if not args.no_write:
         path = perf_bench.write_bench(doc, args.out)
         print(f"wrote {path}")
+    if args.history:
+        path = perf_bench.append_history(
+            doc, args.history, label=args.history_label
+        )
+        print(f"appended snapshot to {path}")
+    if args.warn_regression:
+        warnings = perf_bench.regression_warnings(doc)
+        for line in warnings:
+            print(f"WARNING: {line}")
+        if not warnings and compare is not None:
+            print("no events/sec regressions vs the reference")
 
 
 def _requirements_summary(entry) -> str:
@@ -522,6 +533,21 @@ def build_parser() -> argparse.ArgumentParser:
     perf_p.add_argument(
         "--no-write", action="store_true",
         help="print the table without writing the document",
+    )
+    perf_p.add_argument(
+        "--history", metavar="PATH", nargs="?",
+        const="benchmarks/results/perf_history.json",
+        help="append a compact snapshot to the tracked history file "
+             "(default path benchmarks/results/perf_history.json)",
+    )
+    perf_p.add_argument(
+        "--history-label",
+        help="label for the --history snapshot (default: generation date)",
+    )
+    perf_p.add_argument(
+        "--warn-regression", action="store_true",
+        help="print WARNING lines for cases >10%% below their --compare "
+             "reference (informational; exit status is unaffected)",
     )
     return parser
 

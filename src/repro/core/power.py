@@ -127,38 +127,47 @@ class INTPowerEstimator:
         power, or None while no hop has two samples yet."""
         if not hops:
             return None
-        best_norm = None
+        # -inf sentinel instead of None: one float compare per hop, and
+        # every real norm exceeds it.  The float arithmetic itself is
+        # untouched — results stay bit-identical.
+        best_norm = float("-inf")
         best_dt = 0
         base_rtt_ns = self.base_rtt_ns
         prev_map = self.prev
         link_consts = self._link_consts
         for hop in hops:
-            prev = prev_map.get(hop.port_id)
-            prev_map[hop.port_id] = (hop.ts_ns, hop.qlen, hop.tx_bytes)
-            if prev is None:
+            port_id = hop.port_id
+            ts_ns = hop.ts_ns
+            qlen = hop.qlen
+            tx_bytes = hop.tx_bytes
+            try:
+                prev = prev_map[port_id]
+            except KeyError:
+                prev_map[port_id] = (ts_ns, qlen, tx_bytes)
                 continue
-            dt_ns = hop.ts_ns - prev[0]
+            prev_map[port_id] = (ts_ns, qlen, tx_bytes)
+            dt_ns = ts_ns - prev[0]
             if dt_ns <= 0:
                 continue
             # Algorithm 1 lines 11-19, inlined (identical float ops to
             # normalized_power_from_hop, with the per-link constants
             # e = b²τ and BDP memoized).
-            consts = link_consts.get(hop.bandwidth_bps)
-            if consts is None:
-                bandwidth_Bps = hop.bandwidth_bps / BITS_PER_BYTE
-                consts = link_consts[hop.bandwidth_bps] = (
-                    bandwidth_Bps * base_rtt_ns / SEC,
-                    bandwidth_Bps * bandwidth_Bps * base_rtt_ns / SEC,
-                )
-            bdp, base_power = consts
+            bandwidth_bps = hop.bandwidth_bps
+            try:
+                bdp, base_power = link_consts[bandwidth_bps]
+            except KeyError:
+                bandwidth_Bps = bandwidth_bps / BITS_PER_BYTE
+                bdp = bandwidth_Bps * base_rtt_ns / SEC
+                base_power = bandwidth_Bps * bandwidth_Bps * base_rtt_ns / SEC
+                link_consts[bandwidth_bps] = (bdp, base_power)
             dt_s = dt_ns / SEC
-            qdot_Bps = (hop.qlen - prev[1]) / dt_s
-            mu_Bps = (hop.tx_bytes - prev[2]) / dt_s
-            norm = (qdot_Bps + mu_Bps) * (hop.qlen + bdp) / base_power
-            if best_norm is None or norm > best_norm:
+            qdot_Bps = (qlen - prev[1]) / dt_s
+            mu_Bps = (tx_bytes - prev[2]) / dt_s
+            norm = (qdot_Bps + mu_Bps) * (qlen + bdp) / base_power
+            if norm > best_norm:
                 best_norm = norm
                 best_dt = dt_ns
-        if best_norm is None:
+        if best_dt == 0:
             return None
         dt = min(best_dt, base_rtt_ns)
         tau = base_rtt_ns

@@ -16,8 +16,10 @@ Usage::
 from repro.perf.bench import (
     PERF_CASES,
     PerfCase,
+    append_history,
     case_names,
     load_bench,
+    regression_warnings,
     run_case,
     run_perf,
     write_bench,
@@ -26,8 +28,10 @@ from repro.perf.bench import (
 __all__ = [
     "PERF_CASES",
     "PerfCase",
+    "append_history",
     "case_names",
     "load_bench",
+    "regression_warnings",
     "run_case",
     "run_perf",
     "write_bench",

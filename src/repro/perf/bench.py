@@ -14,10 +14,26 @@ Three macro workloads cover the simulator's distinct hot-path mixes:
   (the acceptance benchmark for hot-path PRs);
 * ``permutation``   — fat-tree, all hosts active, long-lived windows.
 
+Engine-configuration variants rerun a workload under non-default engine
+settings (``PerfCase.engine`` → :func:`repro.sim.engine.engine_defaults`):
+``incast_batched`` / ``websearch_batched`` / ``permutation_batched`` turn
+on packet-train batching, ``incast_calendar`` swaps in the calendar-queue
+scheduler.  When comparing against a reference document that predates a
+variant, the variant borrows the reference entry with the same
+``(scenario, overrides)`` workload and *default* engine config — so the
+recorded speedup is engine-on vs engine-off over the identical workload.
+``fluid_grid`` benchmarks the numpy-vectorized fluid integrator against
+the scalar loop on a phase-portrait-sized grid (its ``events`` are
+integration cell-steps, and its speedup is measured in-run against the
+scalar path; skipped with a note when numpy is unavailable).
+
 ``run_perf`` executes a case list (optionally the reduced ``tiny`` grid
 used by CI smoke jobs) and ``write_bench`` persists the document; pass a
 previous document via ``compare`` to record per-case speedups so the
 committed ``BENCH_perf.json`` carries the before/after evidence.
+:func:`append_history` accumulates snapshots into the tracked
+``benchmarks/results/perf_history.json`` consumed by
+:func:`repro.analysis.results.perf_trend`.
 """
 
 from __future__ import annotations
@@ -30,6 +46,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.scenarios import get_scenario
+from repro.sim.engine import engine_defaults
 from repro.units import MSEC
 
 #: schema version of the BENCH_perf.json document
@@ -37,6 +54,9 @@ BENCH_SCHEMA = 1
 
 #: default persistence path (repo root when invoked from the checkout)
 DEFAULT_BENCH_PATH = "BENCH_perf.json"
+
+#: tracked history of per-PR snapshots (see :func:`append_history`)
+DEFAULT_HISTORY_PATH = "benchmarks/results/perf_history.json"
 
 
 @dataclass(frozen=True)
@@ -48,6 +68,11 @@ class PerfCase:
     overrides: Dict[str, Any] = field(default_factory=dict)
     #: reduced configuration for CI smoke runs (``--tiny``)
     tiny: Dict[str, Any] = field(default_factory=dict)
+    #: engine configuration applied via ``engine_defaults`` around the
+    #: run (e.g. ``{"tx_batch_limit": 8}``); empty = engine defaults
+    engine: Dict[str, Any] = field(default_factory=dict)
+    #: "scenario" (default) or "fluid_grid" (vectorized fluid sweep)
+    kind: str = "scenario"
 
     def config(self, tiny: bool = False) -> Dict[str, Any]:
         """The override set this case runs at."""
@@ -114,6 +139,95 @@ PERF_CASES: Dict[str, PerfCase] = {
                 seed=1,
             ),
         ),
+        # Engine-configuration variants: same workloads, non-default
+        # engine.  Their --compare speedups measure the engine feature
+        # itself (matched by workload against the default-config entry).
+        PerfCase(
+            name="incast_batched",
+            scenario="incast",
+            overrides=dict(
+                algorithm="powertcp",
+                fanout=64,
+                burst_bytes=60_000,
+                duration_ns=8 * MSEC,
+            ),
+            tiny=dict(
+                algorithm="powertcp",
+                fanout=8,
+                burst_bytes=20_000,
+                duration_ns=1 * MSEC,
+            ),
+            engine=dict(tx_batch_limit=8),
+        ),
+        PerfCase(
+            name="websearch_batched",
+            scenario="websearch",
+            overrides=dict(
+                algorithm="powertcp",
+                load=0.6,
+                duration_ns=20 * MSEC,
+                drain_ns=40 * MSEC,
+                size_scale=1 / 16,
+                max_flows=300,
+                seed=1,
+            ),
+            tiny=dict(
+                algorithm="powertcp",
+                load=0.4,
+                duration_ns=2 * MSEC,
+                drain_ns=6 * MSEC,
+                size_scale=1 / 16,
+                max_flows=15,
+                seed=1,
+            ),
+            engine=dict(tx_batch_limit=8),
+        ),
+        PerfCase(
+            name="permutation_batched",
+            scenario="permutation",
+            overrides=dict(
+                algorithm="powertcp",
+                flow_bytes=1_000_000,
+                duration_ns=4 * MSEC,
+                drain_ns=16 * MSEC,
+                seed=1,
+            ),
+            tiny=dict(
+                algorithm="powertcp",
+                flow_bytes=50_000,
+                duration_ns=1 * MSEC,
+                drain_ns=3 * MSEC,
+                seed=1,
+            ),
+            engine=dict(tx_batch_limit=8),
+        ),
+        PerfCase(
+            name="incast_calendar",
+            scenario="incast",
+            overrides=dict(
+                algorithm="powertcp",
+                fanout=64,
+                burst_bytes=60_000,
+                duration_ns=8 * MSEC,
+            ),
+            tiny=dict(
+                algorithm="powertcp",
+                fanout=8,
+                burst_bytes=20_000,
+                duration_ns=1 * MSEC,
+            ),
+            engine=dict(scheduler="calendar"),
+        ),
+        # Vectorized fluid integration: n_w x n_q initial states, one
+        # simulate_grid call, compared in-run against the scalar loop
+        # (extrapolated from scalar_sample trajectories).
+        PerfCase(
+            name="fluid_grid",
+            scenario="fluid_grid",
+            overrides=dict(n_w=24, n_q=24, duration_taus=50, scalar_sample=16),
+            tiny=dict(n_w=8, n_q=8, duration_taus=20, scalar_sample=8),
+            kind="fluid_grid",
+        ),
     )
 }
 
@@ -135,28 +249,31 @@ def run_case(
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if case.kind == "fluid_grid":
+        return _run_fluid_grid_case(case, tiny=tiny, repeats=repeats)
     scenario = get_scenario(case.scenario)
     overrides = case.config(tiny)
     runs: List[Dict[str, float]] = []
     metrics: Dict[str, Any] = {}
-    for i in range(repeats):
-        result = scenario.run(**overrides)
-        events = int(result.provenance.get("events_processed") or 0)
-        wall_s = float(result.provenance.get("wall_time_s") or 0.0)
-        runs.append(
-            {
-                "events_processed": events,
-                "wall_time_s": wall_s,
-                "events_per_sec": events / wall_s if wall_s > 0 else 0.0,
-            }
-        )
-        if i == 0:
-            metrics = {
-                k: v for k, v in sorted(result.metrics.items())
-                if v is None or isinstance(v, (int, float, bool, str))
-            }
+    with engine_defaults(**case.engine):
+        for i in range(repeats):
+            result = scenario.run(**overrides)
+            events = int(result.provenance.get("events_processed") or 0)
+            wall_s = float(result.provenance.get("wall_time_s") or 0.0)
+            runs.append(
+                {
+                    "events_processed": events,
+                    "wall_time_s": wall_s,
+                    "events_per_sec": events / wall_s if wall_s > 0 else 0.0,
+                }
+            )
+            if i == 0:
+                metrics = {
+                    k: v for k, v in sorted(result.metrics.items())
+                    if v is None or isinstance(v, (int, float, bool, str))
+                }
     best = max(runs, key=lambda r: r["events_per_sec"])
-    return {
+    entry = {
         "case": case.name,
         "scenario": case.scenario,
         "overrides": overrides,
@@ -173,6 +290,94 @@ def run_case(
         ],
         "metrics": metrics,
     }
+    if case.engine:
+        entry["engine"] = dict(case.engine)
+    return entry
+
+
+def _run_fluid_grid_case(
+    case: PerfCase, *, tiny: bool, repeats: int
+) -> Dict[str, Any]:
+    """The vectorized-fluid benchmark: grid sweep vs scalar loop.
+
+    ``events_processed`` counts integration *cell-steps* (time steps x
+    trajectories) so ``events_per_sec`` is work-normalized like the
+    scenario cases; ``ref_events_per_sec``/``speedup`` are measured
+    in-run against the scalar integrator (extrapolated from
+    ``scalar_sample`` trajectories — the scalar loop is per-trajectory,
+    so the extrapolation is exact up to wall-clock noise).
+    """
+    cfg = case.config(tiny)
+    try:
+        import numpy  # noqa: F401 - probing the optional accelerator
+    except ImportError:
+        return {
+            "case": case.name,
+            "scenario": case.scenario,
+            "overrides": cfg,
+            "skipped": "numpy unavailable",
+        }
+    from repro.fluid import FluidParams, POWER_LAW, simulate, simulate_grid
+    from repro.fluid.phase import dense_initial_grid
+
+    params = FluidParams()
+    params.beta_bytes = 0.01 * params.bdp_bytes
+    states = dense_initial_grid(params.bdp_bytes, cfg["n_w"], cfg["n_q"])
+    duration = cfg["duration_taus"] * params.tau_s
+    cell_steps = (max(1, int(duration / params.dt_s)) + 1) * len(states)
+    runs: List[Dict[str, float]] = []
+    metrics: Dict[str, Any] = {}
+    for i in range(repeats):
+        t0 = time.perf_counter()
+        grid = simulate_grid(POWER_LAW, params, states, duration)
+        wall_s = time.perf_counter() - t0
+        runs.append(
+            {
+                "events_processed": cell_steps,
+                "wall_time_s": wall_s,
+                "events_per_sec": cell_steps / wall_s if wall_s > 0 else 0.0,
+            }
+        )
+        if i == 0:
+            finals = grid.final_windows
+            metrics = {
+                "trajectories": len(states),
+                "final_window_mean_bdp": round(
+                    float(finals.sum()) / len(states) / params.bdp_bytes, 6
+                ),
+                "worst_loss_after_fill": round(
+                    float(grid.loss_after_fill(params.bdp_bytes).max()), 6
+                ),
+            }
+    sample = min(cfg["scalar_sample"], len(states))
+    t0 = time.perf_counter()
+    for w0, q0 in states[:sample]:
+        simulate(POWER_LAW, params, w0, q0, duration)
+    scalar_wall_s = (time.perf_counter() - t0) * len(states) / sample
+    best = max(runs, key=lambda r: r["events_per_sec"])
+    scalar_eps = cell_steps / scalar_wall_s if scalar_wall_s > 0 else 0.0
+    entry = {
+        "case": case.name,
+        "scenario": case.scenario,
+        "overrides": cfg,
+        "events_processed": best["events_processed"],
+        "wall_time_s": round(best["wall_time_s"], 4),
+        "events_per_sec": round(best["events_per_sec"], 1),
+        "runs": [
+            {
+                "events_processed": r["events_processed"],
+                "wall_time_s": round(r["wall_time_s"], 4),
+                "events_per_sec": round(r["events_per_sec"], 1),
+            }
+            for r in runs
+        ],
+        "metrics": metrics,
+        "ref_events_per_sec": round(scalar_eps, 1),
+        "speedup": round(best["events_per_sec"] / scalar_eps, 2)
+        if scalar_eps
+        else None,
+    }
+    return entry
 
 
 def run_perf(
@@ -190,7 +395,12 @@ def run_perf(
     only when its name *and* its full ``overrides`` agree with the
     current run — comparing a tiny grid against a full-grid document
     (or vice versa) silently yields no speedup fields instead of a
-    meaningless ratio between different workloads.
+    meaningless ratio between different workloads.  Engine-variant cases
+    absent from the reference fall back to the reference entry with the
+    same ``(scenario, overrides)`` workload and default engine config,
+    so a variant's first appearance still records an honest same-workload
+    speedup (engine feature on vs off).  Cases that measure their own
+    reference in-run (``fluid_grid``) keep it.
     """
     selected = list(cases) if cases is not None else case_names()
     unknown = sorted(set(selected) - set(PERF_CASES))
@@ -205,12 +415,29 @@ def run_perf(
     results = []
     for name in selected:
         entry = run_case(PERF_CASES[name], tiny=tiny, repeats=repeats)
+        if "skipped" in entry or "speedup" in entry:
+            results.append(entry)
+            continue
         ref = ref_cases.get(name)
-        if (
+        if not (
             ref is not None
             and ref.get("events_per_sec")
             and ref.get("overrides") == entry["overrides"]
         ):
+            # Workload fallback for engine variants: same scenario and
+            # overrides, default engine config, any case name.
+            ref = next(
+                (
+                    c
+                    for c in ref_cases.values()
+                    if c.get("scenario") == entry["scenario"]
+                    and c.get("overrides") == entry["overrides"]
+                    and not c.get("engine")
+                    and c.get("events_per_sec")
+                ),
+                None,
+            )
+        if ref is not None:
             entry["ref_events_per_sec"] = ref["events_per_sec"]
             entry["speedup"] = round(
                 entry["events_per_sec"] / ref["events_per_sec"], 2
@@ -241,16 +468,95 @@ def load_bench(path: str) -> Dict[str, Any]:
         return json.load(handle)
 
 
+def append_history(
+    doc: Dict[str, Any],
+    path: str = DEFAULT_HISTORY_PATH,
+    *,
+    label: Optional[str] = None,
+) -> str:
+    """Append one compact snapshot of ``doc`` to the tracked history file.
+
+    The history document is ``{"schema": 1, "snapshots": [...]}``; each
+    snapshot keeps the label, grid flavor, and the per-case throughput
+    numbers (metrics fingerprints are dropped — the full document is the
+    place for those).  :func:`repro.analysis.results.perf_trend` expands
+    history files transparently, so one tracked file carries the whole
+    per-PR trajectory instead of one artifact per PR.
+    """
+    try:
+        with open(path) as handle:
+            history = json.load(handle)
+    except FileNotFoundError:
+        history = {"schema": 1, "snapshots": []}
+    snapshot = {
+        "label": label or doc.get("generated_utc") or "unlabeled",
+        "generated_utc": doc.get("generated_utc"),
+        "python": doc.get("python"),
+        "tiny": bool(doc.get("tiny")),
+        "cases": [
+            {
+                key: case[key]
+                for key in (
+                    "case",
+                    "events_processed",
+                    "wall_time_s",
+                    "events_per_sec",
+                    "speedup",
+                )
+                if key in case
+            }
+            for case in doc.get("cases", [])
+            if "skipped" not in case
+        ],
+    }
+    history.setdefault("snapshots", []).append(snapshot)
+    with open(path, "w") as handle:
+        json.dump(history, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def regression_warnings(
+    doc: Dict[str, Any], *, threshold: float = 0.10
+) -> List[str]:
+    """Cases whose events/sec fell more than ``threshold`` below their
+    reference — one warning line per offender, empty when clean.
+
+    Only cases with comparison fields participate (a missing reference is
+    not a regression); ``fluid_grid``'s in-run scalar reference is
+    excluded (its speedup is the feature, not a trend)."""
+    warnings = []
+    for case in doc.get("cases", []):
+        ref = case.get("ref_events_per_sec")
+        if not ref or case.get("kind") == "fluid_grid" or case.get(
+            "case"
+        ) == "fluid_grid":
+            continue
+        current = case.get("events_per_sec") or 0.0
+        if current < (1.0 - threshold) * ref:
+            warnings.append(
+                f"perf regression: {case['case']} at {current:,.0f} events/sec "
+                f"is {100 * (1 - current / ref):.1f}% below the reference "
+                f"{ref:,.0f}"
+            )
+    return warnings
+
+
 def format_bench(doc: Dict[str, Any]) -> List[str]:
     """Human-readable table of one BENCH document."""
     lines = [
-        f"{'case':>15s} {'events':>12s} {'wall_s':>8s} "
+        f"{'case':>20s} {'events':>12s} {'wall_s':>8s} "
         f"{'events/sec':>12s} {'speedup':>8s}"
     ]
     for case in doc.get("cases", []):
+        if "skipped" in case:
+            lines.append(
+                f"{case['case']:>20s} {'(skipped: ' + case['skipped'] + ')':>44s}"
+            )
+            continue
         speedup = case.get("speedup")
         lines.append(
-            f"{case['case']:>15s} {case['events_processed']:>12d} "
+            f"{case['case']:>20s} {case['events_processed']:>12d} "
             f"{case['wall_time_s']:>8.3f} {case['events_per_sec']:>12.0f} "
             f"{(f'{speedup:.2f}x' if speedup is not None else '-'):>8s}"
         )

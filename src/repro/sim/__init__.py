@@ -5,7 +5,13 @@ event-driven model of hosts, switches, links, shared buffers, and the INT
 telemetry PowerTCP consumes.  The public surface is re-exported here.
 """
 
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import (
+    SCHEDULERS,
+    CalendarQueue,
+    Event,
+    Simulator,
+    engine_defaults,
+)
 from repro.sim.packet import (
     ACK,
     CNP,
@@ -25,6 +31,7 @@ from repro.sim.circuit import CircuitPort, CircuitSchedule
 __all__ = [
     "ACK",
     "CNP",
+    "CalendarQueue",
     "CircuitPort",
     "CircuitSchedule",
     "DATA",
@@ -36,8 +43,10 @@ __all__ = [
     "HopRecord",
     "Packet",
     "PacketPool",
+    "SCHEDULERS",
     "SharedBuffer",
     "Simulator",
     "Switch",
+    "engine_defaults",
     "get_pool",
 ]

@@ -1,18 +1,32 @@
-"""Discrete-event simulation engine.
+"""Discrete-event simulation engine with pluggable event schedulers.
 
-A single binary heap of ``(time, seq, fn, args)`` tuples.  The sequence
-number breaks ties in insertion order, which makes runs fully
-deterministic: two events scheduled for the same nanosecond always fire
-in the order they were scheduled.  Because entries are plain tuples,
-heap sifting compares at C speed and the ~95 % of events that are never
-cancelled (tx completions, packet deliveries, probe ticks) cost **zero
-object allocations** — this is the engine's fast path (:meth:`Simulator.at`
-/ :meth:`Simulator.after`), and it returns no handle.
+Events are ``(time, seq, fn, args)`` tuples.  The sequence number breaks
+ties in insertion order, which makes runs fully deterministic: two events
+scheduled for the same nanosecond always fire in the order they were
+scheduled.  Because entries are plain tuples, ordering compares at C
+speed and the ~95 % of events that are never cancelled (tx completions,
+packet deliveries, probe ticks) cost **zero object allocations** — this
+is the engine's fast path (:meth:`Simulator.at` / :meth:`Simulator.after`),
+and it returns no handle.
+
+Two schedulers store those entries (``Simulator(scheduler=...)``):
+
+* ``"heap"`` (default) — a single binary heap drained by ``heapq``.  The
+  run loop and the ports' inlined pushes go straight at the raw list, so
+  the default path is exactly the PR-3 hot path.
+* ``"calendar"`` — a :class:`CalendarQueue`: a two-level calendar with
+  O(1) appends into fixed-width time buckets and one C-speed ``sort``
+  per bucket on activation.  It reproduces the heap's ``(time, seq)``
+  order *exactly* (asserted by the determinism suite), and targets very
+  deep pending sets (large-fanout incast, scaled fat-trees) where heap
+  sift depth grows with log(pending).  See
+  ``benchmarks/perf/test_scheduler_microbench.py`` for the measured
+  crossover.
 
 Cancellable events — retransmission timers, pacing timers, DCQCN's rate
 timers — go through the explicit :meth:`Simulator.at_cancellable` /
 :meth:`Simulator.after_cancellable` API, which allocates an :class:`Event`
-handle.  Cancellation only marks the handle; its heap entry is skipped
+handle.  Cancellation only marks the handle; its stored entry is skipped
 lazily when popped, keeping both operations O(log n) / O(1).  The live
 count (:attr:`Simulator.pending`) is maintained eagerly, so diagnostics
 never over-report cancelled entries awaiting compaction.
@@ -21,18 +35,193 @@ never over-report cancelled entries awaiting compaction.
 duration of the loop (on by default): the hot path allocates almost
 nothing, so GC passes are pure overhead mid-run.  Pass ``pause_gc=False``
 to the constructor to opt out.
+
+Process-wide defaults for the scheduler and the ports' packet-train
+batching limit can be set temporarily with :func:`engine_defaults`, so
+benchmarks and tests can flip engine configurations without threading
+parameters through every experiment constructor.
 """
 
 from __future__ import annotations
 
 import gc
 import heapq
+from contextlib import contextmanager
 from itertools import count
 from typing import Any, Callable, Optional
 
 #: sentinel horizon for ``run(until=None)`` — far beyond any nanosecond
 #: clock a simulation can reach (≈292 years)
 _FOREVER = 1 << 63
+
+#: recognized scheduler names for ``Simulator(scheduler=...)``
+SCHEDULERS = ("heap", "calendar")
+
+#: process-wide defaults picked up by ``Simulator()`` when the
+#: corresponding constructor argument is omitted (see
+#: :func:`engine_defaults`)
+_ENGINE_DEFAULTS = {"scheduler": "heap", "tx_batch_limit": 1}
+
+
+@contextmanager
+def engine_defaults(
+    *, scheduler: Optional[str] = None, tx_batch_limit: Optional[int] = None
+):
+    """Temporarily override the process-wide engine defaults.
+
+    Every ``Simulator()`` constructed inside the ``with`` block picks up
+    the overridden ``scheduler`` / ``tx_batch_limit`` unless the caller
+    passes them explicitly.  This is how the perf suite and the
+    determinism tests flip engine configurations for scenarios that
+    construct their own simulators internally.  The previous defaults are
+    restored on exit (also on exceptions); nesting composes.
+    """
+    previous = dict(_ENGINE_DEFAULTS)
+    if scheduler is not None:
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; available: {SCHEDULERS}"
+            )
+        _ENGINE_DEFAULTS["scheduler"] = scheduler
+    if tx_batch_limit is not None:
+        if tx_batch_limit < 1:
+            raise ValueError(f"tx_batch_limit must be >= 1, got {tx_batch_limit}")
+        _ENGINE_DEFAULTS["tx_batch_limit"] = int(tx_batch_limit)
+    try:
+        yield
+    finally:
+        _ENGINE_DEFAULTS.update(previous)
+
+
+class CalendarQueue:
+    """Calendar-queue event store preserving exact ``(time, seq)`` order.
+
+    A two-level structure: entries land in fixed-width time buckets via
+    an O(1) ``list.append`` keyed by ``time // width_ns``; a small heap
+    of active bucket epochs finds the next bucket, which is sorted once
+    (C-speed Timsort) when activated and then drained by index.  Entries
+    that arrive for the *currently draining* (or an earlier) epoch go to
+    a side heap that is merged entry-by-entry during :meth:`pop`, so the
+    global ``(time, seq)`` order is identical to a binary heap's — the
+    scheduler swap can never change simulation results.
+
+    Compared to one big heap, pushes touch O(1) list memory instead of
+    sifting log(pending) tuples, which is the win on very deep pending
+    sets; the cost is the per-bucket activation sort and the epoch heap
+    (tiny: one entry per distinct non-empty bucket).
+    """
+
+    __slots__ = (
+        "width_ns",
+        "_buckets",
+        "_epochs",
+        "_cur_epoch",
+        "_cur",
+        "_cur_idx",
+        "_side",
+        "_count",
+    )
+
+    def __init__(self, width_ns: int = 4096):
+        if width_ns <= 0:
+            raise ValueError(f"bucket width must be positive, got {width_ns}")
+        self.width_ns = width_ns
+        self._buckets = {}  # epoch -> unsorted list of entries
+        self._epochs: list = []  # heap of not-yet-activated epochs
+        self._cur_epoch = -1
+        self._cur: list = []  # activated (sorted) bucket, drained by index
+        self._cur_idx = 0
+        self._side: list = []  # heap: entries at or before the current epoch
+        self._count = 0
+
+    def push(self, entry) -> None:
+        """Store one ``(time, seq, fn, args)`` entry."""
+        epoch = entry[0] // self.width_ns
+        if epoch <= self._cur_epoch:
+            heapq.heappush(self._side, entry)
+        else:
+            bucket = self._buckets.get(epoch)
+            if bucket is None:
+                self._buckets[epoch] = [entry]
+                heapq.heappush(self._epochs, epoch)
+            else:
+                bucket.append(entry)
+        self._count += 1
+
+    def pop(self):
+        """Remove and return the next entry, or None when empty."""
+        while True:
+            cur = self._cur
+            idx = self._cur_idx
+            side = self._side
+            if idx < len(cur):
+                entry = cur[idx]
+                if side and side[0] < entry:
+                    self._count -= 1
+                    return heapq.heappop(side)
+                idx += 1
+                if idx == len(cur):  # bucket drained: drop the refs early
+                    self._cur = []
+                    self._cur_idx = 0
+                else:
+                    self._cur_idx = idx
+                self._count -= 1
+                return entry
+            if side:
+                # Entries at or before the current epoch always precede
+                # anything in a later bucket (time < (epoch+1) * width).
+                self._count -= 1
+                return heapq.heappop(side)
+            if not self._epochs:
+                return None
+            epoch = heapq.heappop(self._epochs)
+            self._cur = self._buckets.pop(epoch)
+            self._cur.sort()
+            self._cur_idx = 0
+            self._cur_epoch = epoch
+
+    def peek(self):
+        """The next entry without removing it (None when empty).
+
+        Implemented as pop + re-push: the re-pushed entry keeps its
+        sequence number, so ordering is unaffected.
+        """
+        entry = self.pop()
+        if entry is not None:
+            self.push(entry)
+        return entry
+
+    def remove(self, entry) -> None:
+        """Remove one specific scheduled entry (raises ValueError if absent).
+
+        Rare path — PFC train truncation un-schedules the deliveries of
+        packets returned to the queue.  The entry may sit in a future
+        bucket, the active run, or the side heap; cost is O(size of that
+        store).  An emptied future bucket is left in place (its epoch
+        stays in the heap); :meth:`pop` activates it, finds it drained,
+        and moves on.
+        """
+        bucket = self._buckets.get(entry[0] // self.width_ns)
+        if bucket is not None:
+            try:
+                bucket.remove(entry)
+            except ValueError:
+                pass
+            else:
+                self._count -= 1
+                return
+        cur = self._cur
+        for i in range(self._cur_idx, len(cur)):
+            if cur[i] == entry:
+                del cur[i]
+                self._count -= 1
+                return
+        self._side.remove(entry)  # ValueError when truly absent
+        heapq.heapify(self._side)
+        self._count -= 1
+
+    def __len__(self) -> int:
+        return self._count
 
 
 class Event:
@@ -101,10 +290,31 @@ class Simulator:
         "_live",
         "pause_gc",
         "pool",
+        "scheduler",
+        "_sched",
+        "tx_batch_limit",
+        "events_coalesced",
+        "pause_tracking",
         "__weakref__",
     )
 
-    def __init__(self, *, pause_gc: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        pause_gc: bool = True,
+        scheduler: Optional[str] = None,
+        tx_batch_limit: Optional[int] = None,
+    ) -> None:
+        if scheduler is None:
+            scheduler = _ENGINE_DEFAULTS["scheduler"]
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; available: {SCHEDULERS}"
+            )
+        if tx_batch_limit is None:
+            tx_batch_limit = _ENGINE_DEFAULTS["tx_batch_limit"]
+        if tx_batch_limit < 1:
+            raise ValueError(f"tx_batch_limit must be >= 1, got {tx_batch_limit}")
         self.now: int = 0
         #: entries are (time, seq, fn, args) — fn is None for cancellable
         #: events, whose Event handle then rides in the args slot
@@ -119,6 +329,28 @@ class Simulator:
         #: lazily attached per-simulator :class:`repro.sim.packet.PacketPool`
         #: (opaque to the engine; see ``repro.sim.packet.get_pool``)
         self.pool: Optional[object] = None
+        #: name of the active event scheduler ("heap" or "calendar")
+        self.scheduler = scheduler
+        #: non-heap event store, or None on the default heap path (ports
+        #: check this before inlining pushes into ``_heap`` directly)
+        self._sched: Optional[CalendarQueue] = (
+            CalendarQueue() if scheduler == "calendar" else None
+        )
+        #: max packets an egress port may serialize under one finish
+        #: event (1 = batching off; see ``repro.sim.port.EgressPort``)
+        self.tx_batch_limit = int(tx_batch_limit)
+        #: per-packet completions folded into train-finish events; these
+        #: are *added into* :attr:`events_processed` so the count stays
+        #: comparable across ``tx_batch_limit`` settings
+        self.events_coalesced = 0
+        #: must train-batched ports keep per-packet train entries so a
+        #: mid-train pause can truncate?  Off by default (the entries are
+        #: pure bookkeeping overhead); anything that may pause ports
+        #: mid-run — a PFC controller, a pause/resume test — sets this
+        #: True *before* traffic starts.  Without it, a pause on a
+        #: batched port takes effect at the end of the committed train
+        #: rather than at the next packet boundary.
+        self.pause_tracking = False
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -133,16 +365,22 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule in the past: {time_ns} < now={self.now}"
             )
-        heapq.heappush(self._heap, (time_ns, next(self._seq), fn, args))
+        entry = (time_ns, next(self._seq), fn, args)
+        if self._sched is None:
+            heapq.heappush(self._heap, entry)
+        else:
+            self._sched.push(entry)
         self._live += 1
 
     def after(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` ``delay_ns`` nanoseconds from now (fast path)."""
         if delay_ns < 0:
             raise ValueError(f"negative delay: {delay_ns}")
-        heapq.heappush(
-            self._heap, (self.now + delay_ns, next(self._seq), fn, args)
-        )
+        entry = (self.now + delay_ns, next(self._seq), fn, args)
+        if self._sched is None:
+            heapq.heappush(self._heap, entry)
+        else:
+            self._sched.push(entry)
         self._live += 1
 
     def at_cancellable(
@@ -158,7 +396,11 @@ class Simulator:
                 f"cannot schedule in the past: {time_ns} < now={self.now}"
             )
         event = Event(self, time_ns, next(self._seq), fn, args)
-        heapq.heappush(self._heap, (time_ns, event.seq, None, event))
+        entry = (time_ns, event.seq, None, event)
+        if self._sched is None:
+            heapq.heappush(self._heap, entry)
+        else:
+            self._sched.push(entry)
         self._live += 1
         return event
 
@@ -182,8 +424,13 @@ class Simulator:
         *not* advanced to ``until`` — live events at or before the horizon
         remain pending, so a later ``run`` resumes without time-travel.
         Cancelled events are compacted without consuming the budget.
-        Returns the number of events processed by this call.
+        Returns the number of events processed by this call (coalesced
+        per-packet completions folded into train-finish events are *not*
+        counted here — they accrue to :attr:`events_processed` via
+        :attr:`events_coalesced`).
         """
+        if self._sched is not None:
+            return self._run_sched(until, max_events)
         heap = self._heap
         pop = heapq.heappop
         push = heapq.heappush
@@ -198,18 +445,96 @@ class Simulator:
             # Pop-first loop: one heappop per event instead of a peek +
             # pop pair.  An entry past the horizon or budget is re-pushed
             # with its original sequence number, so ordering is unaffected
-            # (and it happens at most once per run call).
-            while heap:
-                time_, seq, fn, args = pop(heap)
+            # (and it happens at most once per run call).  The unbudgeted
+            # loop — how every scenario drives the engine — is split out
+            # so the common path pays no budget compare per event, and
+            # the plain-entry branch (the ~95 % case) falls through first.
+            if limit == -1:
+                while heap:
+                    time_, seq, fn, args = pop(heap)
+                    if fn is not None:
+                        if time_ > horizon:
+                            push(heap, (time_, seq, fn, args))
+                            break
+                        self.now = time_
+                        processed += 1
+                        fn(*args)
+                    else:
+                        event = args
+                        if event.cancelled:
+                            continue
+                        if time_ > horizon:
+                            push(heap, (time_, seq, fn, args))
+                            break
+                        event._fired = True
+                        self.now = time_
+                        processed += 1
+                        event.fn(*event.args)
+            else:
+                while heap:
+                    time_, seq, fn, args = pop(heap)
+                    if fn is None:
+                        event = args
+                        if event.cancelled:
+                            continue
+                        if time_ > horizon:
+                            push(heap, (time_, seq, fn, args))
+                            break
+                        if processed == limit:
+                            push(heap, (time_, seq, fn, args))
+                            budget_hit = True
+                            break
+                        event._fired = True
+                        self.now = time_
+                        processed += 1
+                        event.fn(*event.args)
+                    else:
+                        if time_ > horizon:
+                            push(heap, (time_, seq, fn, args))
+                            break
+                        if processed == limit:
+                            push(heap, (time_, seq, fn, args))
+                            budget_hit = True
+                            break
+                        self.now = time_
+                        processed += 1
+                        fn(*args)
+        finally:
+            if pause:
+                gc.enable()
+            self._events_processed += processed
+            self._live -= processed
+        if until is not None and not budget_hit and self.now < until:
+            self.now = until
+        return processed
+
+    def _run_sched(
+        self, until: Optional[int], max_events: Optional[int]
+    ) -> int:
+        """:meth:`run` over the pluggable scheduler — identical semantics."""
+        sched = self._sched
+        horizon = _FOREVER if until is None else until
+        limit = -1 if max_events is None else max_events
+        processed = 0
+        budget_hit = False
+        pause = self.pause_gc and gc.isenabled()
+        if pause:
+            gc.disable()
+        try:
+            while True:
+                entry = sched.pop()
+                if entry is None:
+                    break
+                time_, seq, fn, args = entry
                 if fn is None:
                     event = args
                     if event.cancelled:
                         continue
                     if time_ > horizon:
-                        push(heap, (time_, seq, fn, args))
+                        sched.push(entry)
                         break
                     if processed == limit:
-                        push(heap, (time_, seq, fn, args))
+                        sched.push(entry)
                         budget_hit = True
                         break
                     event._fired = True
@@ -218,10 +543,10 @@ class Simulator:
                     event.fn(*event.args)
                 else:
                     if time_ > horizon:
-                        push(heap, (time_, seq, fn, args))
+                        sched.push(entry)
                         break
                     if processed == limit:
-                        push(heap, (time_, seq, fn, args))
+                        sched.push(entry)
                         budget_hit = True
                         break
                     self.now = time_
@@ -236,8 +561,47 @@ class Simulator:
             self.now = until
         return processed
 
+    def _remove_entries(self, entries) -> None:
+        """Un-schedule plain fast-path entries (rare path).
+
+        Used by PFC train truncation to cancel the delivery events of
+        packets returned to the queue.  O(heap) on the default scheduler
+        (one heapify), O(store) per entry on the calendar queue —
+        acceptable because pauses are rare relative to transmissions.
+        Every entry must currently be scheduled.
+        """
+        sched = self._sched
+        if sched is None:
+            heap = self._heap
+            for entry in entries:
+                heap.remove(entry)
+            heapq.heapify(heap)
+        else:
+            for entry in entries:
+                sched.remove(entry)
+        self._live -= len(entries)
+
     def step(self) -> bool:
         """Process exactly one pending event.  Returns False if none left."""
+        if self._sched is not None:
+            sched = self._sched
+            while True:
+                entry = sched.pop()
+                if entry is None:
+                    return False
+                time_, _seq, fn, args = entry
+                if fn is None:
+                    event = args
+                    if event.cancelled:
+                        continue
+                    event._fired = True
+                    fn = event.fn
+                    args = event.args
+                self.now = time_
+                self._events_processed += 1
+                self._live -= 1
+                fn(*args)
+                return True
         heap = self._heap
         while heap:
             time_, _seq, fn, args = heapq.heappop(heap)
@@ -263,15 +627,25 @@ class Simulator:
 
     @property
     def heap_entries(self) -> int:
-        """Raw heap length, including cancelled entries awaiting lazy
-        compaction (diagnostics only — see :attr:`pending` for the live
-        count)."""
+        """Raw event-store length, including cancelled entries awaiting
+        lazy compaction (diagnostics only — see :attr:`pending` for the
+        live count)."""
+        if self._sched is not None:
+            return len(self._sched)
         return len(self._heap)
 
     @property
     def events_processed(self) -> int:
-        """Total events executed since construction."""
-        return self._events_processed
+        """Total events executed since construction.
+
+        Includes coalesced per-packet tx completions (see
+        :attr:`events_coalesced`): a train of *n* packets serialized
+        under one finish event counts as *n*, so the total is comparable
+        across ``tx_batch_limit`` settings.  The two counters are summed
+        here rather than maintained jointly so the ports' batched commit
+        paths touch a single counter per packet.
+        """
+        return self._events_processed + self.events_coalesced
 
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or None if none is scheduled.
@@ -280,6 +654,16 @@ class Simulator:
         the run loop performs); the live count is unaffected because
         cancellation already discounted those entries.
         """
+        if self._sched is not None:
+            sched = self._sched
+            while True:
+                entry = sched.pop()
+                if entry is None:
+                    return None
+                if entry[2] is None and entry[3].cancelled:
+                    continue
+                sched.push(entry)
+                return entry[0]
         heap = self._heap
         while heap:
             head = heap[0]

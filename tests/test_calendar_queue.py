@@ -1,0 +1,239 @@
+"""CalendarQueue semantics: exact order parity, removal, and the
+Simulator diagnostics (pending / heap_entries / peek_time / cancel)
+under the calendar scheduler.
+
+The calendar queue is a drop-in event store: everything observable —
+pop order, cancellation, live counts — must match the binary heap
+bit-for-bit.  The fuzz tests below drive both stores with the same
+randomized schedule, including the adversarial shapes (same-bucket
+ties, entries landing in the currently draining epoch, removals from
+every internal store) that the scenario-level determinism suite cannot
+isolate.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim.engine import CalendarQueue, Simulator
+
+
+def _entry(time_ns, seq):
+    return (time_ns, seq, (lambda: None), ())
+
+
+# ----------------------------------------------------------------------
+# Order parity against a plain heap
+# ----------------------------------------------------------------------
+def test_pop_order_matches_heap_on_random_schedule():
+    rng = random.Random(42)
+    cal = CalendarQueue(width_ns=64)
+    heap = []
+    seq = 0
+    for _ in range(2000):
+        t = rng.randrange(0, 5000)
+        entry = _entry(t, seq)
+        seq += 1
+        cal.push(entry)
+        heapq.heappush(heap, entry)
+    got = []
+    while True:
+        entry = cal.pop()
+        if entry is None:
+            break
+        got.append(entry)
+    expected = [heapq.heappop(heap) for _ in range(len(heap))]
+    assert [(e[0], e[1]) for e in got] == [(e[0], e[1]) for e in expected]
+
+
+def test_interleaved_push_pop_preserves_order():
+    # Pushes that land in the *currently draining* epoch go to the side
+    # heap; they must still come out in (time, seq) order relative to
+    # the sorted bucket being drained.
+    rng = random.Random(7)
+    cal = CalendarQueue(width_ns=32)
+    heap = []
+    seq = 0
+    clock = 0
+    got = []
+    expected = []
+    for _ in range(500):
+        for _ in range(rng.randrange(0, 6)):
+            t = clock + rng.randrange(0, 200)
+            entry = _entry(t, seq)
+            seq += 1
+            cal.push(entry)
+            heapq.heappush(heap, entry)
+        for _ in range(rng.randrange(0, 5)):
+            entry = cal.pop()
+            if entry is None:
+                assert not heap
+                break
+            got.append((entry[0], entry[1]))
+            ref = heapq.heappop(heap)
+            expected.append((ref[0], ref[1]))
+            clock = max(clock, entry[0])
+    while True:
+        entry = cal.pop()
+        if entry is None:
+            break
+        got.append((entry[0], entry[1]))
+        ref = heapq.heappop(heap)
+        expected.append((ref[0], ref[1]))
+    assert not heap
+    assert got == expected
+
+
+def test_same_time_entries_pop_in_sequence_order():
+    cal = CalendarQueue(width_ns=4096)
+    entries = [_entry(1000, seq) for seq in range(50)]
+    shuffled = entries[:]
+    random.Random(3).shuffle(shuffled)
+    for entry in shuffled:
+        cal.push(entry)
+    popped = [cal.pop()[1] for _ in range(50)]
+    assert popped == sorted(popped)
+
+
+def test_peek_does_not_consume_or_reorder():
+    cal = CalendarQueue(width_ns=16)
+    for seq, t in enumerate([300, 100, 200]):
+        cal.push(_entry(t, seq))
+    assert cal.peek()[0] == 100
+    assert len(cal) == 3
+    assert [cal.pop()[0] for _ in range(3)] == [100, 200, 300]
+    assert cal.peek() is None
+
+
+def test_len_tracks_push_pop():
+    cal = CalendarQueue(width_ns=8)
+    assert len(cal) == 0
+    for seq in range(10):
+        cal.push(_entry(seq * 100, seq))
+    assert len(cal) == 10
+    cal.pop()
+    cal.pop()
+    assert len(cal) == 8
+
+
+# ----------------------------------------------------------------------
+# remove() — every internal store
+# ----------------------------------------------------------------------
+def test_remove_from_future_bucket():
+    cal = CalendarQueue(width_ns=16)
+    keep = _entry(500, 0)
+    victim = _entry(500, 1)
+    cal.push(keep)
+    cal.push(victim)
+    cal.remove(victim)
+    assert len(cal) == 1
+    assert cal.pop() is keep
+    assert cal.pop() is None
+
+
+def test_remove_from_active_bucket_and_side_heap():
+    cal = CalendarQueue(width_ns=16)
+    first = _entry(0, 0)
+    later = _entry(5, 1)
+    cal.push(first)
+    cal.push(later)
+    assert cal.pop() is first  # activates the epoch-0 bucket
+    # An entry pushed at/before the current epoch rides the side heap.
+    side = _entry(6, 2)
+    cal.push(side)
+    cal.remove(side)  # removes from the side heap
+    cal.remove(later)  # removes from the active (sorted) bucket
+    assert cal.pop() is None
+    assert len(cal) == 0
+
+
+def test_remove_missing_entry_raises():
+    cal = CalendarQueue(width_ns=16)
+    cal.push(_entry(100, 0))
+    with pytest.raises(ValueError):
+        cal.remove(_entry(100, 99))
+
+
+def test_remove_leaves_emptied_bucket_harmless():
+    # Removing a future bucket's only entry leaves its epoch in the
+    # epoch heap; pop must skip the drained bucket and keep going.
+    cal = CalendarQueue(width_ns=16)
+    lone = _entry(160, 0)
+    after = _entry(320, 1)
+    cal.push(lone)
+    cal.push(after)
+    cal.remove(lone)
+    assert cal.pop() is after
+    assert cal.pop() is None
+
+
+def test_invalid_width_rejected():
+    with pytest.raises(ValueError):
+        CalendarQueue(width_ns=0)
+
+
+# ----------------------------------------------------------------------
+# Simulator diagnostics under the calendar scheduler
+# ----------------------------------------------------------------------
+def test_simulator_calendar_pending_and_peek_time():
+    sim = Simulator(scheduler="calendar")
+    fired = []
+    sim.at(50, fired.append, "a")
+    timer = sim.at_cancellable(10, fired.append, "t")
+    assert sim.pending == 2
+    assert sim.peek_time() == 10
+    timer.cancel()
+    # Cancellation discounts the live count immediately; peek_time
+    # prunes the cancelled entry and reports the next live event.
+    assert sim.pending == 1
+    assert sim.peek_time() == 50
+    sim.run()
+    assert fired == ["a"]
+    assert sim.pending == 0
+    assert sim.peek_time() is None
+
+
+def test_simulator_calendar_cancelled_entries_never_fire():
+    sim = Simulator(scheduler="calendar")
+    fired = []
+    handles = [sim.after_cancellable(i * 10 + 10, fired.append, i) for i in range(20)]
+    for handle in handles[::2]:
+        handle.cancel()
+    sim.run()
+    assert fired == [i for i in range(20) if i % 2 == 1]
+
+
+def test_simulator_calendar_run_until_and_resume():
+    sim = Simulator(scheduler="calendar")
+    fired = []
+    for t in (10, 20, 30):
+        sim.at(t, fired.append, t)
+    assert sim.run(until=20) == 2
+    assert fired == [10, 20]
+    assert sim.now == 20
+    assert sim.run() == 1
+    assert fired == [10, 20, 30]
+
+
+def test_simulator_calendar_max_events_budget():
+    sim = Simulator(scheduler="calendar")
+    fired = []
+    for t in (10, 20, 30, 40):
+        sim.at(t, fired.append, t)
+    assert sim.run(max_events=3) == 3
+    assert fired == [10, 20, 30]
+    assert sim.pending == 1
+    sim.run()
+    assert fired == [10, 20, 30, 40]
+
+
+def test_simulator_calendar_heap_entries_diagnostic():
+    sim = Simulator(scheduler="calendar")
+    sim.at(10, lambda: None)
+    timer = sim.at_cancellable(20, lambda: None)
+    assert sim.heap_entries == 2
+    timer.cancel()
+    # Cancelled entries await lazy compaction: raw store length still 2.
+    assert sim.heap_entries == 2
+    assert sim.pending == 1

@@ -9,6 +9,7 @@ reuse, anonymous-port RNG fallbacks, or the process's allocation history.
 import pytest
 
 from repro.scenarios import get_scenario
+from repro.sim.engine import engine_defaults
 
 
 def _run_tiny(name, **extra):
@@ -19,6 +20,18 @@ def _run_tiny(name, **extra):
     return result.provenance["events_processed"], result.metrics
 
 
+#: every scheduler x batching engine configuration the simulator supports
+ENGINE_CONFIGS = [
+    {"scheduler": "heap", "tx_batch_limit": 1},
+    {"scheduler": "heap", "tx_batch_limit": 8},
+    {"scheduler": "calendar", "tx_batch_limit": 1},
+    {"scheduler": "calendar", "tx_batch_limit": 8},
+]
+
+
+@pytest.mark.parametrize(
+    "engine", ENGINE_CONFIGS, ids=lambda e: f"{e['scheduler']}-b{e['tx_batch_limit']}"
+)
 @pytest.mark.parametrize(
     "scenario,extra",
     [
@@ -28,11 +41,31 @@ def _run_tiny(name, **extra):
         ("permutation", {"algorithm": "powertcp", "seed": 3}),
     ],
 )
-def test_same_seed_same_run(scenario, extra):
-    events_a, metrics_a = _run_tiny(scenario, **extra)
-    events_b, metrics_b = _run_tiny(scenario, **extra)
+def test_same_seed_same_run(scenario, extra, engine):
+    with engine_defaults(**engine):
+        events_a, metrics_a = _run_tiny(scenario, **extra)
+        events_b, metrics_b = _run_tiny(scenario, **extra)
     assert events_a == events_b
     assert metrics_a == metrics_b
+
+
+@pytest.mark.parametrize(
+    "scenario,extra",
+    [
+        ("incast", {"algorithm": "powertcp"}),
+        ("websearch", {"algorithm": "hpcc", "seed": 7}),
+    ],
+)
+def test_calendar_matches_heap_exactly(scenario, extra):
+    # The calendar queue preserves (time, seq) order exactly, so — unlike
+    # batching, which is a documented approximation — swapping schedulers
+    # must not move a single event or metric.
+    with engine_defaults(scheduler="heap"):
+        events_h, metrics_h = _run_tiny(scenario, **extra)
+    with engine_defaults(scheduler="calendar"):
+        events_c, metrics_c = _run_tiny(scenario, **extra)
+    assert events_h == events_c
+    assert metrics_h == metrics_c
 
 
 def test_different_seeds_diverge():

@@ -1,0 +1,105 @@
+"""Fast byte-identity guardrail over committed figure series.
+
+The files under ``benchmarks/results/`` are the repo's regression
+record: every engine or fluid-model change must leave them byte-exact
+(the full check is the benchmark suite itself).  This tier-1 test
+re-runs three cheap cells — two fluid-model figures and one real
+simulator cell on the default (heap, unbatched) engine path — and
+compares the regenerated text against the committed bytes, so a drift
+in either stack fails in seconds instead of at the next bench run.
+
+The cells regenerate their lines locally and never call the bench
+harness's ``emit`` (which would overwrite the committed files being
+compared against).
+"""
+
+from pathlib import Path
+
+from repro.experiments.driver import FlowDriver
+from repro.fluid.reaction import decrease_vs_buildup_rate, three_case_comparison
+from repro.sim.engine import Simulator
+from repro.sim.tracing import PortProbe
+from repro.topology.dumbbell import DumbbellParams, build_dumbbell
+from repro.units import GBPS, MSEC, USEC
+
+RESULTS = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+# Fig. 2 constants (benchmarks/test_fig2_reaction.py).
+B_BPS = 100 * GBPS / 8.0  # bytes/s
+TAU = 20e-6
+BDP = B_BPS * TAU
+
+
+def committed(name):
+    return (RESULTS / f"{name}.txt").read_text()
+
+
+def test_fig2a_series_byte_identical():
+    rates = [0, 1, 2, 3, 4, 5, 6, 7, 8]
+    series = decrease_vs_buildup_rate(
+        bandwidth_Bps=B_BPS,
+        tau_s=TAU,
+        queue_bytes=0.5 * BDP,
+        rate_multiples=rates,
+    )
+    lines = ["rate(xB)  queue/delay-MD  rtt-gradient-MD"]
+    for i, rate in enumerate(rates):
+        lines.append(
+            f"{rate:8.1f}  {series['queue-length'][i]:14.2f}  "
+            f"{series['rtt-gradient'][i]:15.2f}"
+        )
+    assert "\n".join(lines) + "\n" == committed("fig2a_md_vs_buildup_rate")
+
+
+def test_fig2c_series_byte_identical():
+    cases = three_case_comparison(bandwidth_Bps=B_BPS, tau_s=TAU)
+    lines = [f"{'case':45s} {'voltage':>8s} {'current':>8s} {'power':>8s}"]
+    for c in cases:
+        lines.append(
+            f"{c.label:45s} {c.voltage:8.2f} {c.current:8.2f} {c.power:8.2f}"
+        )
+    lines.append("")
+    lines.append("paper claim: voltage(case2)==voltage(case3); "
+                 "current(case1)==current(case3); power separates all three")
+    assert "\n".join(lines) + "\n" == committed("fig2c_three_cases")
+
+
+def test_motivation_standing_queue_powertcp_row_byte_identical():
+    # The PowerTCP cell of benchmarks/test_motivation.py, verbatim:
+    # a 20 ms dumbbell run through the default engine path (transport,
+    # switch, port, probes) whose formatted row must match the
+    # committed series byte-for-byte.
+    sim = Simulator()
+    net = build_dumbbell(
+        sim,
+        DumbbellParams(
+            left_hosts=2,
+            right_hosts=1,
+            host_bw_bps=10 * GBPS,
+            bottleneck_bw_bps=10 * GBPS,
+            buffer_bytes=200_000,
+        ),
+    )
+    driver = FlowDriver(net, "powertcp")
+    for src in range(2):
+        driver.start_flow(src, 2, 10 ** 10, at_ns=0)
+    probe = PortProbe(sim, net.port("bottleneck"), 20 * USEC).start()
+    driver.run(until_ns=20 * MSEC)
+    settled = probe.qlen_bytes[len(probe.qlen_bytes) // 2 :]
+    thr = probe.throughput_bps[len(probe.throughput_bps) // 2 :]
+    mean_queue = sum(settled) / len(settled)
+    max_queue = max(probe.qlen_bytes)
+    throughput = sum(thr) / len(thr)
+    drops = net.total_drops()
+
+    def fmt_kb(nbytes):
+        return f"{nbytes / 1000:8.1f}KB"
+
+    row = (
+        f"{'powertcp':>10s} {fmt_kb(mean_queue):>10s} "
+        f"{fmt_kb(max_queue):>10s} {throughput/1e9:10.2f}G "
+        f"{drops:>6d}"
+    )
+    text = committed("motivation_standing_queue").splitlines()
+    assert row in text, f"regenerated row drifted:\n{row!r}"
+    assert text.index(row) == 1  # first data row, right under the header
