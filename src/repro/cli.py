@@ -452,6 +452,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list registered scenarios and figure aliases")
 
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
+
     run_p = sub.add_parser("run", help="run one registered scenario")
     run_p.add_argument("scenario", help="registered scenario name")
     run_p.add_argument("--algorithm", help="congestion-control algorithm")
@@ -562,6 +566,10 @@ def main(argv=None) -> int:
         cmd_sweep(args)
     elif args.command == "perf":
         cmd_perf(args)
+    elif args.command == "lint":
+        from repro.lint.cli import cmd_lint
+
+        return cmd_lint(args)
     else:
         COMMANDS[args.command](args)
     return 0

@@ -1,0 +1,123 @@
+"""Rule registry: id -> entry, mirroring :mod:`repro.cc.registry`.
+
+Every rule class self-registers with the :func:`register_rule` class
+decorator, declaring an id (the name used in findings and in
+``# lint: disable=`` suppressions), a category, and the
+``docs/INVARIANTS.md`` anchor of the contract it enforces.  Lookup is
+lazy: the built-in rule modules are imported on first use, so importing
+this module stays cheap and circular-import free.  Adding a rule is one
+decorated class in one module — no registry edits::
+
+    from repro.lint.framework import Rule
+    from repro.lint.registry import register_rule
+
+    @register_rule("my-rule", category="determinism",
+                   contract="docs/INVARIANTS.md#seeded-rng-discipline")
+    class MyRule(Rule):
+        \"\"\"One-line summary shown by --list-rules.\"\"\"
+
+        def check(self, ctx):
+            ...
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: the modules that self-register built-in rules
+BUILTIN_RULE_MODULES = (
+    "repro.lint.rules.determinism",
+    "repro.lint.rules.pool",
+    "repro.lint.rules.hygiene",
+    "repro.lint.rules.timeint",
+    "repro.lint.rules.scheduler",
+    "repro.lint.rules.env",
+    "repro.lint.rules.meta",
+)
+
+#: rule id of the stale-suppression meta check (registered in
+#: :mod:`repro.lint.rules.meta`; findings produced by framework.run_paths)
+UNUSED_SUPPRESSION = "unused-suppression"
+
+#: rule id attached to files the linter cannot parse (not a registered
+#: rule: a syntax error is unconditionally fatal and unsuppressable)
+PARSE_ERROR = "parse-error"
+
+
+@dataclass(frozen=True)
+class RegisteredRule:
+    """One registry entry: a named rule plus the contract it encodes."""
+
+    id: str
+    category: str
+    cls: type
+    #: first line of the rule class docstring
+    description: str = ""
+    #: ``docs/INVARIANTS.md`` anchor for the underlying contract
+    contract: str = ""
+
+    def make(self):
+        """Instantiate a fresh rule object (rules may keep per-file state)."""
+        return self.cls()
+
+
+#: rule id -> entry
+RULES: Dict[str, RegisteredRule] = {}
+
+
+def _first_doc_line(obj) -> str:
+    doc = inspect.getdoc(obj) or ""
+    return doc.splitlines()[0].strip() if doc else ""
+
+
+def register_rule(rule_id: str, *, category: str, contract: str = ""):
+    """Class decorator: register a :class:`~repro.lint.framework.Rule`.
+
+    Re-registration is allowed only for the identical class object
+    (idempotent module re-import); any other id collision is an error.
+    """
+
+    def decorate(cls: type) -> type:
+        existing = RULES.get(rule_id)
+        if existing is not None and existing.cls is not cls:
+            raise ValueError(f"lint rule id {rule_id!r} already registered")
+        cls.id = rule_id
+        cls.category = category
+        cls.contract = contract
+        RULES[rule_id] = RegisteredRule(
+            id=rule_id,
+            category=category,
+            cls=cls,
+            description=_first_doc_line(cls),
+            contract=contract,
+        )
+        return cls
+
+    return decorate
+
+
+def load_builtin_rules() -> None:
+    """Import every built-in rule module (idempotent)."""
+    for module in BUILTIN_RULE_MODULES:
+        importlib.import_module(module)
+
+
+def get_rule(rule_id: str) -> RegisteredRule:
+    """Look up a registry entry by id; KeyError with the catalog."""
+    load_builtin_rules()
+    entry = RULES.get(rule_id)
+    if entry is None:
+        raise KeyError(
+            f"unknown lint rule: {rule_id!r} "
+            f"(registered: {', '.join(rule_ids())})"
+        )
+    return entry
+
+
+def rule_ids() -> List[str]:
+    """Sorted ids of every registered rule."""
+    load_builtin_rules()
+    return sorted(RULES)

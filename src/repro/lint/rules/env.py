@@ -1,0 +1,60 @@
+"""Env-isolation rule: os.environ stays out of simulation code.
+
+Contract: ``docs/INVARIANTS.md#environment-isolation`` — a committed
+figure series must not change because a shell variable was set.
+Environment reads are confined to the process entry points (``cli.py``),
+the timing harnesses (``perf/``), and the ``examples/`` scripts (whose
+``HORIZON_NS`` knob exists for CI smoke).  Everything else receives its
+configuration through explicit scenario/config objects.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import Finding, LintContext, Rule
+from repro.lint.registry import register_rule
+
+
+@register_rule(
+    "env-read",
+    category="env-isolation",
+    contract="docs/INVARIANTS.md#environment-isolation",
+)
+class EnvReadRule(Rule):
+    """No os.environ / os.getenv outside cli.py, perf/, and examples/.
+
+    Any ``os.environ`` use (subscript, ``.get``, iteration) or
+    ``os.getenv`` call counts as a read — configuration must flow through
+    config objects so runs are reproducible from their provenance alone.
+    """
+
+    def applies(self, ctx: LintContext) -> bool:
+        if ctx.pkg_path == "cli.py":
+            return False
+        if ctx.in_package_dirs("perf") or ctx.under_dir("examples"):
+            return False
+        return True
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Attribute, ast.Name)):
+                # `os.environ` is one Attribute node (its inner Name is
+                # just `os`); a from-imported `environ` is a bare Name —
+                # each use yields exactly one finding.
+                if ctx.imports.dotted(node) == "os.environ":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "os.environ read outside cli.py/perf//examples/ — "
+                        "thread configuration through explicit config objects",
+                    )
+            if isinstance(node, ast.Call):
+                if ctx.imports.dotted(node.func) == "os.getenv":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "os.getenv read outside cli.py/perf//examples/ — "
+                        "thread configuration through explicit config objects",
+                    )

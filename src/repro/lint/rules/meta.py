@@ -1,0 +1,34 @@
+"""Meta rule: the linter's own hygiene (stale suppressions).
+
+Contract: ``docs/INVARIANTS.md#suppressions`` — a ``# lint: disable=``
+escape documents a *current*, justified exception.  Once the code it
+excused changes, a stale suppression silently blinds the linter to new
+violations on that line, so staleness is itself a finding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.framework import Finding, LintContext, Rule
+from repro.lint.registry import register_rule
+
+
+@register_rule(
+    "unused-suppression",
+    category="lint",
+    contract="docs/INVARIANTS.md#suppressions",
+)
+class UnusedSuppressionRule(Rule):
+    """# lint: disable= comments must suppress an actual finding.
+
+    Findings are produced by the framework after suppression matching
+    (:func:`repro.lint.framework.lint_file`), not by this class — it
+    exists so the check appears in ``--list-rules`` and shares the rule
+    documentation conventions.  These findings are not themselves
+    suppressable, and the check only runs with the full battery (under
+    ``--select`` a suppression for an unselected rule is not stale).
+    """
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        return iter(())

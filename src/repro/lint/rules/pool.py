@@ -1,0 +1,168 @@
+"""Pool-lifetime rule: the AckFeedback / PacketPool contract (PR 3).
+
+Contract: ``docs/INVARIANTS.md#ackfeedback-lifetime`` — the transport
+reuses the :class:`~repro.cc.base.AckFeedback` view and recycles its
+``HopRecord`` objects into the simulator's packet pool the moment
+``on_ack`` returns.  A CC law that stores the feedback object, its
+``int_hops`` list, or any hop record on ``self`` reads recycled (and
+soon overwritten) telemetry on the next acknowledgment.  Copy scalars,
+as the built-in INT laws do with their per-port ``(ts, qlen, tx_bytes)``
+snapshots.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.framework import Finding, LintContext, Rule
+from repro.lint.registry import register_rule
+
+#: container-mutation method names that store their argument
+_STORE_METHODS = frozenset({"append", "extend", "add", "insert", "appendleft"})
+
+
+def _self_rooted(node: ast.AST) -> bool:
+    """True when an attribute/subscript chain bottoms out at ``self``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+class _TaintChecker:
+    """Tracks names that alias the feedback view / hop records."""
+
+    def __init__(self, ctx: LintContext, feedback_name: str):
+        self.ctx = ctx
+        self.tainted: Set[str] = {feedback_name}
+
+    def _is_require_int(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "require_int"
+        )
+
+    def expr_taints(self, node: ast.AST) -> bool:
+        """Does evaluating ``node`` yield (or contain) pool-owned objects?
+
+        Scalar attribute reads (``hop.ts_ns``, ``feedback.rtt_ns``) are
+        clean; the bare names, ``.int_hops``, ``require_int(...)``, and
+        shallow copies / subscripts of any of those are not.
+        """
+        for sub in ast.walk(node):
+            if self._is_require_int(sub):
+                return True
+            if isinstance(sub, ast.Name) and sub.id in self.tainted:
+                parent = self.ctx.parents.get(sub)
+                # reading a scalar attribute off a tainted name is the
+                # sanctioned copy idiom — unless the attribute is the
+                # hop-record list itself
+                if (
+                    isinstance(parent, ast.Attribute)
+                    and parent.value is sub
+                    and parent.attr != "int_hops"
+                ):
+                    continue
+                return True
+        return False
+
+    def note_assignment(self, stmt: ast.Assign) -> None:
+        """Propagate taint through local aliases (hops = feedback.int_hops)."""
+        if not self.expr_taints(stmt.value):
+            return
+        for target in stmt.targets:
+            for leaf in ast.walk(target):
+                if isinstance(leaf, ast.Name):
+                    self.tainted.add(leaf.id)
+
+    def note_loop(self, node) -> None:
+        """A loop over a tainted iterable binds tainted hop records."""
+        if self.expr_taints(node.iter):
+            for leaf in ast.walk(node.target):
+                if isinstance(leaf, ast.Name):
+                    self.tainted.add(leaf.id)
+
+
+@register_rule(
+    "feedback-retention",
+    category="pool-lifetime",
+    contract="docs/INVARIANTS.md#ackfeedback-lifetime",
+)
+class FeedbackRetentionRule(Rule):
+    """on_ack must not store the feedback view, int_hops, or hop records on self.
+
+    Heuristic taint analysis inside every ``on_ack(self, sender,
+    feedback)`` body: the feedback parameter, ``feedback.int_hops``,
+    ``require_int(...)`` results, loop variables over them, and local
+    aliases are tainted; assigning a tainted value to any ``self``-rooted
+    target (or ``self.x.append(tainted)``) is a violation.  Reading
+    scalar attributes (``hop.qlen``, ``feedback.rtt_ns``) is the
+    sanctioned copy idiom and stays clean.  Passing hops to helper
+    *calls* is allowed — the callee is responsible for copying.
+    """
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_package_dirs("cc", "core")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name != "on_ack" or len(node.args.args) < 3:
+                continue
+            feedback_name = node.args.args[2].arg
+            yield from self._check_on_ack(ctx, node, feedback_name)
+
+    def _check_on_ack(self, ctx, func, feedback_name) -> Iterator[Finding]:
+        taint = _TaintChecker(ctx, feedback_name)
+        # Two passes in source order: first propagate aliases (loops and
+        # local assignments appear before — or on — the lines that store),
+        # then flag self-rooted stores of tainted values.
+        body_nodes = [n for n in ast.walk(func) if n is not func]
+        for node in sorted(
+            (n for n in body_nodes if hasattr(n, "lineno")),
+            key=lambda n: (n.lineno, n.col_offset),
+        ):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                taint.note_loop(node)
+            elif isinstance(node, ast.comprehension):
+                pass  # comprehension targets don't leak into the body scope
+            elif isinstance(node, ast.Assign):
+                targets_self = any(_self_rooted(t) for t in node.targets)
+                if targets_self and taint.expr_taints(node.value):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "on_ack stores pool-owned feedback state on self — "
+                        "the transport recycles AckFeedback/HopRecords when "
+                        "on_ack returns; copy scalar values instead",
+                    )
+                elif not targets_self:
+                    taint.note_assignment(node)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                if (
+                    node.value is not None
+                    and _self_rooted(node.target)
+                    and taint.expr_taints(node.value)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "on_ack stores pool-owned feedback state on self — "
+                        "copy scalar values instead",
+                    )
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _STORE_METHODS
+                    and _self_rooted(node.func.value)
+                    and any(taint.expr_taints(arg) for arg in node.args)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"on_ack stores pool-owned feedback state via "
+                        f".{node.func.attr}() on self — the records are "
+                        "recycled when on_ack returns; copy scalars instead",
+                    )

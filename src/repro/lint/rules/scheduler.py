@@ -1,0 +1,105 @@
+"""Scheduler-API rule: only *_cancellable scheduling returns handles.
+
+Contract: ``docs/INVARIANTS.md#scheduler-cancellation-api`` — the PR 3
+engine split scheduling into an allocation-free fast path (``at`` /
+``after``, returns ``None``) and a cancellable timer API
+(``at_cancellable`` / ``after_cancellable``, returns an ``Event``
+handle).  Calling ``.cancel()`` on a fast-path result is an
+``AttributeError`` waiting for the first run that takes that branch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List
+
+from repro.lint.framework import Finding, LintContext, Rule
+from repro.lint.registry import register_rule
+
+_FAST_PATH = ("at", "after")
+
+
+def _is_fast_path_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _FAST_PATH
+    )
+
+
+@register_rule(
+    "cancel-fast-path",
+    category="scheduler-api",
+    contract="docs/INVARIANTS.md#scheduler-cancellation-api",
+)
+class CancelFastPathRule(Rule):
+    """No .cancel() on the return of fast-path at()/after().
+
+    Tracks, per function scope and in source order, simple names assigned
+    from ``<obj>.at(...)``/``<obj>.after(...)`` calls (which return
+    ``None``) and flags ``.cancel()`` on them, plus the direct
+    ``sim.after(...).cancel()`` chain.  Timers that need cancelling must
+    use ``at_cancellable``/``after_cancellable``.
+    """
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        scopes: List[ast.AST] = [ctx.tree] + [
+            n
+            for n in ast.walk(ctx.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes:
+            yield from self._check_scope(ctx, scope)
+
+    def _check_scope(self, ctx: LintContext, scope: ast.AST) -> Iterator[Finding]:
+        # Only this scope's direct statements: nested functions are their
+        # own scope (their assignments must not leak out here).
+        nodes = []
+        for node in ast.walk(scope):
+            if node is scope:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            owner = ctx.parents.get(node)
+            while owner is not None and owner is not scope:
+                if isinstance(owner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    break
+                owner = ctx.parents.get(owner)
+            if owner is scope:
+                nodes.append(node)
+        fast_handles: Dict[str, ast.AST] = {}
+        for node in sorted(
+            (n for n in nodes if hasattr(n, "lineno")),
+            key=lambda n: (n.lineno, n.col_offset),
+        ):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr == "cancel":
+                    target = func.value
+                    if _is_fast_path_call(target):
+                        yield self._violation(ctx, node, target.func.attr)
+                    elif (
+                        isinstance(target, ast.Name)
+                        and target.id in fast_handles
+                    ):
+                        yield self._violation(
+                            ctx,
+                            node,
+                            fast_handles[target.id].func.attr,  # type: ignore[attr-defined]
+                        )
+            if isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        if _is_fast_path_call(node.value):
+                            fast_handles[tgt.id] = node.value
+                        else:
+                            fast_handles.pop(tgt.id, None)
+
+    def _violation(self, ctx: LintContext, node: ast.AST, method: str) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            f".cancel() on the return of fast-path .{method}() — it "
+            f"returns None; schedule with .{method}_cancellable() when "
+            "the timer may need cancelling",
+        )

@@ -1,0 +1,99 @@
+"""Integer-time rule: the simulation clock is integer nanoseconds.
+
+Contract: ``docs/INVARIANTS.md#integer-nanosecond-time`` — event times
+are exact integers; a float flowing into a scheduling call (or any
+``*_ns`` argument) makes tie-breaks depend on floating-point rounding,
+which is exactly how figure series stop being byte-identical.  Convert
+explicitly (``int(...)``, ``round(...)``, ``//``) at the boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.framework import Finding, LintContext, Rule
+from repro.lint.registry import register_rule
+
+#: scheduling entry points whose first positional argument is a time/delay
+SCHEDULING_METHODS = frozenset(
+    {"at", "after", "at_cancellable", "after_cancellable"}
+)
+
+#: calls that launder a float back into an int
+_INT_CASTS = frozenset(
+    {"int", "round", "math.floor", "math.ceil", "math.trunc"}
+)
+
+
+@register_rule(
+    "float-ns-time",
+    category="integer-time",
+    contract="docs/INVARIANTS.md#integer-nanosecond-time",
+)
+class FloatNsTimeRule(Rule):
+    """No float literals or / division flowing into at(/after(/*_ns args.
+
+    Flags a float literal or true division (``/``) inside the first
+    positional argument of ``.at(...)``/``.after(...)`` (and the
+    ``*_cancellable`` variants) or inside any ``<name>_ns=`` keyword
+    argument, unless wrapped in ``int(...)``/``round(...)``/
+    ``math.floor``/``math.ceil``/``math.trunc``.  Use integer arithmetic
+    (``//``, ``*`` with integer unit constants) or cast at the boundary.
+    """
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_package_dirs(
+            "sim", "cc", "core", "transport", "topology", "experiments", "workloads"
+        )
+
+    def _float_leak(self, ctx: LintContext, expr: ast.AST) -> Optional[ast.AST]:
+        """First float literal / true division not wrapped in an int cast."""
+
+        def scan(node: ast.AST) -> Optional[ast.AST]:
+            if isinstance(node, ast.Call):
+                dotted = ctx.imports.dotted(node.func)
+                if dotted in _INT_CASTS:
+                    return None  # result is integral; ignore the subtree
+            if isinstance(node, ast.Constant) and isinstance(node.value, float):
+                return node
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                return node
+            for child in ast.iter_child_nodes(node):
+                hit = scan(child)
+                if hit is not None:
+                    return hit
+            return None
+
+        return scan(expr)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in SCHEDULING_METHODS
+                and node.args
+            ):
+                leak = self._float_leak(ctx, node.args[0])
+                if leak is not None:
+                    yield self.finding(
+                        ctx,
+                        leak,
+                        f"float arithmetic flows into .{node.func.attr}() "
+                        "time argument — event times are integer "
+                        "nanoseconds; use // or cast with int()/round()",
+                    )
+            for kw in node.keywords:
+                if kw.arg is None or not kw.arg.endswith("_ns"):
+                    continue
+                leak = self._float_leak(ctx, kw.value)
+                if leak is not None:
+                    yield self.finding(
+                        ctx,
+                        leak,
+                        f"float arithmetic flows into {kw.arg}= — "
+                        "*_ns values are integer nanoseconds; use // or "
+                        "cast with int()/round()",
+                    )

@@ -130,9 +130,11 @@ class Scenario:
         if config is None:
             config = self.configure(**overrides)
         runnable = self.build(config)
-        start = time.perf_counter()
+        # Wall time feeds the wall_time_s provenance field only — it never
+        # influences simulation behaviour or persisted metric values.
+        start = time.perf_counter()  # lint: disable=wall-clock
         raw = runnable()
-        wall_s = time.perf_counter() - start
+        wall_s = time.perf_counter() - start  # lint: disable=wall-clock
         metrics, series = self.collect(config, raw)
         provenance = {
             "scenario": self.name,

@@ -1,0 +1,5 @@
+"""Good fixture: examples/ may read HORIZON_NS (never executed)."""
+
+import os
+
+HORIZON_NS = int(os.environ.get("HORIZON_NS", 4_000_000))

@@ -1,0 +1,18 @@
+"""Bad fixture: on_ack retains pool-owned feedback state (never executed)."""
+
+from repro.cc.base import CongestionControl
+from repro.cc.registry import register
+
+
+@register("bad-retainer")
+class BadRetainer(CongestionControl):
+    def on_ack(self, sender, feedback):
+        self.last_feedback = feedback  # line 10: feedback-retention
+        self.hops = feedback.int_hops  # line 11: feedback-retention
+        records = feedback.require_int("bad-retainer")
+        self.stash = records  # line 13: feedback-retention
+        for hop in records:
+            self.latest_hop = hop  # line 15: feedback-retention
+            self.history.append(hop)  # line 16: feedback-retention
+            self.snapshots[hop.port_id] = (hop.ts_ns, hop.qlen)  # scalars: fine
+        self.rtt_ns = feedback.rtt_ns  # scalar copy: fine

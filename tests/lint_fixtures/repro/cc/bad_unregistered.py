@@ -1,0 +1,10 @@
+"""Bad fixture: a CC module that never registers (never executed)."""
+
+from repro.cc.base import CongestionControl
+
+
+class GhostScheme(CongestionControl):
+    """Invisible to repro list, conformance tests, and FlowDriver."""
+
+    def on_ack(self, sender, feedback):
+        self.set_window(sender, sender.cwnd)

@@ -1,0 +1,16 @@
+"""Good fixture: the sanctioned scalar-copy idiom (never executed)."""
+
+from repro.cc.base import CongestionControl
+from repro.cc.registry import register
+
+
+@register("good-copier")
+class GoodCopier(CongestionControl):
+    def on_ack(self, sender, feedback):
+        hops = feedback.require_int("good-copier")
+        for hop in hops:
+            # per-port scalar snapshot — the AckFeedback lifetime contract
+            self.prev[hop.port_id] = (hop.ts_ns, hop.qlen, hop.tx_bytes)
+        self.last_rtt_ns = feedback.rtt_ns
+        self.ecn_seen = feedback.ecn_marked
+        self.estimator.update(hops)  # passing to a helper call is allowed

@@ -1,0 +1,10 @@
+"""Bad fixture: experiments importing concrete builders (never executed)."""
+
+from repro.topology.fattree import build_fattree  # line 3: concrete-topology-import
+from repro.topology import parkinglot  # line 4: concrete-topology-import
+import repro.topology.rdcn  # line 5: concrete-topology-import
+
+
+def run(sim):
+    net = build_fattree(sim)
+    return net, parkinglot, repro.topology.rdcn

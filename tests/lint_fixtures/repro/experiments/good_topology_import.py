@@ -1,0 +1,14 @@
+"""Good fixture: registry-only topology resolution (never executed)."""
+
+from typing import TYPE_CHECKING
+
+from repro.topology.network import Network
+from repro.topology.registry import build_topology, make_topology_params
+
+if TYPE_CHECKING:  # params type only; built via the topology registry
+    from repro.topology.fattree import FatTreeParams
+
+
+def run(sim) -> "Network":
+    params = make_topology_params("fattree", k=4)
+    return build_topology(sim, "fattree", params=params)

@@ -1,0 +1,7 @@
+"""Bad fixture: cancelling fast-path schedule results (never executed)."""
+
+
+def arm_and_disarm(sim, fn):
+    handle = sim.after(10, fn)
+    handle.cancel()  # line 6: cancel-fast-path
+    sim.at(5, fn).cancel()  # line 7: cancel-fast-path

@@ -1,0 +1,17 @@
+"""Bad fixture: every determinism violation class (never executed)."""
+
+import random
+import time
+from datetime import datetime
+
+
+def jitter(port_map):
+    rng = random.Random()  # line 9: unseeded-rng
+    draw = random.random()  # line 10: unseeded-rng
+    stamp = time.time()  # line 11: wall-clock
+    today = datetime.now()  # line 12: wall-clock
+    total = 0
+    for item in {1, 2, 3}:  # line 14: unordered-iteration
+        total += item
+    port_map[id(rng)] = draw  # line 16: unordered-iteration
+    return rng, stamp, today, total

@@ -1,0 +1,11 @@
+"""Bad fixture: environment reads inside simulation code (never executed)."""
+
+import os
+from os import environ
+
+
+def configure():
+    horizon = os.environ.get("HORIZON_NS", "0")  # line 8: env-read
+    debug = os.getenv("REPRO_DEBUG")  # line 9: env-read
+    home = environ["HOME"]  # line 10: env-read
+    return horizon, debug, home

@@ -1,0 +1,12 @@
+"""Bad fixture: float arithmetic reaching the scheduler (never executed)."""
+
+
+def schedule(sim, port, packet, rtt_ns):
+    sim.after(1.5, port.enqueue, packet)  # line 5: float-ns-time
+    sim.at(sim.now + rtt_ns / 3, port.enqueue, packet)  # line 6: float-ns-time
+    sim.after_cancellable(rtt_ns * 1.25, port.enqueue)  # line 7: float-ns-time
+    arm(timeout_ns=rtt_ns / 2)  # line 8: float-ns-time
+
+
+def arm(timeout_ns=0):
+    return timeout_ns

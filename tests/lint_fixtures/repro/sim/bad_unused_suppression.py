@@ -1,0 +1,4 @@
+"""Bad fixture: stale and unknown suppressions (never executed)."""
+
+CLEAN_LINE = 1  # lint: disable=wall-clock     (line 3: unused-suppression)
+OTHER_LINE = 2  # lint: disable=no-such-rule   (line 4: unused-suppression)

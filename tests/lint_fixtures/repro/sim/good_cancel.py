@@ -1,0 +1,10 @@
+"""Good fixture: the cancellable timer API (never executed)."""
+
+
+def arm_and_disarm(sim, fn):
+    timer = sim.after_cancellable(10, fn)
+    timer.cancel()  # handle from the timer API: fine
+    sim.after(10, fn)  # fire-and-forget fast path: fine
+    other = sim.at_cancellable(20, fn)
+    other = sim.at_cancellable(30, fn)  # rebinding keeps it cancellable
+    other.cancel()

@@ -1,0 +1,14 @@
+"""Good fixture: the sanctioned determinism idioms (never executed)."""
+
+import random
+
+
+def jitter(sim, port_map, seed):
+    rng = random.Random(seed)  # seeded instance: fine
+    draw = rng.random()  # instance method: fine
+    now = sim.now  # simulation clock, not wall clock
+    total = 0
+    for item in sorted({1, 2, 3}):  # sorted view of a set: fine
+        total += item
+    port_map[seed] = draw  # stable identifier key: fine
+    return rng, now, total

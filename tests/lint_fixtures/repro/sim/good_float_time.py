@@ -1,0 +1,14 @@
+"""Good fixture: integer time flowing into the scheduler (never executed)."""
+
+MSEC = 1_000_000
+
+
+def schedule(sim, port, packet, rtt_ns, rate_bps):
+    sim.after(2 * MSEC, port.enqueue, packet)  # integer arithmetic
+    sim.at(sim.now + rtt_ns // 3, port.enqueue, packet)  # floor division
+    sim.after(int(packet.size * 8e9 / rate_bps), port.enqueue)  # cast at boundary
+    arm(timeout_ns=round(rtt_ns * 1.5))  # rounded at boundary
+
+
+def arm(timeout_ns=0):
+    return timeout_ns

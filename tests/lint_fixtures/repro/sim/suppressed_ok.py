@@ -1,0 +1,9 @@
+"""Good fixture: a justified, consumed suppression (never executed)."""
+
+import time
+
+
+def stamp_provenance(result):
+    # Wall time recorded for provenance only, never simulation behaviour.
+    result.wall_time_s = time.time()  # lint: disable=wall-clock
+    return result

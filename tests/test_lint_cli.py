@@ -1,0 +1,88 @@
+"""Tests for the ``repro lint`` CLI subcommand."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.lint.registry import RULES, load_builtin_rules
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "lint_fixtures")
+
+
+def _fixture(*rel_parts):
+    return os.path.join(FIXTURES, *rel_parts)
+
+
+def test_list_rules_prints_every_registered_id(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    load_builtin_rules()
+    assert len(RULES) >= 6
+    for rule_id, entry in RULES.items():
+        assert rule_id in out
+        assert entry.description.splitlines()[0] in out
+
+
+def test_clean_file_exits_zero(capsys):
+    assert main(["lint", _fixture("repro", "sim", "good_determinism.py")]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_bad_file_exits_nonzero_and_prints_findings(capsys):
+    rc = main(["lint", _fixture("repro", "sim", "bad_cancel.py")])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "cancel-fast-path" in out
+    assert "bad_cancel.py:6" in out
+    assert "2 finding(s)" in out
+
+
+def test_json_output_schema(capsys):
+    rc = main(["lint", "--json", _fixture("repro", "sim", "bad_env.py")])
+    assert rc == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == 1
+    assert doc["files_checked"] == 1
+    assert doc["ok"] is False
+    lines = [(f["rule_id"], f["line"]) for f in doc["findings"]]
+    assert lines == [("env-read", 8), ("env-read", 9), ("env-read", 10)]
+    for field in ("path", "line", "col", "rule_id", "message"):
+        assert field in doc["findings"][0]
+
+
+def test_json_reports_suppressions(capsys):
+    rc = main(["lint", "--json", _fixture("repro", "sim", "suppressed_ok.py")])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["suppressed"] == 1
+    assert doc["findings"] == []
+
+
+def test_select_single_rule(capsys):
+    rc = main(
+        [
+            "lint",
+            "--select",
+            "unseeded-rng",
+            _fixture("repro", "sim", "bad_determinism.py"),
+        ]
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "unseeded-rng" in out
+    assert "wall-clock" not in out
+
+
+def test_select_unknown_rule_errors():
+    with pytest.raises(SystemExit):
+        main(["lint", "--select", "no-such-rule", FIXTURES])
+
+
+def test_default_targets_lint_clean(capsys):
+    """The shipped tree must satisfy its own invariants (src/examples/benchmarks)."""
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
