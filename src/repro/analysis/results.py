@@ -59,6 +59,12 @@ class ResultCell:
     provenance: Dict[str, Any] = field(default_factory=dict)
     #: file the cell was loaded from (provenance for merged sets)
     source: str = ""
+    #: terminal state: "ok", or "failed"/"timeout" from a campaign run
+    status: str = "ok"
+    #: error provenance (kind/type/message/traceback) for non-ok cells
+    error: Optional[Dict[str, Any]] = None
+    #: executions including retries (1 = first-try success)
+    attempts: int = 1
 
     def param(self, key: str, default: Any = None) -> Any:
         """A cell parameter: grid params first, then the full override
@@ -94,18 +100,62 @@ class ResultSet:
         for cell in doc.get("cells", []):
             if "scenario" not in cell:
                 continue
-            cells.append(
-                ResultCell(
-                    scenario=cell["scenario"],
-                    params=cell.get("params", {}) or {},
-                    overrides=cell.get("overrides", {}) or {},
-                    metrics=cell.get("metrics", {}) or {},
-                    series=cell.get("series", {}) or {},
-                    provenance=cell.get("provenance", {}) or {},
-                    source=path,
-                )
-            )
+            cells.append(cls._cell_from_dict(cell, path))
         return cls(cells)
+
+    @staticmethod
+    def _cell_from_dict(cell: Dict[str, Any], source: str) -> "ResultCell":
+        return ResultCell(
+            scenario=cell["scenario"],
+            params=cell.get("params", {}) or {},
+            overrides=cell.get("overrides", {}) or {},
+            metrics=cell.get("metrics", {}) or {},
+            series=cell.get("series", {}) or {},
+            provenance=cell.get("provenance", {}) or {},
+            source=source,
+            status=cell.get("status", "ok"),
+            error=cell.get("error"),
+            attempts=cell.get("attempts", 1),
+        )
+
+    @classmethod
+    def load_journal(cls, path: str) -> "ResultSet":
+        """Cells recovered from a campaign journal (``*.journal.jsonl``).
+
+        The journal is append-only JSON-lines; only ``cell_ok`` records
+        carry full cell payloads.  A torn trailing line (the writer was
+        killed mid-append) is tolerated; later duplicates of a cell win
+        (a retry that eventually succeeded journals the success last).
+        """
+        by_key: Dict[str, ResultCell] = {}
+        try:
+            with open(path) as handle:
+                lines = handle.readlines()
+        except OSError:
+            return cls()
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a killed writer
+            if record.get("event") != "cell_ok":
+                continue
+            cell = record.get("cell")
+            if not isinstance(cell, dict) or "scenario" not in cell:
+                continue
+            key = json.dumps(
+                {
+                    "scenario": cell["scenario"],
+                    "overrides": cell.get("overrides"),
+                },
+                sort_keys=True,
+                default=repr,
+            )
+            by_key[key] = cls._cell_from_dict(cell, path)
+        return cls(list(by_key.values()))
 
     @classmethod
     def load_dir(
@@ -227,6 +277,14 @@ class ResultSet:
             raise KeyError(f"expected exactly one cell, have {len(self.cells)}")
         return self.cells[0]
 
+    def ok(self) -> "ResultSet":
+        """Cells that completed successfully (status == "ok")."""
+        return ResultSet([c for c in self.cells if c.status == "ok"])
+
+    def failures(self) -> "ResultSet":
+        """Cells that exhausted their retries (failed/timeout)."""
+        return ResultSet([c for c in self.cells if c.status != "ok"])
+
     # -- pivoting ------------------------------------------------------
     def pivot(
         self,
@@ -329,6 +387,86 @@ def _parking_lot_cells(results: ResultSet) -> ResultSet:
 def merge_shards(directory: str, base: Optional[str] = None) -> ResultSet:
     """Module-level alias of :meth:`ResultSet.merge_shards`."""
     return ResultSet.merge_shards(directory, base)
+
+
+def merge_campaign(
+    directory: str, base: Optional[str] = None, journal: Optional[str] = None
+) -> ResultSet:
+    """Journal-aware shard merge for a campaign's output family.
+
+    Merges the ``<base>.shard-I-of-N.json`` files exactly like
+    :func:`merge_shards`, then adopts any ``cell_ok`` journal records for
+    cells the shard files do not contain — results completed after the
+    last shard flush but before a crash live only in the journal, and a
+    merge that ignored them would re-run (or under-report) those cells.
+    """
+    merged = ResultSet.merge_shards(directory, base)
+    if journal:
+        have = {
+            json.dumps(
+                {"scenario": c.scenario, "overrides": c.overrides},
+                sort_keys=True,
+                default=repr,
+            )
+            for c in merged.cells
+        }
+        for cell in ResultSet.load_journal(journal).cells:
+            key = json.dumps(
+                {"scenario": cell.scenario, "overrides": cell.overrides},
+                sort_keys=True,
+                default=repr,
+            )
+            if key not in have:
+                have.add(key)
+                merged.cells.append(cell)
+    return merged
+
+
+def failure_report(results: ResultSet) -> Dict[str, Any]:
+    """A JSON-able report of every non-ok cell in a result set.
+
+    The campaign orchestrator persists this next to the merged output
+    (``<stem>.failures.json``); each entry carries the cell's params,
+    final status, attempt count, and error provenance so an operator can
+    see *which* cells died and *why* without grepping worker logs.
+    """
+    failures = results.failures()
+    entries = []
+    for cell in failures.cells:
+        entries.append(
+            {
+                "scenario": cell.scenario,
+                "params": cell.params,
+                "status": cell.status,
+                "attempts": cell.attempts,
+                "error": cell.error,
+                "source": cell.source,
+            }
+        )
+    return {
+        "total_cells": len(results),
+        "failed_cells": len(entries),
+        "failures": entries,
+    }
+
+
+def format_failure_report(results: ResultSet) -> List[str]:
+    """:func:`failure_report` as printable lines (one per failed cell)."""
+    report = failure_report(results)
+    lines = [
+        f"{report['failed_cells']} of {report['total_cells']} cells failed"
+    ]
+    for entry in report["failures"]:
+        params = " ".join(
+            f"{k}={v}" for k, v in sorted(entry["params"].items())
+        )
+        error = entry.get("error") or {}
+        reason = error.get("message") or error.get("kind") or "unknown error"
+        lines.append(
+            f"  [{entry['status']}] {entry['scenario']} {params} "
+            f"(attempts={entry['attempts']}): {reason}"
+        )
+    return lines
 
 
 def rollout_pivot(

@@ -1,0 +1,695 @@
+"""The campaign orchestrator: drive every grid cell to completion.
+
+``Campaign.run()`` expands the manifest's grid, consults the *merged*
+cache (final output + every shard file + the journal), and dispatches
+only the missing/failed cells across an :class:`Executor` worker pool —
+with per-cell wall-clock timeouts, bounded retries under exponential
+backoff with seeded jitter, worker-crash detection and respawn, and
+straggler re-dispatch (speculative duplicates, first result wins).
+
+Failure model, end to end:
+
+* a cell *raises*      -> the worker reports it; retry with backoff;
+* a cell *hangs*       -> the wall-clock timeout kills the worker;
+  retry; the worker is respawned;
+* a worker *dies*      -> EOF on its pipes surfaces as a crash; the cell
+  retries; the worker is respawned;
+* retries exhaust      -> the cell goes terminal as ``failed``/
+  ``timeout`` with full error provenance — it still appears in the
+  merged output, so completeness is checkable, and it re-runs on the
+  next invocation;
+* the orchestrator dies (`kill -9`) -> the journal has every completed
+  cell; re-invoking the same manifest resumes, re-running only
+  missing/failed cells;
+* SIGINT               -> drain (stop dispatching, let running cells
+  finish under their timeouts), persist, print the resume command; a
+  second SIGINT reclaims the workers immediately.
+
+At the end the orchestrator auto-merges the shard files
+(journal-aware), verifies the merged cell set matches the expanded grid
+exactly, writes the merged output and a failure report atomically, and
+deletes the journal — the shard files and merged document then own the
+results.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import signal
+import sys
+import threading
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.analysis.results import ResultSet, failure_report, merge_campaign
+from repro.campaign import journal as journal_mod
+from repro.campaign.executor import Executor, LocalPoolExecutor, WorkerEvent
+from repro.campaign.manifest import CampaignManifest, shard_of
+from repro.campaign.progress import ProgressTracker
+from repro.campaign.retry import RetryPolicy
+from repro.persist import atomic_write_json, load_json_or_none
+from repro.scenarios.base import config_to_jsonable
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.sweep import (
+    cell_key,
+    cell_overrides,
+    expand_cells,
+    shard_results_path,
+    validate_cached_cell,
+)
+
+#: terminal cell states
+_TERMINAL = ("ok", "failed", "timeout")
+
+#: event-loop poll cap: keeps timeout/straggler checks and progress
+#: output fresh without busy-waiting
+_POLL_CAP_S = 0.5
+
+
+class CampaignError(RuntimeError):
+    """A campaign-level invariant violation (e.g. an incomplete merge)."""
+
+
+@dataclass
+class CampaignCell:
+    """One grid cell's lifecycle state inside the orchestrator."""
+
+    index: int
+    shard: int  # 1-based
+    params: Dict[str, Any]
+    overrides: Dict[str, Any]
+    key: str
+    status: str = "pending"  # pending | running | ok | failed | timeout
+    attempts: int = 0
+    error: Optional[Dict[str, Any]] = None
+    #: the persisted sweep-format cell dict, once terminal
+    doc: Optional[Dict[str, Any]] = None
+    duration_s: Optional[float] = None
+    source: str = "fresh"  # fresh | cache | journal
+    #: live task ids (>1 while a speculative duplicate runs)
+    live_tasks: Set[int] = field(default_factory=set)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in _TERMINAL
+
+
+@dataclass
+class CampaignReport:
+    """What one ``Campaign.run()`` did, for callers and the CLI."""
+
+    total_cells: int = 0
+    ok: int = 0
+    failed: int = 0
+    executed: int = 0  # fresh executions (cells dispatched this run)
+    retried: int = 0  # retry dispatches beyond first attempts
+    reused_cache: int = 0
+    recovered_journal: int = 0
+    stale_dropped: int = 0
+    workers_respawned: int = 0
+    interrupted: bool = False
+    merged: bool = False
+    out_path: str = ""
+    failures_path: Optional[str] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.merged and self.failed == 0 and not self.interrupted
+
+
+class Campaign:
+    """One orchestrated run of a :class:`CampaignManifest`."""
+
+    def __init__(
+        self,
+        manifest: CampaignManifest,
+        *,
+        workers: Optional[int] = None,
+        out: Optional[str] = None,
+        force: bool = False,
+        quiet: bool = False,
+        executor: Optional[Executor] = None,
+        manifest_path: Optional[str] = None,
+    ):
+        self.manifest = manifest
+        self.workers = workers if workers is not None else manifest.workers
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.force = force
+        self.quiet = quiet
+        self.manifest_path = manifest_path
+        self.out_path = out or manifest.out_path()
+        self.executor = executor or LocalPoolExecutor(
+            grace_s=manifest.limits.worker_grace_s
+        )
+        self.policy = RetryPolicy(manifest.limits, seed=manifest.seed)
+        self.report = CampaignReport(out_path=self.out_path)
+        self._interrupts = 0
+        # runtime state (populated by run())
+        self.cells: List[CampaignCell] = []
+        self._journal: Optional[journal_mod.Journal] = None
+        self._progress: Optional[ProgressTracker] = None
+
+    # -- paths ---------------------------------------------------------
+    def shard_path(self, shard: int) -> str:
+        return shard_results_path(
+            self.out_path, (shard, self.manifest.shards)
+        )
+
+    def journal_file(self) -> str:
+        return journal_mod.journal_path(self.out_path)
+
+    def failures_file(self) -> str:
+        return journal_mod.failures_path(self.out_path)
+
+    def resume_command(self) -> str:
+        target = self.manifest_path or "<manifest.json>"
+        return f"python -m repro campaign {target}"
+
+    # -- setup ---------------------------------------------------------
+    def _expand(self) -> None:
+        spec = self.manifest.to_spec()
+        spec.validate()
+        self.cells = []
+        for index, params in enumerate(expand_cells(spec)):
+            overrides = cell_overrides(spec, params)
+            shard, _count = shard_of(index, self.manifest.shards)
+            self.cells.append(
+                CampaignCell(
+                    index=index,
+                    shard=shard,
+                    params=params,
+                    overrides=overrides,
+                    key=cell_key(spec.scenario, overrides),
+                )
+            )
+        self.report.total_cells = len(self.cells)
+
+    def _adopt(self, cell: CampaignCell, doc: Dict[str, Any], source: str) -> None:
+        cell.status = "ok"
+        cell.doc = doc
+        cell.attempts = doc.get("attempts", 1)
+        cell.source = source
+
+    def _consult_caches(self) -> None:
+        """Mark cells already completed: merged output, shard files,
+        then the journal (write-ahead of the shard flushes)."""
+        if self.force:
+            return
+        scenario = get_scenario(self.manifest.scenario)
+        by_key = {c.key: c for c in self.cells}
+        paths = [self.out_path] + [
+            self.shard_path(s) for s in range(1, self.manifest.shards + 1)
+        ]
+        for path in paths:
+            doc = load_json_or_none(path, label="campaign cache")
+            if doc is None:
+                continue
+            for cell_doc in doc.get("cells", []):
+                self._consider_cached(scenario, by_key, cell_doc, "cache")
+        for cell_doc in journal_mod.replay_cells(self.journal_file()).values():
+            self._consider_cached(scenario, by_key, cell_doc, "journal")
+
+    def _consider_cached(
+        self,
+        scenario,
+        by_key: Dict[str, CampaignCell],
+        cell_doc: Dict[str, Any],
+        source: str,
+    ) -> None:
+        overrides = cell_doc.get("overrides")
+        if overrides is None:
+            return
+        if cell_doc.get("status", "ok") != "ok":
+            return  # failed/timeout cells always re-run on resume
+        cell = by_key.get(cell_key(cell_doc.get("scenario", ""), overrides))
+        if cell is None or cell.terminal:
+            return
+        if not validate_cached_cell(
+            scenario, cell.overrides, cell_doc.get("provenance", {})
+        ):
+            self.report.stale_dropped += 1
+            return
+        self._adopt(cell, cell_doc, source)
+        if source == "journal":
+            self.report.recovered_journal += 1
+        else:
+            self.report.reused_cache += 1
+
+    # -- cell documents -------------------------------------------------
+    def _ok_doc(
+        self, cell: CampaignCell, result_json: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        doc = {
+            "params": config_to_jsonable(cell.params),
+            "overrides": config_to_jsonable(cell.overrides),
+            **result_json,
+        }
+        if cell.attempts != 1:
+            doc["attempts"] = cell.attempts
+        return doc
+
+    def _failed_doc(self, cell: CampaignCell) -> Dict[str, Any]:
+        return {
+            "params": config_to_jsonable(cell.params),
+            "overrides": config_to_jsonable(cell.overrides),
+            "scenario": self.manifest.scenario,
+            "metrics": {},
+            "series": {},
+            "provenance": {},
+            "status": cell.status,
+            "error": config_to_jsonable(cell.error or {}),
+            "attempts": cell.attempts,
+        }
+
+    # -- persistence ---------------------------------------------------
+    def _flush(self) -> None:
+        """Atomically (re)write every shard document from memory."""
+        spec = self.manifest.to_spec()
+        for shard in range(1, self.manifest.shards + 1):
+            cells = [
+                c.doc
+                for c in self.cells
+                if c.shard == shard and c.terminal and c.doc is not None
+            ]
+            doc = {
+                "scenario": spec.scenario,
+                "grid": config_to_jsonable(spec.grid),
+                "base": config_to_jsonable(spec.base),
+                "seed": spec.seed,
+                "campaign": {
+                    "manifest_sha": self.manifest.sha(),
+                    "shard": [shard, self.manifest.shards],
+                },
+                "cells": cells,
+            }
+            atomic_write_json(self.shard_path(shard), doc)
+
+    def _merge_and_report(self) -> None:
+        """Auto-merge shards (journal-aware), verify, persist outputs."""
+        directory = os.path.dirname(os.path.abspath(self.out_path))
+        stem = os.path.splitext(os.path.basename(self.out_path))[0]
+        merged = merge_campaign(directory, stem, journal=self.journal_file())
+        merged_keys = {
+            cell_key(c.scenario, c.overrides) for c in merged.cells
+        }
+        expected = {c.key for c in self.cells}
+        missing = expected - merged_keys
+        if missing:
+            raise CampaignError(
+                f"merge incomplete: {len(missing)} of {len(expected)} cells "
+                "absent from the merged shard set"
+            )
+        extra = merged_keys - expected
+        if extra:
+            warnings.warn(
+                f"campaign merge: {len(extra)} cell(s) in the shard files "
+                "do not belong to this manifest's grid (edited grid?); "
+                "they are excluded from the merged output",
+                stacklevel=2,
+            )
+        spec = self.manifest.to_spec()
+        doc = {
+            "scenario": spec.scenario,
+            "grid": config_to_jsonable(spec.grid),
+            "base": config_to_jsonable(spec.base),
+            "seed": spec.seed,
+            "campaign": {"manifest_sha": self.manifest.sha()},
+            "cells": [c.doc for c in self.cells if c.doc is not None],
+        }
+        atomic_write_json(self.out_path, doc)
+        report = failure_report(ResultSet.load(self.out_path))
+        if report["failed_cells"]:
+            atomic_write_json(self.failures_file(), report)
+            self.report.failures_path = self.failures_file()
+        else:
+            try:
+                os.unlink(self.failures_file())
+            except OSError:
+                pass
+        self.report.merged = True
+
+    # -- the run loop --------------------------------------------------
+    def run(self) -> CampaignReport:
+        self.manifest.import_modules()
+        self._expand()
+        self._consult_caches()
+
+        shard_totals: Dict[int, int] = {}
+        for cell in self.cells:
+            shard_totals[cell.shard] = shard_totals.get(cell.shard, 0) + 1
+        self._progress = ProgressTracker(
+            shard_totals,
+            self.workers,
+            stream=None if self.quiet else sys.stderr,
+        )
+        for cell in self.cells:
+            if cell.terminal:
+                self._progress.cell_done(cell.shard, ok=True, duration_s=None)
+
+        remaining = [c for c in self.cells if not c.terminal]
+        shas = journal_mod.manifest_shas(self.journal_file())
+        if shas and shas[-1] != self.manifest.sha():
+            warnings.warn(
+                "campaign journal was written by a different manifest "
+                "revision; cells are matched by (scenario, overrides) so "
+                "resume is safe, but review the manifest edit",
+                stacklevel=2,
+            )
+        self._journal = journal_mod.Journal(
+            self.journal_file(), fsync=self.manifest.journal_fsync
+        )
+        event = "campaign_resume" if (shas or self.report.reused_cache) else "campaign_start"
+        self._journal.append(
+            {
+                "event": event,
+                "manifest_sha": self.manifest.sha(),
+                "total_cells": len(self.cells),
+                "recovered": self.report.recovered_journal,
+                "reused": self.report.reused_cache,
+            }
+        )
+
+        try:
+            if remaining:
+                self._drive(remaining)
+        finally:
+            self.executor.shutdown()
+        self._flush()
+        self.report.ok = sum(1 for c in self.cells if c.status == "ok")
+        self.report.failed = sum(
+            1 for c in self.cells if c.status in ("failed", "timeout")
+        )
+
+        if self.report.interrupted:
+            self._journal.append(
+                {"event": "campaign_interrupted", "pending": sum(
+                    1 for c in self.cells if not c.terminal
+                )}
+            )
+            self._journal.close()
+            self._say(
+                f"interrupted — progress persisted; resume with: "
+                f"{self.resume_command()}"
+            )
+        else:
+            self._merge_and_report()
+            self._journal.append(
+                {
+                    "event": "campaign_complete",
+                    "ok": self.report.ok,
+                    "failed": self.report.failed,
+                }
+            )
+            self._journal.delete()
+        return self.report
+
+    def _say(self, message: str) -> None:
+        if not self.quiet:
+            print(f"[campaign] {message}", file=sys.stderr, flush=True)
+
+    # -- signal handling ------------------------------------------------
+    def _install_sigint(self):
+        if threading.current_thread() is not threading.main_thread():
+            return None
+
+        def handler(_signum, _frame):
+            self._interrupts += 1
+            if self._interrupts == 1:
+                self._say(
+                    "SIGINT: draining (running cells finish, nothing new "
+                    "dispatches); press again to stop immediately"
+                )
+            else:
+                raise KeyboardInterrupt
+
+        return signal.signal(signal.SIGINT, handler)
+
+    def _drive(self, remaining: List[CampaignCell]) -> None:
+        limits = self.manifest.limits
+        timeout_s = limits.cell_timeout_s
+        ready: List = []  # (ready_time, cell_index) heap
+        now = time.monotonic()
+        for cell in remaining:
+            heapq.heappush(ready, (now, cell.index))
+
+        next_task_id = 1
+        task_cell: Dict[int, int] = {}
+        task_started: Dict[int, float] = {}
+        task_worker: Dict[int, int] = {}
+        since_flush = 0
+        prev_handler = self._install_sigint()
+
+        def dispatch(cell: CampaignCell, now: float) -> bool:
+            nonlocal next_task_id
+            task = {
+                "op": "run",
+                "id": next_task_id,
+                "scenario": self.manifest.scenario,
+                "overrides": config_to_jsonable(cell.overrides),
+                "modules": list(self.manifest.modules),
+            }
+            worker_id = self.executor.submit(task)
+            if worker_id is None:
+                return False
+            task_id = next_task_id
+            next_task_id += 1
+            if cell.attempts:
+                self.report.retried += 1
+                self._progress.cell_retried()
+            cell.attempts += 1
+            cell.status = "running"
+            cell.live_tasks.add(task_id)
+            task_cell[task_id] = cell.index
+            task_started[task_id] = now
+            task_worker[task_id] = worker_id
+            self.report.executed += 1
+            return True
+
+        def forget_task(task_id: int) -> None:
+            task_cell.pop(task_id, None)
+            task_started.pop(task_id, None)
+            task_worker.pop(task_id, None)
+
+        def settle_ok(cell: CampaignCell, task_id: int, payload: Dict) -> None:
+            cell.duration_s = time.monotonic() - task_started.get(
+                task_id, time.monotonic()
+            )
+            cell.status = "ok"
+            cell.doc = self._ok_doc(cell, payload.get("result") or {})
+            # Kill any speculative duplicate still chewing on this cell.
+            for other in sorted(cell.live_tasks):
+                if other == task_id:
+                    continue
+                worker_id = task_worker.get(other)
+                if worker_id is not None:
+                    self.executor.kill_worker(worker_id)
+                forget_task(other)
+            cell.live_tasks.clear()
+            self._journal.append({"event": "cell_ok", "cell": cell.doc})
+            self._progress.cell_done(cell.shard, ok=True, duration_s=cell.duration_s)
+
+        def settle_failure(
+            cell: CampaignCell, error: Dict[str, Any], now: float, *,
+            timed_out: bool = False,
+        ) -> None:
+            """One attempt died; retry with backoff or go terminal."""
+            if cell.live_tasks:
+                return  # a speculative copy is still running; let it decide
+            if self.policy.should_retry(cell.attempts):
+                delay = self.policy.delay_s(cell.attempts)
+                cell.status = "pending"
+                heapq.heappush(ready, (now + delay, cell.index))
+                self._journal.append(
+                    {
+                        "event": "cell_retry",
+                        "key": cell.key,
+                        "attempt": cell.attempts,
+                        "kind": error.get("kind", "exception"),
+                        "delay_s": round(delay, 3),
+                    }
+                )
+                return
+            cell.status = "timeout" if timed_out else "failed"
+            cell.error = error
+            cell.doc = self._failed_doc(cell)
+            self._journal.append({"event": "cell_failed", "cell": cell.doc})
+            self._progress.cell_done(cell.shard, ok=False, duration_s=None)
+
+        try:
+            while True:
+                unfinished = [c for c in self.cells if not c.terminal]
+                if not unfinished:
+                    break
+                draining = self._interrupts > 0
+                if draining and not task_cell:
+                    self.report.interrupted = True
+                    break
+
+                now = time.monotonic()
+                # Respawn crashed workers up to demand.
+                demand = min(self.workers, len(unfinished))
+                if not draining:
+                    self.executor.ensure_workers(demand)
+
+                # Dispatch due cells onto idle workers.
+                while (
+                    not draining
+                    and ready
+                    and ready[0][0] <= now
+                    and self.executor.idle_worker_ids()
+                ):
+                    _t, index = heapq.heappop(ready)
+                    cell = self.cells[index]
+                    if cell.terminal or cell.status == "running":
+                        continue
+                    if not dispatch(cell, now):
+                        heapq.heappush(ready, (now, index))
+                        break
+
+                # Straggler re-dispatch: duplicate the slowest running
+                # cell onto an idle worker once it blows the threshold.
+                if not draining and task_cell and not (
+                    ready and ready[0][0] <= now
+                ):
+                    threshold = self.policy.straggler_threshold_s(
+                        self._progress.median_duration_s()
+                    )
+                    for task_id, started in sorted(task_started.items()):
+                        if now - started < threshold:
+                            continue
+                        cell = self.cells[task_cell[task_id]]
+                        if len(cell.live_tasks) != 1:
+                            continue  # already speculated
+                        if not self.executor.idle_worker_ids():
+                            break
+                        dispatch(cell, now)
+
+                # Wait for results/exits, but wake for the next deadline.
+                wake_candidates = [_POLL_CAP_S]
+                if task_started:
+                    wake_candidates.append(
+                        min(task_started.values()) + timeout_s - now
+                    )
+                if ready:
+                    wake_candidates.append(ready[0][0] - now)
+                poll_s = max(0.01, min(wake_candidates))
+                events = self.executor.events(poll_s)
+
+                now = time.monotonic()
+                for event in events:
+                    self._handle_event(
+                        event, task_cell, task_started, task_worker,
+                        forget_task, settle_ok, settle_failure, now,
+                    )
+
+                # Enforce per-cell wall-clock timeouts.
+                for task_id, started in sorted(task_started.items()):
+                    if now - started < timeout_s:
+                        continue
+                    cell = self.cells[task_cell[task_id]]
+                    worker_id = task_worker.get(task_id)
+                    if worker_id is not None:
+                        self.executor.kill_worker(worker_id)
+                        self.report.workers_respawned += 1
+                    forget_task(task_id)
+                    cell.live_tasks.discard(task_id)
+                    if not cell.terminal:
+                        settle_failure(
+                            cell,
+                            {
+                                "kind": "timeout",
+                                "message": (
+                                    f"cell exceeded the {timeout_s:g}s "
+                                    "wall-clock limit and was killed"
+                                ),
+                            },
+                            now,
+                            timed_out=True,
+                        )
+
+                done = sum(1 for c in self.cells if c.terminal)
+                self._progress.set_running(len(task_cell))
+                self._progress.maybe_print()
+                if done and done % self.manifest.flush_every < since_flush:
+                    self._flush()
+                since_flush = done % self.manifest.flush_every
+        except KeyboardInterrupt:
+            self.report.interrupted = True
+            self._say("second SIGINT: reclaiming workers immediately")
+        finally:
+            if prev_handler is not None:
+                signal.signal(signal.SIGINT, prev_handler)
+        self._progress.set_running(0)
+        self._progress.maybe_print(force=True)
+
+    def _handle_event(
+        self,
+        event: WorkerEvent,
+        task_cell: Dict[int, int],
+        task_started: Dict[int, float],
+        task_worker: Dict[int, int],
+        forget_task,
+        settle_ok,
+        settle_failure,
+        now: float,
+    ) -> None:
+        task_id = event.task_id
+        if task_id is None or task_id not in task_cell:
+            if event.kind == "exit":
+                self.report.workers_respawned += 1
+            return
+        cell = self.cells[task_cell[task_id]]
+        forget_task(task_id)
+        cell.live_tasks.discard(task_id)
+        if cell.terminal:
+            return  # speculative loser; result already settled
+        if event.kind == "result":
+            payload = event.payload or {}
+            if payload.get("ok"):
+                settle_ok(cell, task_id, payload)
+            else:
+                error = dict(payload.get("error") or {})
+                error.setdefault("kind", "exception")
+                settle_failure(cell, error, now)
+        else:  # worker exit while running this cell
+            self.report.workers_respawned += 1
+            settle_failure(
+                cell,
+                {
+                    "kind": "worker-crash",
+                    "message": (
+                        f"worker exited with code {event.returncode} "
+                        "while running this cell"
+                    ),
+                    "returncode": event.returncode,
+                    "stderr_tail": event.stderr_tail[-1000:],
+                },
+                now,
+            )
+
+
+def run_campaign(
+    manifest: CampaignManifest,
+    *,
+    workers: Optional[int] = None,
+    out: Optional[str] = None,
+    force: bool = False,
+    quiet: bool = False,
+    executor: Optional[Executor] = None,
+    manifest_path: Optional[str] = None,
+) -> CampaignReport:
+    """One-call convenience wrapper around :class:`Campaign`."""
+    return Campaign(
+        manifest,
+        workers=workers,
+        out=out,
+        force=force,
+        quiet=quiet,
+        executor=executor,
+        manifest_path=manifest_path,
+    ).run()

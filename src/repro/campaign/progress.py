@@ -1,0 +1,99 @@
+"""Per-shard campaign progress, streamed to the terminal.
+
+One line per refresh::
+
+    [campaign] 118/256 ok, 2 failed, 5 retried, 4 running | shard 1: 61/64
+    shard 2: 57/64 ... | ETA ~42s
+
+ETA is (remaining cells x median ok-cell duration) / workers — crude,
+but it tracks the only quantities the orchestrator actually knows.
+Printing is throttled so million-cell campaigns are not bottlenecked on
+the terminal.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, TextIO
+
+
+class ProgressTracker:
+    """Counts cells by shard and state; renders throttled status lines."""
+
+    def __init__(
+        self,
+        shard_totals: Dict[int, int],
+        workers: int,
+        *,
+        stream: Optional[TextIO] = None,
+        interval_s: float = 1.0,
+    ):
+        self.shard_totals = dict(shard_totals)
+        self.total = sum(shard_totals.values())
+        self.workers = max(1, workers)
+        self.stream = stream
+        self.interval_s = interval_s
+        self.ok = 0
+        self.failed = 0
+        self.retried = 0
+        self.running = 0
+        self.shard_done: Dict[int, int] = {s: 0 for s in shard_totals}
+        self.durations_s: List[float] = []
+        self._last_print = 0.0
+
+    # -- accounting ----------------------------------------------------
+    def cell_done(self, shard: int, ok: bool, duration_s: Optional[float]) -> None:
+        if ok:
+            self.ok += 1
+        else:
+            self.failed += 1
+        self.shard_done[shard] = self.shard_done.get(shard, 0) + 1
+        if ok and duration_s is not None:
+            self.durations_s.append(duration_s)
+
+    def cell_retried(self) -> None:
+        self.retried += 1
+
+    def set_running(self, count: int) -> None:
+        self.running = count
+
+    # -- derived -------------------------------------------------------
+    def median_duration_s(self) -> Optional[float]:
+        if not self.durations_s:
+            return None
+        ordered = sorted(self.durations_s)
+        return ordered[len(ordered) // 2]
+
+    def eta_s(self) -> Optional[float]:
+        median = self.median_duration_s()
+        done = self.ok + self.failed
+        if median is None or done >= self.total:
+            return None
+        return (self.total - done) * median / self.workers
+
+    # -- rendering -----------------------------------------------------
+    def render(self) -> str:
+        parts = [
+            f"[campaign] {self.ok + self.failed}/{self.total} done "
+            f"({self.ok} ok, {self.failed} failed, {self.retried} retried, "
+            f"{self.running} running)"
+        ]
+        if len(self.shard_totals) > 1:
+            shards = " ".join(
+                f"s{s}:{self.shard_done.get(s, 0)}/{self.shard_totals[s]}"
+                for s in sorted(self.shard_totals)
+            )
+            parts.append(shards)
+        eta = self.eta_s()
+        if eta is not None:
+            parts.append(f"ETA ~{eta:.0f}s")
+        return " | ".join(parts)
+
+    def maybe_print(self, *, force: bool = False) -> None:
+        if self.stream is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_print < self.interval_s:
+            return
+        self._last_print = now
+        print(self.render(), file=self.stream, flush=True)

@@ -342,6 +342,45 @@ def cmd_sweep(args) -> None:
     )
 
 
+def cmd_campaign(args) -> int:
+    """Run a fault-tolerant campaign from a manifest file."""
+    from repro.analysis.results import ResultSet, format_failure_report
+    from repro.campaign import load_manifest, run_campaign
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    report = run_campaign(
+        manifest,
+        workers=args.workers,
+        out=args.out,
+        force=args.force,
+        quiet=args.quiet,
+        manifest_path=args.manifest,
+    )
+    if report.interrupted:
+        print(
+            f"campaign interrupted: "
+            f"{report.ok + report.failed}/{report.total_cells} cells done; "
+            f"resume with: python -m repro campaign {args.manifest}"
+        )
+        return 130
+    print(
+        f"wrote {report.out_path} ({report.total_cells} cells: "
+        f"{report.ok} ok, {report.failed} failed; "
+        f"{report.executed} executed, {report.retried} retried, "
+        f"{report.reused_cache} reused, "
+        f"{report.recovered_journal} recovered from journal)"
+    )
+    if report.failed:
+        for line in format_failure_report(ResultSet.load(report.out_path)):
+            print(line)
+        print(f"failure report: {report.failures_path}")
+        return 1
+    return 0
+
+
 def cmd_perf(args) -> None:
     """Run the tracked perf macro-benchmarks and write BENCH_perf.json."""
     from repro.perf import bench as perf_bench
@@ -512,6 +551,29 @@ def build_parser() -> argparse.ArgumentParser:
              "analysis.results.merge_shards)",
     )
 
+    campaign_p = sub.add_parser(
+        "campaign",
+        help="run a manifest-driven sweep campaign with retries, "
+             "timeouts, and crash-safe resume",
+    )
+    campaign_p.add_argument(
+        "manifest", help="campaign manifest JSON (see repro.campaign.manifest)"
+    )
+    campaign_p.add_argument(
+        "--workers", type=int,
+        help="worker subprocess count (default: the manifest's)",
+    )
+    campaign_p.add_argument(
+        "--out", help="merged output path (default: the manifest's)"
+    )
+    campaign_p.add_argument(
+        "--force", action="store_true",
+        help="ignore cached/journaled cells and re-run everything",
+    )
+    campaign_p.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+
     perf_p = sub.add_parser(
         "perf", help="run the tracked perf macro-benchmarks"
     )
@@ -564,6 +626,8 @@ def main(argv=None) -> int:
         cmd_run(args)
     elif args.command == "sweep":
         cmd_sweep(args)
+    elif args.command == "campaign":
+        return cmd_campaign(args)
     elif args.command == "perf":
         cmd_perf(args)
     elif args.command == "lint":

@@ -35,6 +35,7 @@ BUILTIN_RULE_MODULES = (
     "repro.lint.rules.timeint",
     "repro.lint.rules.scheduler",
     "repro.lint.rules.env",
+    "repro.lint.rules.robustness",
     "repro.lint.rules.meta",
 )
 

@@ -87,18 +87,22 @@ class UnseededRngRule(Rule):
     contract="docs/INVARIANTS.md#wall-clock-isolation",
 )
 class WallClockRule(Rule):
-    """No wall-clock reads outside perf/ and benchmarks/.
+    """No wall-clock reads outside perf/, campaign/, and benchmarks/.
 
     ``time.time``/``perf_counter``/``datetime.now`` values differ across
     runs; any influence on simulation behaviour breaks byte identity.
     Simulation time is ``sim.now`` (integer nanoseconds).  Timing
-    harnesses live in ``perf/`` and ``benchmarks/``, which are exempt;
-    anything else measuring wall time for *provenance only* must carry a
-    justifying ``# lint: disable=wall-clock``.
+    harnesses live in ``perf/`` and ``benchmarks/``, and the campaign
+    orchestrator's job *is* wall-clock (cell timeouts, retry backoff,
+    straggler detection) — all three are exempt; anything else measuring
+    wall time for *provenance only* must carry a justifying
+    ``# lint: disable=wall-clock``.
     """
 
     def applies(self, ctx: LintContext) -> bool:
-        return not ctx.in_package_dirs("perf") and not ctx.under_dir("benchmarks")
+        return not ctx.in_package_dirs("perf", "campaign") and not ctx.under_dir(
+            "benchmarks"
+        )
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

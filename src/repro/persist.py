@@ -1,0 +1,77 @@
+"""Crash-safe file persistence helpers (the atomic-write contract).
+
+Contract: ``docs/INVARIANTS.md#atomic-persistence`` — every JSON document
+this project persists (sweep caches, campaign shard files, merged
+outputs, failure reports) is written via a temp file in the *same
+directory* followed by ``os.replace``, so a reader never observes a
+half-written document and a killed writer never corrupts an existing
+one.  The temp file is fsynced before the rename; the rename itself is
+atomic on POSIX.
+
+Readers use :func:`load_json_or_none`, which converts a missing,
+truncated, or otherwise corrupt file into ``None`` plus a warning —
+an unreadable cache must degrade to a cache miss, never a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from typing import Any, Optional
+
+
+def atomic_write_text(path: str, text: str) -> str:
+    """Write ``text`` to ``path`` atomically (tmp + fsync + os.replace)."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=parent, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(
+    path: str, doc: Any, *, indent: int = 1, sort_keys: bool = True
+) -> str:
+    """Serialize ``doc`` and write it atomically; returns ``path``.
+
+    The serialization (``indent=1, sort_keys=True`` + trailing newline)
+    matches what :meth:`repro.scenarios.sweep.SweepResult.persist` has
+    always produced, so identical documents stay byte-identical.
+    """
+    text = json.dumps(doc, indent=indent, sort_keys=sort_keys) + "\n"
+    return atomic_write_text(path, text)
+
+
+def load_json_or_none(path: str, *, label: str = "file") -> Optional[Any]:
+    """Load a JSON document, degrading corruption to ``None`` + warning.
+
+    A missing file is a silent ``None`` (the common first-run case); a
+    present-but-unreadable one warns — a truncated cache from a killed
+    run must surface, but as a cache miss rather than a crash.
+    """
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError) as exc:
+        warnings.warn(
+            f"{label} {path!r} is unreadable ({exc}); treating it as absent",
+            stacklevel=2,
+        )
+        return None

@@ -25,13 +25,20 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import warnings
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.scenarios.base import ScenarioResult, config_to_jsonable
+from repro.persist import atomic_write_json, load_json_or_none
+from repro.scenarios.base import Scenario, ScenarioResult, config_to_jsonable
 from repro.scenarios.registry import get_scenario
+
+#: terminal cell states persisted alongside results ("ok" is implicit in
+#: older files; anything else means the cell has no usable metrics and
+#: carries ``error`` provenance instead — see docs/INVARIANTS.md).
+CELL_STATES = ("ok", "failed", "timeout")
 
 def _repo_root() -> str:
     """The repository root: the nearest ancestor of this file that looks
@@ -88,13 +95,18 @@ def parse_shard(text: str) -> Tuple[int, int]:
     return index, count
 
 
-def _cell_key(scenario: str, overrides: Dict[str, Any]) -> str:
+def cell_key(scenario: str, overrides: Dict[str, Any]) -> str:
     """Canonical identity of one cell: scenario + full config overrides
-    (base + grid params + derived seed), the '(config, seed)' of a cell."""
+    (base + grid params + derived seed), the '(config, seed)' of a cell.
+    The campaign orchestrator, journal replay, and shard merge all key
+    cells by this exact string."""
     return json.dumps(
         {"scenario": scenario, "overrides": config_to_jsonable(overrides)},
         sort_keys=True,
     )
+
+
+_cell_key = cell_key
 
 
 @dataclass
@@ -157,13 +169,46 @@ def _execute_cell(scenario_name: str, overrides: Dict[str, Any]) -> ScenarioResu
     return get_scenario(scenario_name).run(**overrides).without_raw()
 
 
+def validate_cached_cell(
+    scenario: Scenario, overrides: Dict[str, Any], provenance: Dict[str, Any]
+) -> bool:
+    """True when a cached cell's provenance config is still current.
+
+    Re-deriving the config from the cell's own overrides and comparing
+    it to the provenance snapshot catches *silent* grid edits: a changed
+    config default, a renamed field, or an edited scenario schema all
+    make the stored config diverge from what ``configure(**overrides)``
+    produces today, and such cells must re-run rather than be reused.
+    Cells persisted before provenance configs existed are kept.
+    """
+    recorded = provenance.get("config") if isinstance(provenance, dict) else None
+    if not isinstance(recorded, dict):
+        return True  # pre-provenance format: nothing to check against
+    try:
+        config = scenario.configure(**overrides)
+    except (TypeError, ValueError):
+        return False  # overrides no longer fit the schema at all
+    return config_to_jsonable(config) == recorded
+
+
 @dataclass
 class SweepCell:
-    """One executed grid cell."""
+    """One executed grid cell.
+
+    ``status`` is ``"ok"`` for a successfully executed cell; the
+    campaign orchestrator also persists ``"failed"``/``"timeout"`` cells
+    (``result`` empty, ``error`` carrying type/message/traceback/kind
+    provenance) so a merged output can be *complete* — every grid cell
+    present — even when some cells never produced metrics.  ``attempts``
+    counts executions including retries (1 for a first-try success).
+    """
 
     params: Dict[str, Any]
     overrides: Dict[str, Any]
     result: ScenarioResult
+    status: str = "ok"
+    error: Optional[Dict[str, Any]] = None
+    attempts: int = 1
 
 
 @dataclass
@@ -191,15 +236,33 @@ class SweepResult:
             "grid": config_to_jsonable(self.spec.grid),
             "base": config_to_jsonable(self.spec.base),
             "seed": self.spec.seed,
-            "cells": [
-                {
-                    "params": config_to_jsonable(c.params),
-                    "overrides": config_to_jsonable(c.overrides),
-                    **c.result.to_json_dict(),
-                }
-                for c in self.cells
-            ],
+            "cells": [self._cell_json(c) for c in self.cells],
         }
+
+    def _cell_json(self, cell: SweepCell) -> Dict[str, Any]:
+        doc = {
+            "params": config_to_jsonable(cell.params),
+            "overrides": config_to_jsonable(cell.overrides),
+            **(
+                cell.result.to_json_dict()
+                if cell.result is not None
+                else {
+                    "scenario": self.spec.scenario,
+                    "metrics": {},
+                    "series": {},
+                    "provenance": {},
+                }
+            ),
+        }
+        # Defaults stay implicit so documents from pre-state-aware runs
+        # (and byte-for-byte reruns of them) are unchanged on disk.
+        if cell.status != "ok":
+            doc["status"] = cell.status
+        if cell.error is not None:
+            doc["error"] = config_to_jsonable(cell.error)
+        if cell.attempts != 1:
+            doc["attempts"] = cell.attempts
+        return doc
 
     def persist(
         self, path: Optional[str] = None, *, keep_existing: bool = False
@@ -230,10 +293,11 @@ class SweepResult:
         if keep_existing:
             doc["cells"].extend(self._foreign_cells(path, doc["cells"]))
         self.persisted_cell_count = len(doc["cells"])
-        with open(path, "w") as handle:
-            json.dump(doc, handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        return path
+        # tmp + os.replace: a run killed mid-persist can never leave a
+        # torn document behind (docs/INVARIANTS.md#atomic-persistence) —
+        # the file doubles as the incremental cache, so corruption here
+        # would silently cost every previously executed cell.
+        return atomic_write_json(path, doc)
 
     @staticmethod
     def _foreign_cells(path: str, current_cells: List[Dict]) -> List[Dict]:
@@ -243,10 +307,8 @@ class SweepResult:
         preserved too, deduplicated against this sweep by (scenario,
         params) — never silently dropped.
         """
-        try:
-            with open(path) as handle:
-                old = json.load(handle)
-        except (OSError, ValueError):
+        old = load_json_or_none(path, label="sweep cache")
+        if old is None:
             return []
 
         def params_key(cell: Dict) -> str:
@@ -319,20 +381,29 @@ class SweepRunner:
         self.shard = shard
         #: cells served from ``reuse_path`` by the last :meth:`run`
         self.reused_cells = 0
+        #: cached cells dropped by the last :meth:`run` because their
+        #: provenance config no longer matches the current schema
+        self.stale_cells = 0
 
     def _load_cached(self) -> Dict[str, ScenarioResult]:
-        """Prior results keyed by cell identity (empty when unavailable)."""
+        """Prior results keyed by cell identity (empty when unavailable).
+
+        A corrupt/truncated cache file (e.g. from a run killed before
+        atomic writes existed) degrades to an empty cache with a warning.
+        Cells persisted with a non-``ok`` status have no usable metrics
+        — they are skipped here so failed/timeout cells always re-run.
+        """
         if self.force or not self.reuse_path:
             return {}
-        try:
-            with open(self.reuse_path) as handle:
-                doc = json.load(handle)
-        except (OSError, ValueError):
+        doc = load_json_or_none(self.reuse_path, label="sweep cache")
+        if doc is None:
             return {}
         cached: Dict[str, ScenarioResult] = {}
         for cell in doc.get("cells", []):
             overrides = cell.get("overrides")
             if overrides is None:  # pre-incremental file format
+                continue
+            if cell.get("status", "ok") != "ok":
                 continue
             key = _cell_key(cell.get("scenario", ""), overrides)
             cached[key] = ScenarioResult(
@@ -358,6 +429,29 @@ class SweepRunner:
         results: List[Optional[ScenarioResult]] = [
             cached.get(key) for key in keys
         ]
+        # Stale-cache validation: a hit whose provenance config no longer
+        # matches what configure(**overrides) produces today came from an
+        # edited grid/scenario — drop it (re-run) rather than silently
+        # reuse a result the current schema can no longer reproduce.
+        self.stale_cells = 0
+        if any(r is not None for r in results):
+            scenario_obj = get_scenario(spec.scenario)
+            for i, result in enumerate(results):
+                if result is None:
+                    continue
+                if not validate_cached_cell(
+                    scenario_obj, overrides[i], result.provenance
+                ):
+                    results[i] = None
+                    self.stale_cells += 1
+            if self.stale_cells:
+                warnings.warn(
+                    f"sweep cache {self.reuse_path!r}: dropped "
+                    f"{self.stale_cells} cached cell(s) whose provenance "
+                    "config no longer matches the current scenario schema; "
+                    "they will re-run",
+                    stacklevel=2,
+                )
         self.reused_cells = sum(1 for r in results if r is not None)
         pending = [i for i, r in enumerate(results) if r is None]
         if self.jobs == 1:

@@ -1,0 +1,12 @@
+"""Fixture: unbounded blocking waits inside campaign/ (all flagged)."""
+
+import subprocess
+
+
+def reclaim(proc, future):
+    subprocess.run(["true"])
+    subprocess.check_call(["true"])
+    subprocess.check_output(["true"])
+    proc.wait()
+    proc.communicate()
+    future.result()

@@ -1,0 +1,12 @@
+"""Fixture: every blocking wait carries an explicit timeout bound."""
+
+import subprocess
+
+
+def reclaim(proc, future, grace_s):
+    subprocess.run(["true"], timeout=grace_s)
+    subprocess.check_call(["true"], timeout=grace_s)
+    subprocess.check_output(["true"], timeout=grace_s)
+    proc.wait(timeout=grace_s)
+    proc.communicate(timeout=grace_s)
+    future.result(timeout=grace_s)

@@ -1,0 +1,395 @@
+"""Campaign orchestrator tests: manifests, retry policy, journal replay,
+and end-to-end fault tolerance against real worker subprocesses.
+
+The e2e tests drive the ``faulty`` scenario (fail/crash/hang on chosen
+attempts) through the real ``LocalPoolExecutor`` worker pool, so they
+exercise the actual failure machinery: timeout kills, retry-then-succeed,
+retries-exhausted reporting, worker respawn, and kill-and-resume journal
+replay with execution counts verified via the scenario's cross-process
+attempt counters.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro.scenarios.faulty  # registers the "faulty" scenario  # noqa: F401
+from repro.campaign import (
+    CampaignManifest,
+    LimitsPolicy,
+    RetryPolicy,
+    load_manifest,
+    manifest_from_dict,
+    run_campaign,
+)
+from repro.campaign import journal as journal_mod
+from repro.campaign.manifest import shard_of
+from repro.scenarios.faulty import attempt_count
+
+
+def _manifest_doc(tmp_path, grid, base=None, **extra):
+    doc = {
+        "scenario": "faulty",
+        "grid": grid,
+        "base": {"state_dir": str(tmp_path / "state"), **(base or {})},
+        "modules": ["repro.scenarios.faulty"],
+        "out": str(tmp_path / "out.json"),
+        "workers": 2,
+        "journal_fsync": False,
+        "limits": {
+            "cell_timeout_s": 10.0,
+            "max_attempts": 3,
+            "backoff_base_s": 0.01,
+            "backoff_max_s": 0.05,
+            "straggler_min_s": 60.0,
+        },
+    }
+    doc.update(extra)
+    return doc
+
+
+def _run(tmp_path, grid, base=None, **extra):
+    manifest = manifest_from_dict(_manifest_doc(tmp_path, grid, base, **extra))
+    report = run_campaign(manifest, quiet=True)
+    return manifest, report
+
+
+def _load_cells(path):
+    with open(path) as handle:
+        doc = json.load(handle)
+    return {
+        (c["params"].get("behavior", "ok"), c["params"]["x"]): c
+        for c in doc["cells"]
+    }
+
+
+# ----------------------------------------------------------------------
+# manifests
+# ----------------------------------------------------------------------
+class TestManifest:
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            manifest_from_dict({"scenario": "faulty", "retries": 3})
+
+    def test_unknown_limits_keys_rejected(self):
+        with pytest.raises(ValueError, match="limits: unknown key"):
+            manifest_from_dict(
+                {
+                    "scenario": "faulty",
+                    "modules": ["repro.scenarios.faulty"],
+                    "limits": {"cell_timeout": 5},
+                }
+            )
+
+    def test_scenario_required(self):
+        with pytest.raises(ValueError, match="scenario"):
+            manifest_from_dict({"grid": {"x": [1]}})
+
+    def test_grid_validated_against_scenario(self):
+        with pytest.raises(ValueError, match="unknown config field"):
+            manifest_from_dict(
+                {
+                    "scenario": "faulty",
+                    "modules": ["repro.scenarios.faulty"],
+                    "grid": {"nonesuch": [1, 2]},
+                }
+            )
+
+    def test_limit_bounds_validated(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            CampaignManifest(
+                scenario="faulty", limits=LimitsPolicy(max_attempts=0)
+            ).validate()
+
+    def test_load_manifest_round_trips(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(_manifest_doc(tmp_path, {"x": [1, 2]})))
+        manifest = load_manifest(str(path))
+        assert manifest.scenario == "faulty"
+        assert manifest.sha() == manifest_from_dict(
+            _manifest_doc(tmp_path, {"x": [1, 2]})
+        ).sha()
+
+    def test_shard_of_matches_sweep_partition(self):
+        # sweep --shard I/N keeps positions k with k % N == I - 1
+        assigned = [shard_of(k, 3)[0] for k in range(7)]
+        assert assigned == [1, 2, 3, 1, 2, 3, 1]
+
+
+# ----------------------------------------------------------------------
+# retry policy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_bounded_attempts(self):
+        policy = RetryPolicy(LimitsPolicy(max_attempts=3))
+        assert policy.should_retry(1) and policy.should_retry(2)
+        assert not policy.should_retry(3)
+
+    def test_backoff_grows_and_caps(self):
+        limits = LimitsPolicy(
+            backoff_base_s=1.0, backoff_factor=2.0, backoff_max_s=3.0,
+            jitter_frac=0.0,
+        )
+        policy = RetryPolicy(limits)
+        assert policy.delay_s(1) == 1.0
+        assert policy.delay_s(2) == 2.0
+        assert policy.delay_s(3) == 3.0  # capped
+        assert policy.delay_s(6) == 3.0
+
+    def test_jitter_is_seeded_and_bounded(self):
+        limits = LimitsPolicy(
+            backoff_base_s=1.0, backoff_factor=1.0, jitter_frac=0.5
+        )
+        p1, p2 = RetryPolicy(limits, seed=7), RetryPolicy(limits, seed=7)
+        a = [p1.delay_s(1) for _ in range(5)]
+        b = [p2.delay_s(1) for _ in range(5)]
+        assert a == b  # identical schedule for identical seeds
+        assert all(0.5 <= d <= 1.5 for d in a)
+        assert len(set(a)) > 1  # it does jitter
+
+    def test_straggler_threshold(self):
+        policy = RetryPolicy(
+            LimitsPolicy(straggler_factor=4.0, straggler_min_s=10.0)
+        )
+        assert policy.straggler_threshold_s(None) == float("inf")
+        assert policy.straggler_threshold_s(1.0) == 10.0  # floor wins
+        assert policy.straggler_threshold_s(5.0) == 20.0
+
+
+# ----------------------------------------------------------------------
+# journal
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_replay_later_records_win(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        cell_v1 = {"scenario": "s", "overrides": {"x": 1}, "metrics": {"v": 1}}
+        cell_v2 = dict(cell_v1, metrics={"v": 2})
+        with journal_mod.Journal(path, fsync=False) as journal:
+            journal.append({"event": "cell_ok", "cell": cell_v1})
+            journal.append({"event": "cell_ok", "cell": cell_v2})
+        cells = journal_mod.replay_cells(path)
+        assert len(cells) == 1
+        assert next(iter(cells.values()))["metrics"] == {"v": 2}
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with journal_mod.Journal(path, fsync=False) as journal:
+            journal.append(
+                {"event": "cell_ok", "cell": {"scenario": "s", "overrides": {}}}
+            )
+        with open(path, "a") as handle:  # a write the kill tore mid-line
+            handle.write('{"event": "cell_ok", "cell": {"scen')
+        assert len(journal_mod.replay_cells(path)) == 1
+        assert len(list(journal_mod.iter_records(path))) == 1
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        assert journal_mod.replay_cells(str(tmp_path / "none.jsonl")) == {}
+
+    def test_derived_paths(self):
+        assert journal_mod.journal_path("a/b.json") == "a/b.journal.jsonl"
+        assert journal_mod.failures_path("a/b.json") == "a/b.failures.json"
+
+
+# ----------------------------------------------------------------------
+# end-to-end fault tolerance (real worker subprocesses)
+# ----------------------------------------------------------------------
+class TestCampaignEndToEnd:
+    def test_all_ok_campaign_merges_complete(self, tmp_path):
+        manifest, report = _run(tmp_path, {"x": [1, 2, 3, 4]}, shards=2)
+        assert report.complete and report.failed == 0
+        cells = _load_cells(manifest.out_path())
+        assert sorted(x for _b, x in cells) == [1, 2, 3, 4]
+        for (_b, x), cell in cells.items():
+            seed = cell["overrides"]["seed"]  # derived per cell
+            assert cell["metrics"]["value"] == pytest.approx(x * 10 + seed % 7)
+        # journal is deleted after a clean, fully merged finish
+        assert not os.path.exists(journal_mod.journal_path(manifest.out_path()))
+
+    def test_retry_then_succeed_records_attempts(self, tmp_path):
+        manifest, report = _run(
+            tmp_path, {"x": [1, 2], "behavior": ["fail", "crash"]},
+            base={"fail_times": 1},
+        )
+        assert report.failed == 0 and report.retried == 4
+        for cell in _load_cells(manifest.out_path()).values():
+            assert cell.get("status", "ok") == "ok"
+            assert cell["attempts"] == 2  # retry provenance survives merge
+
+    def test_hang_killed_by_timeout_then_succeeds(self, tmp_path):
+        manifest, report = _run(
+            tmp_path, {"x": [1]},
+            base={"behavior": "hang", "fail_times": 1, "hang_s": 30.0},
+            limits={
+                "cell_timeout_s": 1.0,
+                "max_attempts": 3,
+                "backoff_base_s": 0.01,
+                "straggler_min_s": 60.0,
+            },
+        )
+        assert report.failed == 0
+        (cell,) = _load_cells(manifest.out_path()).values()
+        assert cell["attempts"] == 2
+        assert report.workers_respawned >= 1  # the hung worker was killed
+
+    def test_retries_exhausted_reports_failure(self, tmp_path):
+        manifest, report = _run(
+            tmp_path, {"x": [1, 2]},
+            base={"behavior": "fail"},  # fail_times=-1: every attempt fails
+            limits={"cell_timeout_s": 10.0, "max_attempts": 2,
+                    "backoff_base_s": 0.01},
+        )
+        assert report.failed == 2 and report.ok == 0
+        assert not report.complete
+        cells = _load_cells(manifest.out_path())
+        assert len(cells) == 2  # failed cells still appear in the merge
+        for cell in cells.values():
+            assert cell["status"] == "failed"
+            assert cell["attempts"] == 2
+            assert cell["error"]["type"] == "InjectedFailure"
+            assert "injected failure" in cell["error"]["message"]
+        with open(report.failures_path) as handle:
+            failures = json.load(handle)
+        assert failures["failed_cells"] == 2
+        assert {f["params"]["x"] for f in failures["failures"]} == {1, 2}
+
+    def test_timeout_exhausted_is_status_timeout(self, tmp_path):
+        manifest, report = _run(
+            tmp_path, {"x": [1]},
+            base={"behavior": "hang", "hang_s": 30.0},
+            limits={"cell_timeout_s": 0.5, "max_attempts": 2,
+                    "backoff_base_s": 0.01},
+        )
+        assert report.failed == 1
+        (cell,) = _load_cells(manifest.out_path()).values()
+        assert cell["status"] == "timeout"
+        assert cell["error"]["kind"] == "timeout"
+
+    def test_failed_cells_rerun_on_reinvoke_ok_cells_reused(self, tmp_path):
+        doc = _manifest_doc(
+            tmp_path, {"x": [1, 2]}, base={"behavior": "fail", "fail_times": 2},
+            limits={"cell_timeout_s": 10.0, "max_attempts": 2,
+                    "backoff_base_s": 0.01},
+        )
+        manifest = manifest_from_dict(doc)
+        first = run_campaign(manifest, quiet=True)
+        assert first.failed == 2  # two attempts each, both misbehaving
+        # Re-invoking re-runs only the failed cells; attempt 3 succeeds.
+        second = run_campaign(manifest_from_dict(doc), quiet=True)
+        assert second.failed == 0 and second.executed == 2
+        state = str(tmp_path / "state")
+        assert attempt_count(state, 1, "fail") == 3
+        cells = _load_cells(manifest.out_path())
+        assert all(c.get("status", "ok") == "ok" for c in cells.values())
+        # A third invocation reuses everything.
+        third = run_campaign(manifest_from_dict(doc), quiet=True)
+        assert third.executed == 0 and third.reused_cache == 2
+
+    def test_journal_recovers_cells_lost_from_shards(self, tmp_path):
+        doc = _manifest_doc(tmp_path, {"x": [1, 2, 3]})
+        manifest = manifest_from_dict(doc)
+        run_campaign(manifest, quiet=True)
+        # Simulate a crash after the journal was written but before any
+        # shard flush survived: delete every persisted document, keep a
+        # journal holding two of the three cells.
+        out = manifest.out_path()
+        with open(out) as handle:
+            cells = json.load(handle)["cells"]
+        os.unlink(out)
+        for name in os.listdir(str(tmp_path)):
+            if ".shard-" in name:
+                os.unlink(str(tmp_path / name))
+        with journal_mod.Journal(
+            journal_mod.journal_path(out), fsync=False
+        ) as journal:
+            for cell in cells[:2]:
+                journal.append({"event": "cell_ok", "cell": cell})
+        report = run_campaign(manifest_from_dict(doc), quiet=True)
+        assert report.recovered_journal == 2
+        assert report.executed == 1  # only the journal-less cell re-ran
+        assert report.complete
+        state = str(tmp_path / "state")
+        assert [attempt_count(state, x, "ok") for x in (1, 2, 3)] == [1, 1, 2]
+
+
+class TestKillAndResume:
+    def _spawn_env(self):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return env
+
+    def _journaled_ok(self, journal_path):
+        return sum(
+            1
+            for record in journal_mod.iter_records(journal_path)
+            if record.get("event") == "cell_ok"
+        )
+
+    def test_sigkill_midrun_then_resume_runs_only_missing(self, tmp_path):
+        doc = _manifest_doc(
+            tmp_path, {"x": list(range(1, 9))}, base={"work_s": 0.4},
+            flush_every=100,  # the journal is the only persistence
+        )
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(doc))
+        journal_path = journal_mod.journal_path(doc["out"])
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "campaign", str(path), "--quiet"],
+            env=self._spawn_env(),
+        )
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if self._journaled_ok(journal_path) >= 3:
+                break
+            time.sleep(0.05)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        journaled = self._journaled_ok(journal_path)
+        assert journaled >= 3, "campaign died before journaling enough cells"
+        state = str(tmp_path / "state")
+        before = {x: attempt_count(state, x, "ok") for x in range(1, 9)}
+
+        report = run_campaign(manifest_from_dict(doc), quiet=True)
+        assert report.complete and report.total_cells == 8
+        assert report.recovered_journal == journaled
+        after = {x: attempt_count(state, x, "ok") for x in range(1, 9)}
+        # Every journaled cell resumed without re-executing; every other
+        # cell ran (again or for the first time).
+        rerun = [x for x in before if before[x] and after[x] > before[x]]
+        assert report.executed == 8 - journaled
+        assert len(rerun) <= 8 - journaled
+        cells = _load_cells(doc["out"])
+        assert sorted(x for _b, x in cells) == list(range(1, 9))
+        assert not os.path.exists(journal_path)
+
+    def test_sigint_drains_persists_and_reports_resume(self, tmp_path):
+        doc = _manifest_doc(
+            tmp_path, {"x": list(range(1, 9))}, base={"work_s": 0.4},
+        )
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(doc))
+        journal_path = journal_mod.journal_path(doc["out"])
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "campaign", str(path), "--quiet"],
+            env=self._spawn_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if self._journaled_ok(journal_path) >= 2:
+                break
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGINT)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 130
+        assert "resume with" in out
+        assert os.path.exists(journal_path)  # progress survived the drain
+        report = run_campaign(manifest_from_dict(doc), quiet=True)
+        assert report.complete and report.total_cells == 8

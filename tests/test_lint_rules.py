@@ -66,6 +66,14 @@ BAD_EXPECTATIONS = {
         ("unused-suppression", 3),
         ("unused-suppression", 4),
     ],
+    ("repro", "campaign", "bad_subprocess_timeout.py"): [
+        ("subprocess-timeout", 7),
+        ("subprocess-timeout", 8),
+        ("subprocess-timeout", 9),
+        ("subprocess-timeout", 10),
+        ("subprocess-timeout", 11),
+        ("subprocess-timeout", 12),
+    ],
 }
 
 GOOD_FIXTURES = [
@@ -75,6 +83,7 @@ GOOD_FIXTURES = [
     ("repro", "sim", "good_float_time.py"),
     ("repro", "sim", "good_cancel.py"),
     ("examples", "good_env.py"),
+    ("repro", "campaign", "good_subprocess_timeout.py"),
 ]
 
 

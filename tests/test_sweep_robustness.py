@@ -1,0 +1,142 @@
+"""Sweep-cache robustness: atomic persistence, corrupt-cache recovery,
+stale-cache validation, and non-ok cell handling."""
+
+import json
+import os
+
+import pytest
+
+from repro.persist import atomic_write_json, atomic_write_text, load_json_or_none
+from repro.scenarios import get_scenario
+from repro.scenarios.sweep import (
+    SweepRunner,
+    SweepSpec,
+    run_sweep,
+    validate_cached_cell,
+)
+
+TINY = {"duration_ns": 200_000, "max_flows": 4, "size_scale": 1 / 64}
+
+
+def _spec(**kw):
+    return SweepSpec(
+        scenario="websearch",
+        grid=kw.pop("grid", {"load": [0.2]}),
+        base=dict(TINY, **kw.pop("base", {})),
+    )
+
+
+# ----------------------------------------------------------------------
+# atomic persistence primitives
+# ----------------------------------------------------------------------
+class TestAtomicPersist:
+    def test_write_then_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        atomic_write_json(path, {"a": 1})
+        assert load_json_or_none(path) == {"a": 1}
+
+    def test_no_tmp_droppings_on_success(self, tmp_path):
+        atomic_write_text(str(tmp_path / "t.txt"), "hello")
+        assert sorted(os.listdir(str(tmp_path))) == ["t.txt"]
+
+    def test_failed_write_leaves_target_intact(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        atomic_write_json(path, {"a": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert load_json_or_none(path) == {"a": 1}  # old doc untouched
+        assert sorted(os.listdir(str(tmp_path))) == ["doc.json"]  # no tmp
+
+    def test_missing_file_is_silent_none(self, tmp_path):
+        assert load_json_or_none(str(tmp_path / "absent.json")) is None
+
+    def test_corrupt_file_warns_and_degrades(self, tmp_path):
+        path = str(tmp_path / "torn.json")
+        with open(path, "w") as handle:
+            handle.write('{"cells": [{"par')  # truncated mid-write
+        with pytest.warns(UserWarning, match="torn.json"):
+            assert load_json_or_none(path, label="sweep cache") is None
+
+
+# ----------------------------------------------------------------------
+# sweep cache behaviour under damage
+# ----------------------------------------------------------------------
+class TestSweepCacheRobustness:
+    def test_sweep_persist_is_atomic_format(self, tmp_path):
+        out = str(tmp_path / "s.json")
+        sweep = run_sweep("websearch", {"load": [0.2]}, base=TINY)
+        sweep.persist(out)
+        assert load_json_or_none(out)["cells"][0]["metrics"]
+
+    def test_truncated_cache_recovers_with_warning(self, tmp_path):
+        out = str(tmp_path / "s.json")
+        run_sweep("websearch", {"load": [0.2]}, base=TINY).persist(out)
+        with open(out, "w") as handle:
+            handle.write('{"cells": [{"par')  # a kill before atomic writes
+        with pytest.warns(UserWarning, match="sweep cache"):
+            runner = SweepRunner(_spec(), reuse_path=out)
+            sweep = runner.run()
+        assert runner.reused_cells == 0  # cache lost, cells re-ran
+        assert sweep.cells[0].result.metrics
+        sweep.persist(out)  # and the re-persisted file is whole again
+        assert load_json_or_none(out)["cells"]
+
+    def test_stale_cached_cell_dropped_with_warning(self, tmp_path):
+        out = str(tmp_path / "s.json")
+        run_sweep("websearch", {"load": [0.2]}, base=TINY).persist(out)
+        with open(out) as handle:
+            doc = json.load(handle)
+        # Simulate a schema/default edit since the cache was written: the
+        # recorded provenance config no longer matches a re-derived one.
+        doc["cells"][0]["provenance"]["config"]["duration_ns"] = 999
+        atomic_write_json(out, doc)
+        with pytest.warns(UserWarning, match="provenance"):
+            runner = SweepRunner(_spec(), reuse_path=out)
+            runner.run()
+        assert runner.stale_cells == 1
+        assert runner.reused_cells == 0
+
+    def test_fresh_cache_is_reused_without_warning(self, tmp_path):
+        out = str(tmp_path / "s.json")
+        run_sweep("websearch", {"load": [0.2]}, base=TINY).persist(out)
+        runner = SweepRunner(_spec(), reuse_path=out)
+        runner.run()
+        assert runner.reused_cells == 1 and runner.stale_cells == 0
+
+    def test_non_ok_cells_are_not_reused(self, tmp_path):
+        out = str(tmp_path / "s.json")
+        sweep = run_sweep("websearch", {"load": [0.2]}, base=TINY)
+        sweep.persist(out)
+        with open(out) as handle:
+            doc = json.load(handle)
+        doc["cells"][0]["status"] = "failed"  # a campaign-persisted failure
+        atomic_write_json(out, doc)
+        runner = SweepRunner(_spec(), reuse_path=out)
+        runner.run()
+        assert runner.reused_cells == 0  # failed cells always re-run
+
+
+# ----------------------------------------------------------------------
+# validate_cached_cell
+# ----------------------------------------------------------------------
+class TestValidateCachedCell:
+    def test_legacy_provenance_is_kept(self):
+        scenario = get_scenario("websearch")
+        assert validate_cached_cell(scenario, {"load": 0.2}, {})
+        assert validate_cached_cell(scenario, {"load": 0.2}, {"seed": 1})
+
+    def test_unconfigurable_overrides_are_stale(self):
+        scenario = get_scenario("websearch")
+        assert not validate_cached_cell(
+            scenario, {"nonesuch": 1}, {"config": {"load": 0.2}}
+        )
+
+    def test_matching_config_is_fresh(self):
+        scenario = get_scenario("websearch")
+        overrides = dict(TINY, load=0.2)
+        from repro.scenarios.base import config_to_jsonable
+
+        config = config_to_jsonable(scenario.configure(**overrides))
+        assert validate_cached_cell(scenario, overrides, {"config": config})
+        config["load"] = 0.9  # a divergent snapshot must re-run
+        assert not validate_cached_cell(scenario, overrides, {"config": config})
