@@ -384,6 +384,44 @@ def _parking_lot_cells(results: ResultSet) -> ResultSet:
     return rs
 
 
+def lb_pivot(
+    results: ResultSet,
+    metric: str = "uplink_imbalance",
+    row_key: str = "routing",
+    agg: Optional[Callable[[List[float]], float]] = None,
+) -> Tuple[List[Any], List[Any], List[List[Optional[float]]]]:
+    """The CC × load-balancing view over a persisted ``lb_matrix`` sweep.
+
+    Rows are routing policies, columns are CC algorithms, and the default
+    metric is the fabric's per-uplink load imbalance (max/mean of
+    transmitted bytes) — the quantity a load balancer exists to minimize.
+    Pass ``metric="hotspot_peak_qlen_bytes"`` for the collision symptom or
+    ``metric="fct_p99_overall"`` for what it costs the flows.
+    """
+    return _lb_cells(results).pivot(row_key, "algorithm", metric, agg)
+
+
+def format_lb_matrix(
+    results: ResultSet,
+    metric: str = "uplink_imbalance",
+    row_key: str = "routing",
+    agg: Optional[Callable[[List[float]], float]] = None,
+) -> List[str]:
+    """:func:`lb_pivot` as printable table lines."""
+    return _lb_cells(results).format_pivot(row_key, "algorithm", metric, agg)
+
+
+def _lb_cells(results: ResultSet) -> ResultSet:
+    """The lb_matrix subset; empty sets fail with a pointer."""
+    rs = results.for_scenario("lb_matrix")
+    if not rs.cells:
+        raise ValueError(
+            "no lb_matrix cells in this result set; run "
+            "`python -m repro sweep lb_matrix ...` first"
+        )
+    return rs
+
+
 def merge_shards(directory: str, base: Optional[str] = None) -> ResultSet:
     """Module-level alias of :meth:`ResultSet.merge_shards`."""
     return ResultSet.merge_shards(directory, base)

@@ -42,6 +42,11 @@ from repro.fluid.reaction import (
     three_case_comparison,
 )
 from repro.cc.registry import ALGORITHMS, HOMA_TRANSPORT, algorithm_names
+from repro.routing.registry import (
+    POLICIES,
+    load_builtin_policies,
+    policy_names,
+)
 from repro.scenarios import get_scenario, scenario_names
 from repro.scenarios.sweep import (
     SweepRunner,
@@ -454,6 +459,22 @@ def cmd_list(args) -> None:
         print(f"  {name:15s} [{features:>15s}] {entry.description}")
         if entry.aliases:
             print(f"  {'':15s} {'':>17s} aliases: {', '.join(entry.aliases)}")
+    print()
+    print("routing policies (--set routing=<name> where topologies support it):")
+    load_builtin_policies()
+    for name in policy_names():
+        entry = POLICIES[name]
+        req = entry.requirements
+        features = (
+            "per-packet, reorder-tolerant receiver"
+            if not req.flow_stable or req.reordering_tolerant_receiver
+            else "flow-stable"
+        )
+        print(f"  {name:15s} [{features}] {entry.description}")
+        if entry.aliases:
+            print(f"  {'':15s} aliases: {', '.join(entry.aliases)}")
+        if entry.param_names:
+            print(f"  {'':15s} params: {', '.join(sorted(entry.param_names))}")
     print()
     print("figure aliases (python -m repro <figN>):")
     for name in sorted(COMMANDS):

@@ -40,6 +40,11 @@ AlgorithmLike = Union[str, AlgorithmSpec]
 #: the fallback key accepted in tag->algorithm mappings
 DEFAULT_GROUP = "*"
 
+#: duplicate-ACK threshold for flows crossing a packet-spraying network:
+#: spray reorders constantly, so a few duplicate ACKs are routine — only
+#: a persistent gap (or the RTO) should trigger the go-back-N rewind.
+REORDER_DUP_ACK_THRESHOLD = 16
+
 
 class FlowDriver:
     """Flow factory + lifecycle manager for one (network, algorithms) pair."""
@@ -64,8 +69,13 @@ class FlowDriver:
         self.flows: List[Flow] = []
         self.completed: List[Flow] = []
         self.senders: Dict[int, Sender] = {}
+        self.receivers: Dict[int, Receiver] = {}
         self._next_flow_id = 1
         self._homa_schedulers: Dict[int, HomaGrantScheduler] = {}
+        # Routing requirements are fixed once the network is built: a
+        # spraying policy anywhere on the fabric means every window flow
+        # gets a reorder-tolerant receiver and a raised dup-ACK threshold.
+        self._reorder_tolerant = net.routing_requirements().reordering_tolerant_receiver
 
         #: every spec deployed so far, keyed by canonical name (the
         #: requirement union is over these)
@@ -242,6 +252,7 @@ class FlowDriver:
             flow,
             echo_int=spec.needs_int,
             cnp_interval_ns=spec.cnp_interval_ns,
+            reorder_tolerant=self._reorder_tolerant,
             on_complete=self._on_complete,
         )
         sender = Sender(
@@ -254,12 +265,24 @@ class FlowDriver:
             int_enabled=spec.needs_int,
             ecn_capable=spec.needs_ecn,
             rto_ns=self.rto_ns,
+            dup_ack_threshold=(
+                REORDER_DUP_ACK_THRESHOLD if self._reorder_tolerant else None
+            ),
         )
         self.senders[flow.flow_id] = sender
+        self.receivers[flow.flow_id] = receiver
         receiver.start()
         sender.start()
 
     def _launch_homa(self, flow: Flow, spec: AlgorithmSpec) -> None:
+        if self._reorder_tolerant:
+            raise ValueError(
+                f"network {self.net.name!r} routes with a packet-spraying "
+                "policy, which requires reordering-tolerant receivers; the "
+                "HOMA transport's grant machinery does not support that — "
+                "use a flow-stable routing policy (ecmp, wrr, least-loaded) "
+                "with HOMA"
+            )
         scheduler = self._scheduler_for(flow.dst, spec)
         receiver = HomaReceiver(
             self.sim,

@@ -1,0 +1,192 @@
+"""CC × load-balancing matrix on the fat-tree (routing-layer scenario).
+
+One cell runs a seeded permutation workload on the scaled fat-tree under
+a chosen congestion-control algorithm *and* a chosen routing policy
+(:mod:`repro.routing`), then reports how well the fabric spread the load:
+
+* **uplink imbalance** — max/mean of per-uplink transmitted bytes across
+  every ToR uplink (1.0 = perfectly spread, higher = hash collisions
+  concentrated flows on few links);
+* **uplink CV** — coefficient of variation of the same distribution;
+* **hotspot peak queue** — the deepest queue any uplink built, the
+  collision symptom congestion control then has to fight;
+* **FCT p99 slowdown, reordering, retransmissions, drops** — what the
+  imbalance costs transport.
+
+Sweeping ``algorithm`` × ``routing`` × ``load`` (see
+``python -m repro sweep lb_matrix``) produces the matrix that
+:func:`repro.analysis.results.lb_pivot` tabulates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from statistics import mean, pstdev
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.analysis.fct import FctSummary, summarize_fct
+from repro.experiments.driver import FlowDriver
+from repro.experiments.websearch import scaled_fattree
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.base import Scenario
+from repro.sim.engine import Simulator
+from repro.topology.registry import build_topology
+from repro.transport.flow import Flow
+from repro.units import MSEC
+
+if TYPE_CHECKING:  # params type only; built via the topology registry
+    from repro.topology.fattree import FatTreeParams
+
+
+@dataclass
+class LbMatrixConfig:
+    """One matrix cell: a CC algorithm × a routing policy × a load."""
+
+    algorithm: str = "powertcp"
+    routing: str = "ecmp"
+    routing_params: Optional[dict] = None
+    #: flows per host (1.0 = one permutation pair per host).
+    load: float = 1.0
+    flow_bytes: int = 500_000
+    params: Optional["FatTreeParams"] = None
+    duration_ns: int = 4 * MSEC
+    drain_ns: int = 16 * MSEC
+    seed: int = 1
+    mtu_payload: int = 1000
+    cc_params: Optional[dict] = None
+
+
+@dataclass
+class LbMatrixResult:
+    """Flows plus the fabric-side load-spread measurements."""
+
+    algorithm: str
+    routing: str
+    load: float
+    base_rtt_ns: int = 0
+    host_bw_bps: float = 0.0
+    flows: List[Flow] = field(default_factory=list)
+    #: transmitted bytes per ToR uplink, in builder order.
+    uplink_tx_bytes: List[int] = field(default_factory=list)
+    #: deepest queue any ToR uplink built (bytes).
+    hotspot_peak_qlen_bytes: int = 0
+    #: out-of-order data arrivals summed over all receivers.
+    reorder_events: int = 0
+    retransmissions: int = 0
+    drops: int = 0
+    events_processed: int = 0
+    ideal_fn: Optional[object] = None
+
+    def uplink_imbalance(self) -> Optional[float]:
+        """max/mean of per-uplink tx bytes (None when nothing was sent)."""
+        if not self.uplink_tx_bytes or not any(self.uplink_tx_bytes):
+            return None
+        return max(self.uplink_tx_bytes) / mean(self.uplink_tx_bytes)
+
+    def uplink_cv(self) -> Optional[float]:
+        """Coefficient of variation of per-uplink tx bytes."""
+        if not self.uplink_tx_bytes or not any(self.uplink_tx_bytes):
+            return None
+        avg = mean(self.uplink_tx_bytes)
+        return pstdev(self.uplink_tx_bytes) / avg
+
+    def fct_summary(self, pct: float = 99.0) -> FctSummary:
+        """Tail FCT slowdowns over the cell's flows."""
+        return summarize_fct(
+            self.algorithm,
+            self.flows,
+            self.base_rtt_ns,
+            self.host_bw_bps,
+            pct,
+            ideal_fn=self.ideal_fn,
+        )
+
+
+def run_lb_matrix(config: LbMatrixConfig) -> LbMatrixResult:
+    """Run one cell: a seeded permutation under (algorithm, routing)."""
+    base = config.params or scaled_fattree()
+    # Never mutate the caller's params object (sweep cells share it).
+    params = dataclasses.replace(
+        base,
+        routing=config.routing,
+        routing_params=dict(config.routing_params or {}),
+    )
+    sim = Simulator()
+    net = build_topology(sim, "fattree", params)
+    driver = FlowDriver(
+        net,
+        config.algorithm,
+        mtu_payload=config.mtu_payload,
+        cc_params=config.cc_params,
+    )
+
+    rng = random.Random(config.seed)
+    count = max(1, round(config.load * net.num_hosts))
+    for src, dst in net.flow_pairs(count, rng):
+        driver.start_flow(src, dst, config.flow_bytes, at_ns=0)
+
+    driver.run(until_ns=config.duration_ns + config.drain_ns)
+
+    uplinks = [
+        port
+        for per_tor in net.extras["tor_uplinks"]
+        for port in per_tor
+    ]
+    result = LbMatrixResult(
+        algorithm=config.algorithm,
+        routing=net.routing_name,
+        load=config.load,
+        base_rtt_ns=net.base_rtt_ns,
+        host_bw_bps=params.host_bw_bps,
+    )
+    result.ideal_fn = lambda flow: net.ideal_fct_ns(
+        flow.src, flow.dst, flow.size_bytes, config.mtu_payload
+    )
+    result.flows = driver.flows
+    result.uplink_tx_bytes = [port.tx_bytes for port in uplinks]
+    result.hotspot_peak_qlen_bytes = max(
+        (port.max_qlen_bytes for port in uplinks), default=0
+    )
+    result.reorder_events = sum(
+        receiver.out_of_order for receiver in driver.receivers.values()
+    )
+    result.retransmissions = sum(f.retransmissions for f in driver.flows)
+    result.drops = net.total_drops()
+    result.events_processed = sim.events_processed
+    return result
+
+
+@scenario_registry.register
+class LbMatrixScenario(Scenario):
+    """CC × routing-policy × load matrix on the fat-tree fabric."""
+
+    name = "lb_matrix"
+    description = (
+        "CC x routing-policy permutation on the fat-tree; "
+        "uplink imbalance + hotspot queue + FCT tails"
+    )
+    config_cls = LbMatrixConfig
+
+    def tiny_overrides(self) -> dict:
+        return dict(flow_bytes=30_000, duration_ns=1 * MSEC, drain_ns=3 * MSEC)
+
+    def build(self, config):
+        return lambda: run_lb_matrix(config)
+
+    def collect(self, config, raw: LbMatrixResult):
+        summary = raw.fct_summary(pct=99.0)
+        metrics = {
+            "completed": summary.completed,
+            "total_flows": summary.total,
+            "fct_p99_overall": summary.overall,
+            "uplink_imbalance": raw.uplink_imbalance(),
+            "uplink_cv": raw.uplink_cv(),
+            "hotspot_peak_qlen_bytes": raw.hotspot_peak_qlen_bytes,
+            "reorder_events": raw.reorder_events,
+            "retransmissions": raw.retransmissions,
+            "drops": raw.drops,
+        }
+        series = {"per_uplink_tx_bytes": list(raw.uplink_tx_bytes)}
+        return metrics, series

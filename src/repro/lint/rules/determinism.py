@@ -138,12 +138,13 @@ class UnorderedIterationRule(Rule):
     Set iteration order follows hash order (stable for ints, but a
     refactor to str/object elements silently reorders events) and
     ``id()`` keys depend on allocator addresses.  In ``sim/``, ``cc/``,
-    ``transport/``, and ``topology/`` iterate lists or ``sorted(...)``
-    views, and key dicts by stable identifiers (port ids, flow ids).
+    ``transport/``, ``topology/``, and ``routing/`` iterate lists or
+    ``sorted(...)`` views, and key dicts by stable identifiers (port
+    ids, flow ids).
     """
 
     def applies(self, ctx: LintContext) -> bool:
-        return ctx.in_package_dirs("sim", "cc", "transport", "topology")
+        return ctx.in_package_dirs("sim", "cc", "transport", "topology", "routing")
 
     def _iter_targets(self, ctx: LintContext) -> Iterator[ast.AST]:
         for node in ast.walk(ctx.tree):

@@ -2,10 +2,11 @@
 
 Contract: ``docs/INVARIANTS.md#registry-only-resolution`` — experiments
 resolve topologies via :func:`repro.topology.registry.build_topology`
-(PR 5 removed every concrete-builder import) and every CC module
+(PR 5 removed every concrete-builder import), every CC module
 self-registers via :func:`repro.cc.registry.register` /
-``register_algorithm`` so the catalog, requirement union, and parameter
-validation see all deployable schemes.
+``register_algorithm``, and every routing-policy module self-registers
+via :func:`repro.routing.registry.register_policy` so the catalog,
+requirement union, and parameter validation see all deployable schemes.
 """
 
 from __future__ import annotations
@@ -141,17 +142,8 @@ class UnregisteredCcRule(Rule):
         )
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            func = node.func
-            name = None
-            if isinstance(func, ast.Name):
-                name = func.id
-            elif isinstance(func, ast.Attribute):
-                name = func.attr
-            if name in ("register", "register_algorithm"):
-                return
+        if _calls_any(ctx.tree, ("register", "register_algorithm")):
+            return
         yield Finding(
             path=ctx.rel_path,
             line=1,
@@ -161,5 +153,62 @@ class UnregisteredCcRule(Rule):
                 "CC module registers no scheme — decorate the class with "
                 "@register(...) or call register_algorithm(...) so the "
                 "registry sees it (move pure helpers out of repro/cc/)"
+            ),
+        )
+
+
+def _calls_any(tree: ast.AST, names) -> bool:
+    """True when the module calls (or decorates with) any of ``names``."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in names:
+            return True
+    return False
+
+
+@register_rule(
+    "unregistered-routing-policy",
+    category="registry",
+    contract="docs/INVARIANTS.md#registry-only-resolution",
+)
+class UnregisteredRoutingPolicyRule(Rule):
+    """Every routing-policy module must register via ``register_policy``.
+
+    A policy outside the registry is invisible to ``repro list``, the
+    topology builders' ``routing=`` knob, and the transport-requirement
+    union (``Network.routing_requirements``) — a spraying policy deployed
+    by direct import would silently skip the reordering-tolerant receiver
+    it depends on.  Each module under ``repro/routing/`` (except
+    ``__init__``, ``registry``, ``base``) must carry at least one
+    ``@register_policy(...)`` decorator.
+    """
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_package_dirs("routing") and ctx.basename() not in (
+            "__init__.py",
+            "registry.py",
+            "base.py",
+        )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if _calls_any(ctx.tree, ("register_policy",)):
+            return
+        yield Finding(
+            path=ctx.rel_path,
+            line=1,
+            col=0,
+            rule_id=self.id,
+            message=(
+                "routing module registers no policy — decorate the class "
+                "with @register_policy(...) so the catalog, topology "
+                "builders, and requirement union see it (move pure "
+                "helpers out of repro/routing/)"
             ),
         )

@@ -1,0 +1,29 @@
+"""Per-switch routing/load-balancing policies (see ``registry``)."""
+
+from repro.routing.base import RoutingPolicy
+from repro.routing.registry import (
+    DEFAULT_POLICY,
+    POLICIES,
+    PolicySpec,
+    RegisteredPolicy,
+    Requirements,
+    get_policy,
+    load_builtin_policies,
+    make_policy,
+    policy_names,
+    register_policy,
+)
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "POLICIES",
+    "PolicySpec",
+    "RegisteredPolicy",
+    "Requirements",
+    "RoutingPolicy",
+    "get_policy",
+    "load_builtin_policies",
+    "make_policy",
+    "policy_names",
+    "register_policy",
+]

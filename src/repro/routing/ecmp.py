@@ -1,0 +1,35 @@
+"""Flow-level ECMP: the Fibonacci-hash pick every figure in the repo uses.
+
+This is the registered form of the arithmetic
+:class:`repro.sim.switch.Switch` inlines on its default fast path; with
+``salt=0`` the two are bit-for-bit identical (a test pins this), so
+``routing="ecmp"`` and the default are the same experiment.  A non-zero
+``salt`` re-rolls every hash — the standard operator move when a
+polarized fabric needs its collisions shuffled — and forces the policy
+onto the pluggable path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.routing.base import RoutingPolicy
+from repro.routing.registry import register_policy
+from repro.sim.switch import ecmp_index
+
+
+@register_policy(
+    "ecmp",
+    aliases=("ecmp-hash", "hash"),
+    description="flow-level Fibonacci hash of (flow, switch); the default",
+)
+class EcmpPolicy(RoutingPolicy):
+    """Flow-level ECMP hash; ``salt`` re-rolls path assignments."""
+
+    def __init__(self, salt: int = 0):
+        self.salt = int(salt)
+
+    def select(self, pkt, options: Sequence):
+        return options[
+            ecmp_index(pkt.flow_id, self.switch_id, len(options), self.salt)
+        ]

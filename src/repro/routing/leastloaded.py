@@ -1,0 +1,75 @@
+"""Weighted-least-loaded path assignment (flow-level).
+
+The sdn-loadbalance controllers' weighted-least-connections policy,
+moved into the switch: a new flow is pinned to the candidate port with
+the smallest weighted load *at arrival time*, read from live per-port
+state rather than a hash.  Two load metrics:
+
+* ``metric="flows"`` — weighted-least-connections proper: the count of
+  flows this policy has assigned to each port.  Cheap, and exactly the
+  controller logic (connection counts per server, divided by weight).
+* ``metric="qlen"`` — instantaneous queue occupancy
+  (``port.qlen_bytes``), the congestion-aware variant: a port hot from
+  *other* traffic (cross-rack collisions, incast) repels new flows even
+  when its assignment count is low.
+
+Either way the pick is pinned for the flow's lifetime, so INT hop
+indices stay stable (docs/INVARIANTS.md#path-stability).  Ties break by
+candidate position, deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.routing.base import RoutingPolicy
+from repro.routing.registry import register_policy
+
+_METRICS = ("flows", "qlen")
+
+
+@register_policy(
+    "least-loaded",
+    aliases=("least-connections", "wlc"),
+    description="pin new flows to the least-loaded candidate port",
+)
+class LeastLoadedPolicy(RoutingPolicy):
+    """Pin each new flow to the candidate with the smallest weighted load."""
+
+    def __init__(
+        self, metric: str = "flows", weights: Optional[Sequence[int]] = None
+    ):
+        if metric not in _METRICS:
+            raise ValueError(
+                f"least-loaded metric must be one of {_METRICS}, got {metric!r}"
+            )
+        self.metric = metric
+        self.weights: Tuple[int, ...] = tuple(int(w) for w in (weights or ()))
+        if any(w <= 0 for w in self.weights):
+            raise ValueError(
+                f"least-loaded weights must be positive integers, got "
+                f"{self.weights}"
+            )
+        #: (flow_id, dst) -> pinned port
+        self._pins: Dict[Tuple[int, int], object] = {}
+        #: port_id -> flows assigned here (the "connections" counter)
+        self._counts: Dict[int, int] = {}
+
+    def _load(self, port, index: int) -> float:
+        weight = self.weights[index % len(self.weights)] if self.weights else 1
+        if self.metric == "qlen":
+            return port.qlen_bytes / weight
+        return self._counts.get(port.port_id, 0) / weight
+
+    def select(self, pkt, options: Sequence):
+        pin = (pkt.flow_id, pkt.dst)
+        port = self._pins.get(pin)
+        if port is None:
+            best = min(
+                range(len(options)),
+                key=lambda i: (self._load(options[i], i), i),
+            )
+            port = options[best]
+            self._pins[pin] = port
+            self._counts[port.port_id] = self._counts.get(port.port_id, 0) + 1
+        return port

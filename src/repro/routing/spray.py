@@ -1,0 +1,72 @@
+"""Per-packet spraying: every packet re-picks its path.
+
+The load-balancing endpoint Ousterhout's "It's Time to Replace TCP in
+the Datacenter" argues for: spreading *packets* (not flows) across equal
+candidates erases hash-collision hotspots entirely, at the price of
+reordering — so this policy's :class:`Requirements` declare
+``reordering_tolerant_receiver=True`` and give up ``flow_stable``.
+:class:`repro.experiments.driver.FlowDriver` reads that union off the
+built network and launches receivers that buffer out-of-order segments
+(cumulative-ACK semantics preserved) and senders with a raised
+duplicate-ACK threshold, so spraying does not manufacture spurious
+go-back-N storms.  This is the documented exception to the path-stability
+contract (docs/INVARIANTS.md#path-stability): INT hop indices are *not*
+comparable across one flow's ACKs under spray.
+
+Two modes: ``mode="rr"`` (default) sprays in strict rotation per
+candidate set; ``mode="random"`` draws uniformly from a
+``random.Random`` seeded from (``seed``, switch id), deterministic per
+run yet uncorrelated across switches.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Sequence
+
+from repro.routing.base import RoutingPolicy
+from repro.routing.registry import Requirements, register_policy
+
+_MODES = ("rr", "random")
+
+#: mixes the user seed with the switch id so neighbouring switches do not
+#: spray in lockstep (any odd multiplier works; primes mix well)
+_SEED_MIX = 1_000_003
+
+
+@register_policy(
+    "spray",
+    aliases=("packet-spray", "per-packet"),
+    requirements=Requirements(
+        reordering_tolerant_receiver=True, flow_stable=False
+    ),
+    description="per-packet rotation/seeded spraying; needs reorder-tolerant receivers",
+)
+class SprayPolicy(RoutingPolicy):
+    """Per-packet path spraying (round-robin or seeded random)."""
+
+    def __init__(self, mode: str = "rr", seed: int = 1):
+        if mode not in _MODES:
+            raise ValueError(
+                f"spray mode must be one of {_MODES}, got {mode!r}"
+            )
+        self.mode = mode
+        self.seed = int(seed)
+        #: candidate set -> next rotation index (rr mode)
+        self._cursors: Dict[tuple, int] = {}
+        self._rng: random.Random = random.Random(self.seed)
+
+    def attach(self, switch) -> None:
+        super().attach(switch)
+        # Re-seed with the owning switch folded in, so every switch
+        # sprays its own deterministic sequence.
+        self._rng = random.Random(self.seed * _SEED_MIX ^ switch.switch_id)
+
+    def select(self, pkt, options: Sequence):
+        n = len(options)
+        if self.mode == "random":
+            return options[self._rng.randrange(n)]
+        key = tuple(options)
+        cursor = self._cursors.get(key, 0)
+        self._cursors[key] = cursor + 1
+        return options[cursor % n]

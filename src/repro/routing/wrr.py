@@ -1,0 +1,69 @@
+"""Weighted round-robin path assignment (flow-level).
+
+The sdn-loadbalance controller family's WRR policy, adapted to switches:
+new flows are dealt onto candidate ports in weighted rotation, then
+pinned — all packets of one flow keep one path, so INT hop indices stay
+stable (docs/INVARIANTS.md#path-stability).  Unlike ECMP's stateless
+hash, WRR cannot collide: the k-th flow through a switch lands on a port
+determined by arrival order, not by hash luck, at the cost of per-switch
+cursor state.
+
+``weights`` cycles over the candidate ports by position (default: all 1,
+i.e. plain round-robin).  A rotation cursor is kept per *candidate set*
+— ToRs deal uplink flows independently of downlink (single-candidate)
+routes, which never reach the policy at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.routing.base import RoutingPolicy
+from repro.routing.registry import register_policy
+
+
+@register_policy(
+    "wrr",
+    aliases=("weighted-rr", "weighted-round-robin"),
+    description="deal new flows onto ports in weighted rotation, then pin",
+)
+class WeightedRoundRobinPolicy(RoutingPolicy):
+    """Weighted round-robin over candidate ports, pinned per flow."""
+
+    def __init__(self, weights: Optional[Sequence[int]] = None):
+        self.weights: Tuple[int, ...] = tuple(int(w) for w in (weights or ()))
+        if any(w <= 0 for w in self.weights):
+            raise ValueError(
+                f"wrr weights must be positive integers, got {self.weights}"
+            )
+        #: (flow_id, dst) -> pinned candidate index
+        self._pins: Dict[Tuple[int, int], int] = {}
+        #: candidate set -> [cursor index, remaining credit at cursor]
+        self._state: Dict[tuple, list] = {}
+
+    def _weight(self, index: int) -> int:
+        if not self.weights:
+            return 1
+        return self.weights[index % len(self.weights)]
+
+    def _deal(self, options: Sequence) -> int:
+        """Advance the weighted rotation for this candidate set by one."""
+        key = tuple(options)
+        state = self._state.get(key)
+        if state is None:
+            state = self._state[key] = [0, self._weight(0)]
+        index = state[0]
+        state[1] -= 1
+        if state[1] <= 0:
+            nxt = (index + 1) % len(options)
+            state[0] = nxt
+            state[1] = self._weight(nxt)
+        return index
+
+    def select(self, pkt, options: Sequence):
+        pin = (pkt.flow_id, pkt.dst)
+        index = self._pins.get(pin)
+        if index is None:
+            index = self._deal(options)
+            self._pins[pin] = index
+        return options[index % len(options)]

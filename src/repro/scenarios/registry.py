@@ -33,6 +33,7 @@ BUILTIN_MODULES = (
     "repro.experiments.coexistence",
     "repro.experiments.permutation",
     "repro.experiments.multibottleneck",
+    "repro.experiments.lbmatrix",
 )
 
 

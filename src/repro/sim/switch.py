@@ -1,11 +1,20 @@
-"""Output-queued switch with ECMP forwarding.
+"""Output-queued switch with pluggable path selection.
 
 A switch owns a set of :class:`~repro.sim.port.EgressPort` objects sharing
 one :class:`~repro.sim.buffer.SharedBuffer` (Dynamic Thresholds).  Routing
 is a precomputed table: destination host id -> tuple of candidate egress
-ports.  When several candidates exist (fat-tree uplinks) the port is picked
-by a per-flow hash, i.e. flow-level ECMP: all packets of one flow take one
-path, so INT hop indices are stable across the flow's lifetime.
+ports.  When several candidates exist (fat-tree uplinks) the pick belongs
+to the switch's routing *policy* (:mod:`repro.routing`): flow-level ECMP
+by default, or any registered policy (WRR, least-loaded, spray) passed as
+``policy=``.
+
+The default — parameterless ECMP, ``policy=None`` — is special-cased the
+same way :class:`repro.sim.port.EgressPort` specializes its hot path:
+``__new__`` swaps construction to :class:`_EcmpSwitch`, whose
+``route_for``/``receive`` inline the exact historical hash arithmetic
+with no policy indirection, so the 26 committed figure series are
+byte-identical by construction.  Subclasses (e.g. the RDCN ToR) are
+never swapped.
 """
 
 from __future__ import annotations
@@ -19,10 +28,63 @@ from repro.sim.port import EgressPort
 _HASH_MIX = 0x9E3779B1  # Fibonacci hashing constant; cheap deterministic mix
 
 
+def ecmp_index(flow_id: int, switch_id: int, n: int, salt: int = 0) -> int:
+    """The flow-level ECMP pick: deterministic per (flow, switch, salt).
+
+    With ``salt=0`` this is bit-for-bit the arithmetic the fast path
+    inlines (and every committed figure series was produced with) —
+    :mod:`repro.routing.ecmp` wraps it as the registered policy.
+    """
+    return ((((flow_id ^ switch_id) + salt) * _HASH_MIX) & 0xFFFFFFFF) % n
+
+
+class RoutingError(KeyError):
+    """A switch has no route for a packet's destination.
+
+    Subclasses ``KeyError`` so pre-existing ``except KeyError`` handlers
+    keep working, but names the switch, the destination, and the known
+    routes instead of the bare ``KeyError(dst)`` that used to escape
+    ``Switch.receive``.
+    """
+
+    def __init__(self, switch_name: str, dst: int, known: Sequence[int]):
+        super().__init__(dst)
+        self.switch_name = switch_name
+        self.dst = dst
+        self.known_destinations = tuple(known)
+
+    def __str__(self) -> str:
+        known = ", ".join(map(str, self.known_destinations)) or "(none)"
+        return (
+            f"switch {self.switch_name!r} has no route for destination "
+            f"{self.dst} (known destinations: {known})"
+        )
+
+
 class Switch:
     """A store-and-forward switch node."""
 
-    __slots__ = ("sim", "switch_id", "name", "buffer", "ports", "routes", "rx_packets")
+    __slots__ = (
+        "sim",
+        "switch_id",
+        "name",
+        "buffer",
+        "ports",
+        "routes",
+        "rx_packets",
+        "policy",
+    )
+
+    def __new__(cls, sim, *args, **kwargs):
+        # Class-swap specialization, mirroring EgressPort.__new__: the
+        # overwhelmingly common configuration (no policy object = default
+        # ECMP) gets a subclass whose route_for/receive inline the seed-
+        # exact hash with no policy branch.  Subclasses (RdcnToR) are
+        # never swapped; set_policy() re-swaps after construction.
+        policy = kwargs.get("policy") if len(args) < 4 else args[3]
+        if cls is Switch and policy is None:
+            return object.__new__(_EcmpSwitch)
+        return object.__new__(cls)
 
     def __init__(
         self,
@@ -30,6 +92,7 @@ class Switch:
         switch_id: int,
         name: str = "",
         buffer: Optional[SharedBuffer] = None,
+        policy=None,
     ):
         self.sim = sim
         self.switch_id = switch_id
@@ -38,6 +101,9 @@ class Switch:
         self.ports: list[EgressPort] = []
         self.routes: Dict[int, Tuple[EgressPort, ...]] = {}
         self.rx_packets = 0
+        self.policy = policy
+        if policy is not None:
+            policy.attach(self)
 
     def add_port(self, port: EgressPort) -> EgressPort:
         """Register an egress port (its shared buffer is wired here)."""
@@ -52,27 +118,81 @@ class Switch:
             raise ValueError(f"no ports given for destination {dst}")
         self.routes[dst] = tuple(ports)
 
+    def set_policy(self, policy) -> None:
+        """Per-switch policy override after construction.
+
+        ``None`` restores the default ECMP fast path.  The swap between
+        :class:`Switch` and :class:`_EcmpSwitch` is safe because their
+        slot layouts are identical (``_EcmpSwitch.__slots__ == ()``);
+        subclasses keep their own class either way.
+        """
+        if policy is None:
+            self.policy = None
+            if type(self) is Switch:
+                self.__class__ = _EcmpSwitch
+            return
+        if type(self) is _EcmpSwitch:
+            self.__class__ = Switch
+        policy.attach(self)
+        self.policy = policy
+
+    def candidates(self, dst: int) -> Tuple[EgressPort, ...]:
+        """The route-table row for ``dst``; :class:`RoutingError` if absent."""
+        try:
+            return self.routes[dst]
+        except KeyError:
+            raise RoutingError(self.name, dst, sorted(self.routes)) from None
+
+    def route_for(self, pkt: Packet) -> EgressPort:
+        """Path selection: the policy's pick among the candidates."""
+        options = self.candidates(pkt.dst)
+        if len(options) == 1:
+            return options[0]
+        policy = self.policy
+        if policy is None:
+            # Subclasses built without a policy (RDCN ToR) fall back to
+            # the default flow-level ECMP arithmetic.
+            index = ((pkt.flow_id ^ self.switch_id) * _HASH_MIX) & 0xFFFFFFFF
+            return options[index % len(options)]
+        return policy.select(pkt, options)
+
+    def receive(self, pkt: Packet) -> None:
+        """Forward an arriving packet to the routed egress port."""
+        self.rx_packets += 1
+        self.route_for(pkt).enqueue(pkt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Switch({self.name}, ports={len(self.ports)})"
+
+
+class _EcmpSwitch(Switch):
+    """Class-swap fast path: default flow-level ECMP, no policy branch.
+
+    ``Switch.__new__`` swaps construction to this class whenever no
+    policy object is given.  ``route_for``/``receive`` are the historical
+    seed-exact bodies — the ECMP pick is inlined in ``receive`` (same
+    arithmetic as ``route_for``) to avoid the extra call per packet.
+    """
+
+    __slots__ = ()
+
     def route_for(self, pkt: Packet) -> EgressPort:
         """ECMP selection: deterministic per (flow, switch)."""
-        options = self.routes[pkt.dst]
+        options = self.candidates(pkt.dst)
         if len(options) == 1:
             return options[0]
         index = ((pkt.flow_id ^ self.switch_id) * _HASH_MIX) & 0xFFFFFFFF
         return options[index % len(options)]
 
     def receive(self, pkt: Packet) -> None:
-        """Forward an arriving packet to the routed egress port.
-
-        Fires once per packet per switch; the ECMP pick is inlined from
-        :meth:`route_for` (same arithmetic) to avoid the extra call.
-        """
+        """Forward an arriving packet to the ECMP-routed egress port."""
         self.rx_packets += 1
-        options = self.routes[pkt.dst]
+        try:
+            options = self.routes[pkt.dst]
+        except KeyError:
+            raise RoutingError(self.name, pkt.dst, sorted(self.routes)) from None
         if len(options) == 1:
             options[0].enqueue(pkt)
         else:
             index = ((pkt.flow_id ^ self.switch_id) * _HASH_MIX) & 0xFFFFFFFF
             options[index % len(options)].enqueue(pkt)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Switch({self.name}, ports={len(self.ports)})"

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.routing.registry import make_policy
 from repro.sim.buffer import SharedBuffer
 from repro.sim.engine import Simulator
 from repro.sim.host import Host
@@ -36,6 +37,10 @@ class DumbbellParams:
     dt_alpha: float = 1.0
     mtu_payload: int = 1000
     int_stamping: bool = True
+    #: routing policy (uniform knob; every dumbbell route has a single
+    #: candidate, so the policy is only ever consulted on fabrics)
+    routing: str = "ecmp"
+    routing_params: Optional[dict] = None
 
 
 @register_topology(
@@ -49,8 +54,15 @@ def build_dumbbell(sim: Simulator, params: Optional[DumbbellParams] = None) -> N
     net = Network(sim, name="dumbbell")
     net.host_bw_bps = p.host_bw_bps
 
-    left = Switch(sim, switch_id=0, name="left", buffer=SharedBuffer(p.buffer_bytes, p.dt_alpha))
-    right = Switch(sim, switch_id=1, name="right", buffer=SharedBuffer(p.buffer_bytes, p.dt_alpha))
+    routing_spec = make_policy(p.routing, **(p.routing_params or {}))
+
+    def _policy():
+        return None if routing_spec.is_default_ecmp else routing_spec.create()
+
+    left = Switch(sim, switch_id=0, name="left",
+                  buffer=SharedBuffer(p.buffer_bytes, p.dt_alpha), policy=_policy())
+    right = Switch(sim, switch_id=1, name="right",
+                   buffer=SharedBuffer(p.buffer_bytes, p.dt_alpha), policy=_policy())
     net.add_switch(left)
     net.add_switch(right)
 
@@ -133,5 +145,7 @@ def build_dumbbell(sim: Simulator, params: Optional[DumbbellParams] = None) -> N
     net.receiver_hosts = [h.host_id for h in right_hosts]
     net.bottleneck_label = "bottleneck"
     net.shared_bottleneck = True
+    net.routing_name = routing_spec.name
+    net.routing_params = dict(routing_spec.params)
     net.extras["params"] = p
     return net

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.routing.registry import make_policy
 from repro.sim.buffer import SharedBuffer
 from repro.sim.engine import Simulator
 from repro.sim.host import Host
@@ -45,6 +46,10 @@ class FatTreeParams:
     dt_alpha: float = 1.0
     mtu_payload: int = 1000
     int_stamping: bool = True
+    #: routing policy deployed on every switch (repro.routing registry
+    #: name); parameterless "ecmp" keeps the inline byte-identical path
+    routing: str = "ecmp"
+    routing_params: Optional[dict] = None
 
     @property
     def num_tors(self) -> int:
@@ -93,6 +98,15 @@ def build_fattree(sim: Simulator, params: Optional[FatTreeParams] = None) -> Net
     net = Network(sim, name="fattree")
     net.host_bw_bps = p.host_bw_bps
 
+    # Resolve the routing policy once (unknown names/params fail here);
+    # parameterless ECMP passes policy=None so every switch keeps the
+    # inline byte-identical fast path.  Policy *instances* are
+    # per-switch (pins, cursors, and counters live in the switch).
+    routing_spec = make_policy(p.routing, **(p.routing_params or {}))
+
+    def _policy():
+        return None if routing_spec.is_default_ecmp else routing_spec.create()
+
     switch_ids = iter(range(1_000_000))
 
     # --- nodes ------------------------------------------------------
@@ -102,7 +116,13 @@ def build_fattree(sim: Simulator, params: Optional[FatTreeParams] = None) -> Net
 
     tors: List[Switch] = [
         net.add_switch(
-            Switch(sim, next(switch_ids), f"tor{t}", buffer=_switch_buffer(p, tor_bw))
+            Switch(
+                sim,
+                next(switch_ids),
+                f"tor{t}",
+                buffer=_switch_buffer(p, tor_bw),
+                policy=_policy(),
+            )
         )
         for t in range(p.num_tors)
     ]
@@ -114,6 +134,7 @@ def build_fattree(sim: Simulator, params: Optional[FatTreeParams] = None) -> Net
                     next(switch_ids),
                     f"agg{pod}-{a}",
                     buffer=_switch_buffer(p, agg_bw),
+                    policy=_policy(),
                 )
             )
             for a in range(p.aggs_per_pod)
@@ -122,7 +143,13 @@ def build_fattree(sim: Simulator, params: Optional[FatTreeParams] = None) -> Net
     ]
     cores: List[Switch] = [
         net.add_switch(
-            Switch(sim, next(switch_ids), f"core{c}", buffer=_switch_buffer(p, core_bw))
+            Switch(
+                sim,
+                next(switch_ids),
+                f"core{c}",
+                buffer=_switch_buffer(p, core_bw),
+                policy=_policy(),
+            )
         )
         for c in range(p.num_cores)
     ]
@@ -338,6 +365,8 @@ def build_fattree(sim: Simulator, params: Optional[FatTreeParams] = None) -> Net
         return pairs[:count]
 
     net.pair_policy_fn = fattree_pairs
+    net.routing_name = routing_spec.name
+    net.routing_params = dict(routing_spec.params)
     net.extras["params"] = p
     net.extras["tor_uplinks"] = tor_uplinks
     net.extras["tors"] = tors

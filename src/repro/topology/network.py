@@ -5,6 +5,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.routing.registry import Requirements as RoutingRequirements
 from repro.sim.engine import Simulator
 from repro.sim.host import Host
 from repro.sim.packet import ACK_BYTES, HEADER_BYTES
@@ -93,6 +94,10 @@ class Network:
         #: optional interesting ports registered by builders, keyed by label
         #: (e.g. "bottleneck", "tor0-up0") for probes and experiments.
         self.labeled_ports: Dict[str, EgressPort] = {}
+        #: routing policy the builder deployed (name + bound params);
+        #: "ecmp" with no params means the inline default fast path.
+        self.routing_name: str = "ecmp"
+        self.routing_params: Dict[str, object] = {}
         #: builder-specific extras (circuit controller, schedule, ...).
         self.extras: Dict[str, object] = {}
         # -- uniform introspection surface (set by builders) -----------
@@ -217,7 +222,23 @@ class Network:
             "bottleneck_label": self.bottleneck_label,
             "shared_bottleneck": self.shared_bottleneck,
             "labeled_ports": sorted(self.labeled_ports),
+            "routing": self.routing_name,
+            "routing_params": dict(self.routing_params),
         }
+
+    def routing_requirements(self) -> RoutingRequirements:
+        """Union of the deployed switch policies' transport requirements.
+
+        Switches without a policy object run the default flow-stable
+        ECMP fast path, which demands nothing of the transport; an empty
+        union therefore yields the default requirements.  The driver
+        reads this to decide whether receivers must tolerate reordering.
+        """
+        return RoutingRequirements.union(
+            s.policy.requirements
+            for s in self.switches
+            if getattr(s, "policy", None) is not None
+        )
 
     def path_rtt_ns(self, src: int, dst: int) -> int:
         """Base RTT of the (src, dst) path; the network max if unknown."""

@@ -27,6 +27,7 @@ from collections.abc import Sequence as AbcSequence
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
+from repro.routing.registry import make_policy
 from repro.sim.buffer import SharedBuffer
 from repro.sim.engine import Simulator
 from repro.sim.host import Host
@@ -56,6 +57,10 @@ class ParkingLotParams:
     dt_alpha: float = 1.0
     mtu_payload: int = 1000
     int_stamping: bool = True
+    #: routing policy (uniform knob; chain routes are single-candidate,
+    #: so the policy is only ever consulted on fabrics)
+    routing: str = "ecmp"
+    routing_params: Optional[dict] = None
 
     def __post_init__(self):
         if self.segments < 1:
@@ -134,9 +139,16 @@ def build_parking_lot(
     net = Network(sim, name="parking-lot")
     net.host_bw_bps = p.host_bw_bps
 
+    routing_spec = make_policy(p.routing, **(p.routing_params or {}))
+
+    def _policy():
+        return None if routing_spec.is_default_ecmp else routing_spec.create()
+
     switches = [
         net.add_switch(
-            Switch(sim, i, f"s{i}", buffer=SharedBuffer(p.buffer_bytes, p.dt_alpha))
+            Switch(sim, i, f"s{i}",
+                   buffer=SharedBuffer(p.buffer_bytes, p.dt_alpha),
+                   policy=_policy())
         )
         for i in range(p.segments + 1)
     ]
@@ -248,6 +260,8 @@ def build_parking_lot(
         ]
 
     net.pair_policy_fn = parking_lot_pairs
+    net.routing_name = routing_spec.name
+    net.routing_params = dict(routing_spec.params)
     net.extras["params"] = p
     net.extras["switches"] = switches
     return net

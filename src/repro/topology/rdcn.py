@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.routing.registry import make_policy
 from repro.sim.buffer import SharedBuffer
 from repro.sim.circuit import CircuitPort, CircuitSchedule, RotorController
 from repro.sim.engine import Simulator
@@ -50,6 +51,10 @@ class RdcnParams:
     mtu_payload: int = 1000
     int_stamping: bool = True
     record_queuing: bool = True
+    #: routing policy applied to the packet core (the ToRs steer between
+    #: circuit and packet networks themselves — see :class:`RdcnToR`)
+    routing: str = "ecmp"
+    routing_params: Optional[dict] = None
 
     def tor_of_host(self, host_id: int) -> int:
         """Global ToR index of a host."""
@@ -115,11 +120,17 @@ def build_rdcn(sim: Simulator, params: Optional[RdcnParams] = None) -> Network:
 
     schedule = CircuitSchedule(p.num_tors, p.day_ns, p.night_ns)
 
+    routing_spec = make_policy(p.routing, **(p.routing_params or {}))
+
+    def _policy():
+        return None if routing_spec.is_default_ecmp else routing_spec.create()
+
     packet_switch = Switch(
         sim,
         switch_id=10_000,
         name="packet-core",
         buffer=SharedBuffer(p.buffer_bytes, p.dt_alpha),
+        policy=_policy(),
     )
     net.add_switch(packet_switch)
 
@@ -254,6 +265,8 @@ def build_rdcn(sim: Simulator, params: Optional[RdcnParams] = None) -> Network:
         ]
 
     net.pair_policy_fn = rdcn_pairs
+    net.routing_name = routing_spec.name
+    net.routing_params = dict(routing_spec.params)
     net.extras["params"] = p
     net.extras["schedule"] = schedule
     net.extras["controller"] = controller

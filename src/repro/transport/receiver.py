@@ -7,7 +7,13 @@ all the switches along the path from sender to receiver and back to
 sender").
 
 Out-of-order segments are acknowledged but not buffered (go-back-N
-semantics, matching RDMA NIC behaviour).
+semantics, matching RDMA NIC behaviour) — unless the receiver is
+constructed ``reorder_tolerant=True``, in which case out-of-order
+segments accumulate in a gap buffer and the cumulative ACK jumps
+forward the moment the gap fills.  The driver enables this when the
+network's routing policy sprays packets across paths
+(:mod:`repro.routing.spray`): spraying reorders constantly, and
+go-back-N would turn every reordering into a retransmission storm.
 
 For DCQCN the receiver doubles as the *notification point*: when a
 congestion-marked packet arrives it returns a CNP, rate-limited to one per
@@ -41,6 +47,7 @@ class Receiver:
         echo_int: bool = True,
         stamp_acks: bool = True,
         cnp_interval_ns: Optional[int] = None,
+        reorder_tolerant: bool = False,
         on_complete: Optional[Callable[[Flow], None]] = None,
     ):
         self.sim = sim
@@ -49,9 +56,15 @@ class Receiver:
         self.echo_int = echo_int
         self.stamp_acks = stamp_acks
         self.cnp_interval_ns = cnp_interval_ns
+        self.reorder_tolerant = reorder_tolerant
         self.on_complete = on_complete
         self.rcv_nxt = 0
         self.out_of_order = 0
+        #: gap buffer (reorder-tolerant mode): seq -> end_seq of a
+        #: buffered out-of-order segment.  Segment boundaries are
+        #: MTU-aligned and deterministic, so keys line up exactly when
+        #: the gap fills.
+        self._ooo: dict = {}
         self._last_cnp_ns: Optional[int] = None
         self._pool = get_pool(sim)
 
@@ -65,10 +78,25 @@ class Receiver:
             return
         if pkt.seq == self.rcv_nxt:
             self.rcv_nxt = pkt.end_seq
+            # Reorder-tolerant mode: the gap just filled — drain every
+            # buffered segment that now sits on the in-order frontier, so
+            # the cumulative ACK jumps past everything already held.
+            while self._ooo:
+                end = self._ooo.pop(self.rcv_nxt, None)
+                if end is None:
+                    break
+                self.rcv_nxt = end
             self.flow.bytes_received = self.rcv_nxt
         elif pkt.seq > self.rcv_nxt:
-            # Go-back-N: the gap forces the sender to rewind; do not buffer.
             self.out_of_order += 1
+            if self.reorder_tolerant:
+                # Buffer the segment; duplicates (go-back-N overlap) may
+                # only ever extend a recorded range, never shrink it.
+                prev = self._ooo.get(pkt.seq)
+                if prev is None or pkt.end_seq > prev:
+                    self._ooo[pkt.seq] = pkt.end_seq
+            # else go-back-N: the gap forces the sender to rewind; do not
+            # buffer.
 
         self._maybe_send_cnp(pkt)
 

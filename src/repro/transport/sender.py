@@ -45,6 +45,7 @@ class Sender:
         ecn_capable: bool = False,
         priority: int = 0,
         rto_ns: Optional[int] = None,
+        dup_ack_threshold: Optional[int] = None,
         on_complete: Optional[Callable[[Flow], None]] = None,
     ):
         self.sim = sim
@@ -68,7 +69,13 @@ class Sender:
         self.snd_nxt = 0
         self.snd_una = 0
         self.dup_acks = 0
-        self.dup_ack_threshold = DUP_ACK_THRESHOLD
+        # The driver raises this for flows crossing a packet-spraying
+        # network: under spray, a burst of duplicate ACKs is routine
+        # reordering, not loss, and the go-back-N rewind must wait for a
+        # persistent gap (the RTO remains the loss backstop).
+        self.dup_ack_threshold = (
+            dup_ack_threshold if dup_ack_threshold is not None else DUP_ACK_THRESHOLD
+        )
         # Go-back-N retransmits data the receiver may already have; the
         # duplicate ACKs it elicits must not trigger another rewind, or a
         # single reordering event becomes a permanent retransmission storm.

@@ -1,0 +1,13 @@
+"""Bad fixture: an unregistered, set-iterating policy (never executed)."""
+
+from repro.routing.base import RoutingPolicy
+
+
+class GhostPolicy(RoutingPolicy):
+    """Invisible to repro list, builders, and the requirement union."""
+
+    def select(self, pkt, options):
+        for index in {0, 1, 2}:  # line 10: unordered-iteration
+            if options[index].qlen_bytes == 0:
+                return options[index]
+        return options[0]

@@ -1,0 +1,13 @@
+"""Good fixture: a registered, deterministically-iterating policy
+(never executed)."""
+
+from repro.routing.base import RoutingPolicy
+from repro.routing.registry import register_policy
+
+
+@register_policy("good-picker", description="picks the first quiet port")
+class GoodPicker(RoutingPolicy):
+    def select(self, pkt, options):
+        for port in sorted(options, key=lambda p: p.qlen_bytes):
+            return port
+        return options[0]

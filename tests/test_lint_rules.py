@@ -42,6 +42,10 @@ BAD_EXPECTATIONS = {
     ("repro", "cc", "bad_unregistered.py"): [
         ("unregistered-cc", 1),
     ],
+    ("repro", "routing", "bad_unregistered.py"): [
+        ("unregistered-routing-policy", 1),
+        ("unordered-iteration", 10),
+    ],
     ("repro", "experiments", "bad_topology_import.py"): [
         ("concrete-topology-import", 3),
         ("concrete-topology-import", 4),
@@ -79,6 +83,7 @@ BAD_EXPECTATIONS = {
 GOOD_FIXTURES = [
     ("repro", "sim", "good_determinism.py"),
     ("repro", "cc", "good_feedback_retention.py"),
+    ("repro", "routing", "good_registered.py"),
     ("repro", "experiments", "good_topology_import.py"),
     ("repro", "sim", "good_float_time.py"),
     ("repro", "sim", "good_cancel.py"),

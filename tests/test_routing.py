@@ -1,0 +1,394 @@
+"""Routing-layer tests: registry, class swap, policies, spray transport.
+
+Covers the contracts the routing refactor introduced:
+
+* registry resolution (aliases, unknown names/params fail loudly);
+* the default-ECMP class swap (``_EcmpSwitch``) that keeps committed
+  figure series byte-identical, and its equivalence to the registered
+  ``ecmp`` policy object;
+* per-policy determinism (fixed seed => identical per-port bytes);
+* WRR / least-loaded assignment arithmetic and flow pinning;
+* spray + reorder-tolerant receiver end-to-end delivery (all bytes
+  ACKed, zero retransmissions on an uncongested fabric);
+* the lb_matrix scenario separating the policies' fabric metrics;
+* the HOMA x spray incompatibility error.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.driver import FlowDriver
+from repro.routing import (
+    POLICIES,
+    Requirements,
+    get_policy,
+    load_builtin_policies,
+    make_policy,
+    policy_names,
+)
+from repro.routing.ecmp import EcmpPolicy
+from repro.routing.leastloaded import LeastLoadedPolicy
+from repro.routing.spray import SprayPolicy
+from repro.routing.wrr import WeightedRoundRobinPolicy
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.packet import Packet
+from repro.sim.port import EgressPort
+from repro.sim.switch import RoutingError, Switch, _EcmpSwitch, ecmp_index
+from repro.topology.registry import build_topology, make_topology_params
+from repro.transport.flow import Flow
+from repro.transport.receiver import Receiver
+from repro.units import GBPS, MSEC
+
+ALL_POLICIES = ("ecmp", "wrr", "least-loaded", "spray")
+
+
+def tiny_fattree(**overrides):
+    return make_topology_params(
+        "fattree",
+        num_pods=2,
+        tors_per_pod=2,
+        aggs_per_pod=2,
+        num_cores=2,
+        hosts_per_tor=2,
+        host_bw_bps=10 * GBPS,
+        fabric_bw_bps=10 * GBPS,
+        **overrides,
+    )
+
+
+def run_cross_pod_flows(params, flow_bytes=40_000, flows=4, horizon=20 * MSEC):
+    """A few cross-pod flows; returns (net, driver)."""
+    sim = Simulator()
+    net = build_topology(sim, "fattree", params)
+    driver = FlowDriver(net, "powertcp")
+    half = net.num_hosts // 2
+    for i in range(flows):
+        driver.start_flow(i % half, half + (i % half), flow_bytes, at_ns=0)
+    driver.run(until_ns=horizon)
+    return net, driver
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_catalog_lists_builtins():
+    load_builtin_policies()
+    assert set(ALL_POLICIES) <= set(policy_names())
+
+
+def test_unknown_policy_raises_with_catalog():
+    with pytest.raises(KeyError, match="ecmp"):
+        get_policy("nope")
+
+
+def test_aliases_resolve():
+    assert get_policy("packet-spray").name == "spray"
+    assert get_policy("wlc").name == "least-loaded"
+    assert get_policy("hash").name == "ecmp"
+
+
+def test_unknown_param_raises_typeerror():
+    with pytest.raises(TypeError, match="bogus"):
+        make_policy("wrr", bogus=1)
+
+
+def test_bad_param_values_raise():
+    with pytest.raises(ValueError, match="weights"):
+        make_policy("wrr", weights=(0,)).create()
+    with pytest.raises(ValueError, match="metric"):
+        make_policy("least-loaded", metric="entropy").create()
+    with pytest.raises(ValueError, match="mode"):
+        make_policy("spray", mode="chaos").create()
+
+
+def test_requirements_union():
+    spray = get_policy("spray").requirements
+    ecmp = get_policy("ecmp").requirements
+    union = Requirements.union([spray, ecmp])
+    assert union.reordering_tolerant_receiver
+    assert not union.flow_stable
+    empty = Requirements.union([])
+    assert not empty.reordering_tolerant_receiver
+    assert empty.flow_stable
+
+
+def test_spec_create_returns_fresh_instances():
+    spec = make_policy("wrr")
+    a, b = spec.create(), spec.create()
+    assert a is not b
+
+
+# ----------------------------------------------------------------------
+# class swap (the byte-identity fast path)
+# ----------------------------------------------------------------------
+def test_default_switch_is_ecmp_fast_path():
+    sim = Simulator()
+    assert type(Switch(sim, 1)) is _EcmpSwitch
+    assert type(Switch(sim, 1, policy=EcmpPolicy())) is Switch
+
+
+def test_default_fattree_switches_use_fast_path():
+    sim = Simulator()
+    net = build_topology(sim, "fattree", tiny_fattree())
+    assert all(type(s) is _EcmpSwitch for s in net.switches)
+    assert net.routing_name == "ecmp"
+    assert net.routing_params == {}
+    assert net.describe()["routing"] == "ecmp"
+
+
+def test_set_policy_swaps_classes_both_ways():
+    sim = Simulator()
+    switch = Switch(sim, 1)
+    assert type(switch) is _EcmpSwitch
+    switch.set_policy(SprayPolicy())
+    assert type(switch) is Switch
+    assert switch.policy is not None
+    switch.set_policy(None)
+    assert type(switch) is _EcmpSwitch
+    assert switch.policy is None
+
+
+def test_policy_instances_are_per_switch():
+    sim = Simulator()
+    policy = EcmpPolicy()
+    Switch(sim, 1, policy=policy)
+    with pytest.raises(ValueError, match="per-switch"):
+        Switch(sim, 2, policy=policy)
+
+
+# ----------------------------------------------------------------------
+# routing errors (bugfix: bare KeyError(dst))
+# ----------------------------------------------------------------------
+def test_unknown_destination_names_switch_and_routes():
+    sim = Simulator()
+    for policy in (None, EcmpPolicy()):
+        switch = Switch(sim, 7, "leaf", policy=policy)
+        port = switch.add_port(EgressPort(sim, GBPS, 100))
+        switch.set_route(1, (port,))
+        switch.set_route(2, (port,))
+        with pytest.raises(RoutingError) as err:
+            switch.receive(Packet.data(5, 0, 99, 0, 100))
+        assert isinstance(err.value, KeyError)  # backcompat
+        assert "leaf" in str(err.value)
+        assert "99" in str(err.value)
+        assert err.value.known_destinations == (1, 2)
+
+
+# ----------------------------------------------------------------------
+# policy arithmetic
+# ----------------------------------------------------------------------
+def test_ecmp_policy_matches_inline_arithmetic():
+    sim = Simulator()
+    plain = Switch(sim, 3)
+    routed = Switch(sim, 3, policy=EcmpPolicy())
+    for switch in (plain, routed):
+        ports = [switch.add_port(EgressPort(sim, GBPS, 100)) for _ in range(4)]
+        switch.set_route(9, tuple(ports))
+    for flow in range(64):
+        pkt = Packet.data(flow, 0, 9, 0, 100)
+        assert plain.ports.index(plain.route_for(pkt)) == routed.ports.index(
+            routed.route_for(pkt)
+        )
+        assert plain.ports.index(plain.route_for(pkt)) == ecmp_index(
+            flow, 3, 4
+        )
+
+
+def test_ecmp_salt_changes_mapping():
+    picks = [ecmp_index(f, 1, 4) for f in range(32)]
+    salted = [ecmp_index(f, 1, 4, salt=7) for f in range(32)]
+    assert picks != salted
+
+
+def test_wrr_weighted_deal_and_pinning():
+    policy = WeightedRoundRobinPolicy(weights=(3, 1))
+    options = ("up0", "up1")
+    picks = [
+        policy.select(Packet.data(flow, 0, 9, 0, 100), options)
+        for flow in range(1, 9)
+    ]
+    # deal order with credits 3/1: flows 1-3 -> up0, 4 -> up1, 5-7 -> up0, 8 -> up1
+    assert picks.count("up0") == 6
+    assert picks.count("up1") == 2
+    # pinned: a later packet of flow 4 keeps its port
+    assert policy.select(Packet.data(4, 0, 9, 1000, 100), options) == picks[3]
+
+
+class _StubPort:
+    _next = 0
+
+    def __init__(self, qlen=0):
+        _StubPort._next += 1
+        self.port_id = _StubPort._next
+        self.qlen_bytes = qlen
+
+
+def test_least_loaded_pins_to_emptiest_counter():
+    policy = LeastLoadedPolicy()
+    options = tuple(_StubPort() for _ in range(3))
+    picks = [
+        policy.select(Packet.data(flow, 0, 9, 0, 100), options)
+        for flow in range(5)
+    ]
+    counts = [picks.count(p) for p in options]
+    assert counts == [2, 2, 1]  # round-robin via the connections counter
+    assert policy.select(Packet.data(0, 0, 9, 1000, 100), options) is picks[0]
+
+
+def test_least_loaded_qlen_metric_avoids_hot_port():
+    policy = LeastLoadedPolicy(metric="qlen")
+    hot, cold = _StubPort(qlen=50_000), _StubPort(qlen=0)
+    pick = policy.select(Packet.data(1, 0, 9, 0, 100), (hot, cold))
+    assert pick is cold
+
+
+def test_spray_rotates_per_packet():
+    policy = SprayPolicy()
+    options = ("a", "b", "c")
+    pkt = Packet.data(1, 0, 9, 0, 100)
+    picks = [policy.select(pkt, options) for _ in range(6)]
+    assert picks == ["a", "b", "c", "a", "b", "c"]
+
+
+def test_spray_random_mode_is_seed_deterministic():
+    class _Sw:
+        switch_id = 5
+        name = "s5"
+
+    draws = []
+    for _ in range(2):
+        policy = SprayPolicy(mode="random", seed=3)
+        policy.attach(_Sw())
+        pkt = Packet.data(1, 0, 9, 0, 100)
+        draws.append([policy.select(pkt, ("a", "b", "c")) for _ in range(16)])
+    assert draws[0] == draws[1]
+    assert len(set(draws[0])) > 1
+
+
+# ----------------------------------------------------------------------
+# determinism regression: fixed seed => identical per-port byte counts
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("routing", ALL_POLICIES)
+def test_policy_runs_are_deterministic(routing):
+    def per_port_tx():
+        net, _ = run_cross_pod_flows(
+            tiny_fattree(routing=routing), flow_bytes=20_000
+        )
+        return [
+            (s.name, p.name, p.tx_bytes)
+            for s in net.switches
+            for p in s.ports
+        ]
+
+    assert per_port_tx() == per_port_tx()
+
+
+# ----------------------------------------------------------------------
+# spray end-to-end: reordering tolerated, no spurious retransmissions
+# ----------------------------------------------------------------------
+def test_spray_delivers_all_bytes_without_retransmissions():
+    net, driver = run_cross_pod_flows(
+        tiny_fattree(routing="spray"), flow_bytes=60_000
+    )
+    assert net.routing_requirements().reordering_tolerant_receiver
+    for flow in driver.flows:
+        assert flow.completed
+        assert flow.bytes_received == flow.size_bytes
+        assert flow.retransmissions == 0
+    assert net.total_drops() == 0
+
+
+def test_reorder_tolerant_receiver_buffers_gap():
+    sim = Simulator()
+    host = Host(sim, 1)
+
+    class _Sink:
+        def receive(self, pkt):
+            pass
+
+    host.attach_nic(EgressPort(sim, GBPS, 100, peer=_Sink()))
+    flow = Flow(5, 0, 1, 3000)
+    receiver = Receiver(sim, host, flow, reorder_tolerant=True)
+    receiver.start()
+    # segments 2 and 3 arrive before segment 1
+    receiver.on_packet(Packet.data(5, 0, 1, 1000, 1000))
+    receiver.on_packet(Packet.data(5, 0, 1, 2000, 1000))
+    assert receiver.rcv_nxt == 0
+    assert receiver.out_of_order == 2
+    receiver.on_packet(Packet.data(5, 0, 1, 0, 1000))
+    assert receiver.rcv_nxt == 3000  # gap filled: cumulative ACK jumps
+    assert flow.bytes_received == 3000
+    assert flow.finish_ns is not None
+
+
+def test_go_back_n_receiver_still_discards_gaps():
+    sim = Simulator()
+    host = Host(sim, 1)
+
+    class _Sink:
+        def receive(self, pkt):
+            pass
+
+    host.attach_nic(EgressPort(sim, GBPS, 100, peer=_Sink()))
+    flow = Flow(5, 0, 1, 3000)
+    receiver = Receiver(sim, host, flow)
+    receiver.start()
+    receiver.on_packet(Packet.data(5, 0, 1, 1000, 1000))
+    receiver.on_packet(Packet.data(5, 0, 1, 0, 1000))
+    assert receiver.rcv_nxt == 1000  # the buffered-jump never happens
+
+
+# ----------------------------------------------------------------------
+# lb_matrix scenario
+# ----------------------------------------------------------------------
+def test_lb_matrix_separates_policies():
+    from repro.scenarios import get_scenario
+
+    scenario = get_scenario("lb_matrix")
+    signatures = {}
+    for routing in ("ecmp", "least-loaded", "spray"):
+        result = scenario.run(
+            **{**scenario.tiny_overrides(), "routing": routing}
+        )
+        metrics = result.metrics
+        assert metrics["completed"] == metrics["total_flows"]
+        signatures[routing] = (
+            metrics["uplink_imbalance"],
+            metrics["hotspot_peak_qlen_bytes"],
+        )
+        if routing == "spray":
+            assert metrics["reorder_events"] > 0
+            assert metrics["retransmissions"] == 0
+        else:
+            assert metrics["reorder_events"] == 0
+    assert len(set(signatures.values())) == 3
+
+
+def test_lb_matrix_does_not_mutate_shared_params():
+    from repro.experiments.lbmatrix import LbMatrixConfig, run_lb_matrix
+
+    base = tiny_fattree()
+    frozen = dataclasses.replace(base)
+    config = LbMatrixConfig(
+        routing="spray",
+        params=base,
+        flow_bytes=20_000,
+        duration_ns=1 * MSEC,
+        drain_ns=2 * MSEC,
+    )
+    run_lb_matrix(config)
+    assert base == frozen  # dataclasses.replace, never in-place mutation
+
+
+# ----------------------------------------------------------------------
+# HOMA x spray
+# ----------------------------------------------------------------------
+def test_homa_rejects_spraying_network():
+    sim = Simulator()
+    net = build_topology(sim, "fattree", tiny_fattree(routing="spray"))
+    driver = FlowDriver(net, "homa")
+    driver.start_flow(0, net.num_hosts - 1, 10_000, at_ns=0)
+    with pytest.raises(ValueError, match="spray"):
+        driver.run(until_ns=1 * MSEC)

@@ -28,6 +28,7 @@ ALL_SCENARIOS = [
     "coexistence",
     "fairness",
     "incast",
+    "lb_matrix",
     "multi_bottleneck",
     "permutation",
     "rdcn",
