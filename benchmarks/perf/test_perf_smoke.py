@@ -27,7 +27,11 @@ def test_case_grid_is_wellformed():
         "incast_batched",
         "websearch_batched",
         "permutation_batched",
-        "incast_calendar",
+        "incast_compiled",
+        "websearch_compiled",
+        "permutation_compiled",
+        "storm",
+        "storm_calendar",
         "fluid_grid",
     ]
     for case in PERF_CASES.values():
@@ -43,7 +47,10 @@ def test_case_grid_is_wellformed():
         ("incast_batched", "incast"),
         ("websearch_batched", "websearch_fct"),
         ("permutation_batched", "permutation"),
-        ("incast_calendar", "incast"),
+        ("incast_compiled", "incast"),
+        ("websearch_compiled", "websearch_fct"),
+        ("permutation_compiled", "permutation"),
+        ("storm_calendar", "storm"),
     ):
         assert PERF_CASES[variant].scenario == PERF_CASES[base].scenario
         assert PERF_CASES[variant].overrides == PERF_CASES[base].overrides
@@ -59,8 +66,12 @@ def test_tiny_grid_runs_and_reports(tmp_path):
     names = [c["case"] for c in doc["cases"]]
     assert names == case_names()
     for case in doc["cases"]:
-        if "skipped" in case:  # fluid_grid without numpy
-            assert case["case"] == "fluid_grid"
+        if "skipped" in case:
+            # fluid_grid without numpy, or *_compiled without the
+            # optional C extension — never a red grid
+            assert case["case"] == "fluid_grid" or case["case"].endswith(
+                "_compiled"
+            ), case
             continue
         assert case["events_processed"] > 0
         assert case["events_per_sec"] > 0
@@ -110,13 +121,37 @@ def test_batched_event_count_matches_unbatched():
 def test_calendar_variant_is_bit_identical():
     # The calendar queue preserves (time, seq) order exactly: metrics
     # and event counts must equal the heap run bit-for-bit.
-    base = run_perf(cases=["incast"], tiny=True, repeats=1)
-    calendar = run_perf(cases=["incast_calendar"], tiny=True, repeats=1)
+    base = run_perf(cases=["storm"], tiny=True, repeats=1)
+    calendar = run_perf(cases=["storm_calendar"], tiny=True, repeats=1)
     assert base["cases"][0]["metrics"] == calendar["cases"][0]["metrics"]
     assert (
         base["cases"][0]["events_processed"]
         == calendar["cases"][0]["events_processed"]
     )
+
+
+def test_compiled_variant_is_bit_identical_or_skips():
+    # The compiled drain preserves (time, seq) order exactly; without
+    # the extension the case must skip with a reason, not pass silently.
+    compiled = run_perf(cases=["incast_compiled"], tiny=True, repeats=1)
+    entry = compiled["cases"][0]
+    if "skipped" in entry:
+        assert "compiled core unavailable" in entry["skipped"]
+        return
+    base = run_perf(cases=["incast_batched"], tiny=True, repeats=1)
+    # same workload, batching on in both: only the drain loop differs
+    assert entry["metrics"] == base["cases"][0]["metrics"]
+    assert entry["events_processed"] == base["cases"][0]["events_processed"]
+
+
+def test_storm_depth_exceeds_auto_crossover():
+    # The deep-pending case must actually sit past the documented
+    # calendar crossover at full scale (that is its reason to exist) and
+    # stay tiny in CI smoke runs.
+    from repro.sim.engine import AUTO_CALENDAR_DEPTH
+
+    assert PERF_CASES["storm"].overrides["depth"] >= AUTO_CALENDAR_DEPTH
+    assert PERF_CASES["storm"].tiny["depth"] < AUTO_CALENDAR_DEPTH
 
 
 def test_history_accumulates_snapshots(tmp_path):

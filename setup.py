@@ -1,12 +1,19 @@
-"""Legacy setup shim.
+"""Setup shim: packaging plus the optional compiled event core.
 
 The offline environment lacks the ``wheel`` package, so PEP 660 editable
 installs (``pip install -e .``) cannot build an editable wheel.  This shim
-lets ``python setup.py develop`` provide the equivalent editable install;
-all metadata lives in pyproject.toml.
+lets ``python setup.py develop`` provide the equivalent editable install.
+
+The ``repro._ckernel.corekernel`` extension is *optional*: with no C
+compiler (or a broken toolchain) the build emits a warning and the
+install still succeeds — the engine then runs on the pure-Python heap
+path, which is the behavioral reference (see
+``docs/INVARIANTS.md#compiled-parity``).  Build in place with::
+
+    python setup.py build_ext --inplace
 """
 
-from setuptools import find_packages, setup
+from setuptools import Extension, find_packages, setup
 
 setup(
     name="repro",
@@ -14,4 +21,11 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
+    ext_modules=[
+        Extension(
+            "repro._ckernel.corekernel",
+            sources=["src/repro/_ckernel/corekernel.c"],
+            optional=True,
+        )
+    ],
 )

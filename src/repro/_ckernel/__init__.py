@@ -1,0 +1,13 @@
+"""Optional compiled event core (C extension).
+
+This package holds ``corekernel.c`` and, after ``python setup.py
+build_ext --inplace`` (or a wheel built with a C compiler present), the
+``corekernel`` extension module.  The build is *optional*: ``setup.py``
+marks the extension ``optional=True``, so a failed build degrades to the
+pure-Python engine with a warning, never an install error.
+
+Do not import ``repro._ckernel.corekernel`` directly — the gated loader
+:mod:`repro.sim._compiled` is the only sanctioned importer (enforced by
+the ``compiled-core-import`` lint rule), and
+``Simulator(scheduler="compiled"|"best")`` is the public surface.
+"""

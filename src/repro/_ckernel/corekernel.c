@@ -1,0 +1,492 @@
+/* corekernel: compiled event core for repro.sim.engine (optional).
+ *
+ * Implements the scheduler hot path as a CPython extension:
+ *
+ *   - heappush(heap, entry) / heappop(heap): binary-heap ops over the
+ *     engine's (time, seq, fn, args) tuples, comparing time and seq as
+ *     C int64 instead of generic Python tuple comparison;
+ *   - drain(sim, heap, until, max_events) -> (processed, budget_hit):
+ *     the run loop — pop-first, lazy cancellation compaction, horizon
+ *     and budget re-push with the original sequence number — executed
+ *     without interpreter dispatch between events.
+ *
+ * Contract (docs/INVARIANTS.md#compiled-parity): the pure-Python heap
+ * loop in Simulator.run is the reference.  drain() operates on the SAME
+ * Python list the ports' inlined pushes target, and (time, seq) is a
+ * total order (seq is unique), so the pop sequence is identical for any
+ * valid heap layout — mixing heapq pushes with compiled pops is safe.
+ *
+ * Only repro.sim._compiled may import this module (compiled-core-import
+ * lint rule); everything else goes through Simulator(scheduler=...).
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+/* ------------------------------------------------------------------ */
+/* Interned attribute names (created once at module init).             */
+/* ------------------------------------------------------------------ */
+
+static PyObject *str_now;               /* "now"               */
+static PyObject *str_cancelled;         /* "cancelled"         */
+static PyObject *str_fired;             /* "_fired"            */
+static PyObject *str_fn;                /* "fn"                */
+static PyObject *str_args;              /* "args"              */
+static PyObject *str_events_processed;  /* "_events_processed" */
+static PyObject *str_live;              /* "_live"             */
+
+/* ------------------------------------------------------------------ */
+/* Entry comparison: (time, seq) as int64 with a generic fallback.     */
+/* ------------------------------------------------------------------ */
+
+/* a < b for two heap entries.  Returns 1/0, or -1 with an exception
+ * set.  Fast path: both entries are tuples whose first two items are
+ * machine-sized ints — the engine's invariant (integer nanoseconds,
+ * itertools.count sequence numbers).  Anything else falls back to
+ * PyObject_RichCompareBool on the full tuples, which reproduces
+ * heapq's ordering exactly (seq uniqueness means items 2/3 are never
+ * reached by tuple comparison either way). */
+static int
+entry_lt(PyObject *a, PyObject *b)
+{
+    if (PyTuple_CheckExact(a) && PyTuple_CheckExact(b) &&
+        PyTuple_GET_SIZE(a) >= 2 && PyTuple_GET_SIZE(b) >= 2) {
+        PyObject *ta = PyTuple_GET_ITEM(a, 0);
+        PyObject *tb = PyTuple_GET_ITEM(b, 0);
+        PyObject *sa = PyTuple_GET_ITEM(a, 1);
+        PyObject *sb = PyTuple_GET_ITEM(b, 1);
+        if (PyLong_CheckExact(ta) && PyLong_CheckExact(tb) &&
+            PyLong_CheckExact(sa) && PyLong_CheckExact(sb)) {
+            int oa = 0, ob = 0;
+            long long va = PyLong_AsLongLongAndOverflow(ta, &oa);
+            long long vb = PyLong_AsLongLongAndOverflow(tb, &ob);
+            if (!oa && !ob) {
+                if (va != vb)
+                    return va < vb;
+                va = PyLong_AsLongLongAndOverflow(sa, &oa);
+                vb = PyLong_AsLongLongAndOverflow(sb, &ob);
+                if (!oa && !ob)
+                    return va < vb;
+            }
+            /* int64 overflow (~292-year clocks): generic fallback. */
+        }
+    }
+    return PyObject_RichCompareBool(a, b, Py_LT);
+}
+
+/* ------------------------------------------------------------------ */
+/* Heap primitives (heapq-compatible sift logic).                      */
+/* ------------------------------------------------------------------ */
+
+/* Bubble heap[pos] toward the root until it finds its place.  The
+ * generic comparison fallback can run arbitrary Python code, so the
+ * list size is re-checked after every compare. */
+static int
+siftdown_(PyObject *heap, Py_ssize_t startpos, Py_ssize_t pos)
+{
+    Py_ssize_t size = PyList_GET_SIZE(heap);
+    while (pos > startpos) {
+        Py_ssize_t parentpos = (pos - 1) >> 1;
+        PyObject *item = PyList_GET_ITEM(heap, pos);
+        PyObject *parent = PyList_GET_ITEM(heap, parentpos);
+        Py_INCREF(item);
+        Py_INCREF(parent);
+        int cmp = entry_lt(item, parent);
+        Py_DECREF(item);
+        Py_DECREF(parent);
+        if (cmp < 0)
+            return -1;
+        if (PyList_GET_SIZE(heap) != size) {
+            PyErr_SetString(PyExc_RuntimeError,
+                            "heap changed size during sift");
+            return -1;
+        }
+        if (!cmp)
+            break;
+        /* swap heap[pos] <-> heap[parentpos] in place */
+        PyObject **arr = ((PyListObject *)heap)->ob_item;
+        PyObject *tmp = arr[pos];
+        arr[pos] = arr[parentpos];
+        arr[parentpos] = tmp;
+        pos = parentpos;
+    }
+    return 0;
+}
+
+/* Sink heap[pos]: follow the smaller child down to a leaf, then bubble
+ * back up (heapq's two-phase sift, fewer comparisons per level). */
+static int
+siftup_(PyObject *heap, Py_ssize_t pos)
+{
+    Py_ssize_t size = PyList_GET_SIZE(heap);
+    Py_ssize_t startpos = pos;
+    Py_ssize_t limit = size >> 1; /* nodes below have no children */
+    while (pos < limit) {
+        Py_ssize_t childpos = 2 * pos + 1;
+        if (childpos + 1 < size) {
+            PyObject *left = PyList_GET_ITEM(heap, childpos);
+            PyObject *right = PyList_GET_ITEM(heap, childpos + 1);
+            Py_INCREF(left);
+            Py_INCREF(right);
+            int cmp = entry_lt(left, right);
+            Py_DECREF(left);
+            Py_DECREF(right);
+            if (cmp < 0)
+                return -1;
+            if (PyList_GET_SIZE(heap) != size) {
+                PyErr_SetString(PyExc_RuntimeError,
+                                "heap changed size during sift");
+                return -1;
+            }
+            if (!cmp)
+                childpos += 1;
+        }
+        PyObject **arr = ((PyListObject *)heap)->ob_item;
+        PyObject *tmp = arr[pos];
+        arr[pos] = arr[childpos];
+        arr[childpos] = tmp;
+        pos = childpos;
+    }
+    return siftdown_(heap, startpos, pos);
+}
+
+/* Append + sift; 0 on success, -1 with exception set. */
+static int
+heappush_internal(PyObject *heap, PyObject *item)
+{
+    if (PyList_Append(heap, item) < 0)
+        return -1;
+    return siftdown_(heap, 0, PyList_GET_SIZE(heap) - 1);
+}
+
+/* Pop the smallest entry; new reference, NULL with exception set
+ * (IndexError on an empty heap, matching heapq). */
+static PyObject *
+heappop_internal(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    if (n == 0) {
+        PyErr_SetString(PyExc_IndexError, "index out of range");
+        return NULL;
+    }
+    PyObject *last = PyList_GET_ITEM(heap, n - 1);
+    Py_INCREF(last);
+    if (PyList_SetSlice(heap, n - 1, n, NULL) < 0) {
+        Py_DECREF(last);
+        return NULL;
+    }
+    if (PyList_GET_SIZE(heap) == 0)
+        return last; /* it was the only entry */
+    PyObject *smallest = PyList_GET_ITEM(heap, 0);
+    Py_INCREF(smallest);
+    if (PyList_SetItem(heap, 0, last) < 0) { /* steals ref to last */
+        Py_DECREF(smallest);
+        return NULL;
+    }
+    if (siftup_(heap, 0) < 0) {
+        Py_DECREF(smallest);
+        return NULL;
+    }
+    return smallest;
+}
+
+/* ------------------------------------------------------------------ */
+/* Module-level heappush / heappop.                                    */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+ck_heappush(PyObject *self, PyObject *args)
+{
+    PyObject *heap, *item;
+    if (!PyArg_ParseTuple(args, "O!O:heappush", &PyList_Type, &heap, &item))
+        return NULL;
+    if (heappush_internal(heap, item) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+ck_heappop(PyObject *self, PyObject *args)
+{
+    PyObject *heap;
+    if (!PyArg_ParseTuple(args, "O!:heappop", &PyList_Type, &heap))
+        return NULL;
+    return heappop_internal(heap);
+}
+
+/* ------------------------------------------------------------------ */
+/* drain: the run loop.                                                */
+/* ------------------------------------------------------------------ */
+
+/* Counter accounting mirrors the reference loop's finally clause:
+ * sim._events_processed += processed; sim._live -= processed — on
+ * every exit path, including a callback exception (the original
+ * exception is preserved around the attribute arithmetic). */
+static int
+account(PyObject *sim, long long processed)
+{
+    if (processed == 0)
+        return 0;
+    PyObject *delta = PyLong_FromLongLong(processed);
+    if (delta == NULL)
+        return -1;
+
+    PyObject *old = PyObject_GetAttr(sim, str_events_processed);
+    if (old == NULL)
+        goto fail;
+    PyObject *updated = PyNumber_Add(old, delta);
+    Py_DECREF(old);
+    if (updated == NULL)
+        goto fail;
+    int rc = PyObject_SetAttr(sim, str_events_processed, updated);
+    Py_DECREF(updated);
+    if (rc < 0)
+        goto fail;
+
+    old = PyObject_GetAttr(sim, str_live);
+    if (old == NULL)
+        goto fail;
+    updated = PyNumber_Subtract(old, delta);
+    Py_DECREF(old);
+    if (updated == NULL)
+        goto fail;
+    rc = PyObject_SetAttr(sim, str_live, updated);
+    Py_DECREF(updated);
+    if (rc < 0)
+        goto fail;
+
+    Py_DECREF(delta);
+    return 0;
+fail:
+    Py_DECREF(delta);
+    return -1;
+}
+
+static PyObject *
+ck_drain(PyObject *self, PyObject *args)
+{
+    PyObject *sim, *heap, *until, *max_events;
+    if (!PyArg_ParseTuple(args, "OO!OO:drain",
+                          &sim, &PyList_Type, &heap, &until, &max_events))
+        return NULL;
+
+    int has_horizon = 0;
+    long long horizon = 0;
+    if (until != Py_None) {
+        horizon = PyLong_AsLongLong(until);
+        if (horizon == -1 && PyErr_Occurred())
+            return NULL;
+        has_horizon = 1;
+    }
+    long long limit = -1;
+    if (max_events != Py_None) {
+        limit = PyLong_AsLongLong(max_events);
+        if (limit == -1 && PyErr_Occurred())
+            return NULL;
+    }
+
+    long long processed = 0;
+    int budget_hit = 0;
+    int err = 0;
+
+    while (PyList_GET_SIZE(heap) > 0) {
+        PyObject *entry = heappop_internal(heap);
+        if (entry == NULL) {
+            err = 1;
+            break;
+        }
+        if (!PyTuple_CheckExact(entry) || PyTuple_GET_SIZE(entry) != 4) {
+            PyErr_SetString(PyExc_TypeError,
+                            "heap entry is not a (time, seq, fn, args) tuple");
+            Py_DECREF(entry);
+            err = 1;
+            break;
+        }
+        PyObject *time_obj = PyTuple_GET_ITEM(entry, 0); /* borrowed */
+        PyObject *fn = PyTuple_GET_ITEM(entry, 2);       /* borrowed */
+        PyObject *cargs = PyTuple_GET_ITEM(entry, 3);    /* borrowed */
+
+        PyObject *callee;    /* strong: callable to invoke */
+        PyObject *callargs;  /* strong: argument tuple      */
+
+        if (fn == Py_None) {
+            /* Cancellable entry: the Event handle rides in the args
+             * slot.  Cancelled entries are compacted lazily — they
+             * consume no budget and the live count was already
+             * decremented by Event.cancel. */
+            PyObject *event = cargs;
+            PyObject *flag = PyObject_GetAttr(event, str_cancelled);
+            if (flag == NULL) {
+                Py_DECREF(entry);
+                err = 1;
+                break;
+            }
+            int is_cancelled = PyObject_IsTrue(flag);
+            Py_DECREF(flag);
+            if (is_cancelled < 0) {
+                Py_DECREF(entry);
+                err = 1;
+                break;
+            }
+            if (is_cancelled) {
+                Py_DECREF(entry);
+                continue;
+            }
+            long long t = PyLong_AsLongLong(time_obj);
+            if (t == -1 && PyErr_Occurred()) {
+                Py_DECREF(entry);
+                err = 1;
+                break;
+            }
+            if (has_horizon && t > horizon) {
+                if (heappush_internal(heap, entry) < 0)
+                    err = 1;
+                Py_DECREF(entry);
+                break;
+            }
+            if (limit >= 0 && processed == limit) {
+                if (heappush_internal(heap, entry) < 0)
+                    err = 1;
+                else
+                    budget_hit = 1;
+                Py_DECREF(entry);
+                break;
+            }
+            if (PyObject_SetAttr(event, str_fired, Py_True) < 0) {
+                Py_DECREF(entry);
+                err = 1;
+                break;
+            }
+            callee = PyObject_GetAttr(event, str_fn);
+            callargs = callee ? PyObject_GetAttr(event, str_args) : NULL;
+            if (callargs == NULL) {
+                Py_XDECREF(callee);
+                Py_DECREF(entry);
+                err = 1;
+                break;
+            }
+        }
+        else {
+            long long t = PyLong_AsLongLong(time_obj);
+            if (t == -1 && PyErr_Occurred()) {
+                Py_DECREF(entry);
+                err = 1;
+                break;
+            }
+            if (has_horizon && t > horizon) {
+                if (heappush_internal(heap, entry) < 0)
+                    err = 1;
+                Py_DECREF(entry);
+                break;
+            }
+            if (limit >= 0 && processed == limit) {
+                if (heappush_internal(heap, entry) < 0)
+                    err = 1;
+                else
+                    budget_hit = 1;
+                Py_DECREF(entry);
+                break;
+            }
+            callee = fn;
+            callargs = cargs;
+            Py_INCREF(callee);
+            Py_INCREF(callargs);
+        }
+
+        if (PyObject_SetAttr(sim, str_now, time_obj) < 0) {
+            Py_DECREF(callee);
+            Py_DECREF(callargs);
+            Py_DECREF(entry);
+            err = 1;
+            break;
+        }
+        processed += 1;
+        PyObject *res = PyObject_Call(callee, callargs, NULL);
+        Py_DECREF(callee);
+        Py_DECREF(callargs);
+        Py_DECREF(entry);
+        if (res == NULL) {
+            err = 1;
+            break;
+        }
+        Py_DECREF(res);
+    }
+
+    if (err) {
+        /* Preserve the propagating exception around the accounting. */
+        PyObject *etype, *evalue, *etb;
+        PyErr_Fetch(&etype, &evalue, &etb);
+        if (account(sim, processed) < 0) {
+            /* Accounting itself failed: the counters are broken, which
+             * is worse than losing the callback traceback — but keep
+             * the original error when there was one. */
+            if (etype == NULL)
+                return NULL;
+            PyErr_Clear();
+        }
+        if (etype != NULL)
+            PyErr_Restore(etype, evalue, etb);
+        return NULL;
+    }
+    if (account(sim, processed) < 0)
+        return NULL;
+    return Py_BuildValue("(Li)", processed, budget_hit);
+}
+
+/* ------------------------------------------------------------------ */
+/* Module definition.                                                  */
+/* ------------------------------------------------------------------ */
+
+PyDoc_STRVAR(ck_heappush_doc,
+"heappush(heap, entry)\n\n"
+"Push an entry onto the heap list, comparing (time, seq) as int64.");
+
+PyDoc_STRVAR(ck_heappop_doc,
+"heappop(heap)\n\n"
+"Pop and return the smallest entry (IndexError when empty).");
+
+PyDoc_STRVAR(ck_drain_doc,
+"drain(sim, heap, until, max_events) -> (processed, budget_hit)\n\n"
+"Run the event loop over the simulator's heap list: pop entries in\n"
+"(time, seq) order, skip cancelled entries, honor the horizon and the\n"
+"event budget (re-pushing the boundary entry with its original seq),\n"
+"advance sim.now per event, and call each callback.  Counter\n"
+"accounting (sim._events_processed, sim._live) happens on every exit\n"
+"path, matching the pure-Python loop's finally clause.  The final\n"
+"clock advance to the horizon is the caller's job.");
+
+static PyMethodDef ck_methods[] = {
+    {"heappush", ck_heappush, METH_VARARGS, ck_heappush_doc},
+    {"heappop", ck_heappop, METH_VARARGS, ck_heappop_doc},
+    {"drain", ck_drain, METH_VARARGS, ck_drain_doc},
+    {NULL, NULL, 0, NULL},
+};
+
+PyDoc_STRVAR(ck_module_doc,
+"Compiled event core for repro.sim.engine.\n\n"
+"Import only through repro.sim._compiled (compiled-core-import rule);\n"
+"select it with Simulator(scheduler=\"compiled\") or \"best\".");
+
+static struct PyModuleDef ck_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro._ckernel.corekernel",
+    ck_module_doc,
+    -1,
+    ck_methods,
+};
+
+PyMODINIT_FUNC
+PyInit_corekernel(void)
+{
+    str_now = PyUnicode_InternFromString("now");
+    str_cancelled = PyUnicode_InternFromString("cancelled");
+    str_fired = PyUnicode_InternFromString("_fired");
+    str_fn = PyUnicode_InternFromString("fn");
+    str_args = PyUnicode_InternFromString("args");
+    str_events_processed = PyUnicode_InternFromString("_events_processed");
+    str_live = PyUnicode_InternFromString("_live");
+    if (!str_now || !str_cancelled || !str_fired || !str_fn || !str_args ||
+        !str_events_processed || !str_live)
+        return NULL;
+    return PyModule_Create(&ck_module);
+}

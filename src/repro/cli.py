@@ -390,6 +390,10 @@ def cmd_perf(args) -> None:
     """Run the tracked perf macro-benchmarks and write BENCH_perf.json."""
     from repro.perf import bench as perf_bench
 
+    if args.engines:
+        for line in perf_bench.engine_report():
+            print(line)
+        return
     compare = None
     if args.compare:
         try:
@@ -635,6 +639,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--warn-regression", action="store_true",
         help="print WARNING lines for cases >10%% below their --compare "
              "reference (informational; exit status is unaffected)",
+    )
+    perf_p.add_argument(
+        "--engines", action="store_true",
+        help="report which engine variants are live (compiled core "
+             "loaded or not, and what best/auto resolve to), then exit",
     )
     return parser
 

@@ -1,0 +1,128 @@
+"""Synthetic deep-pending scheduler stress: the ``event_storm`` scenario.
+
+Not a paper workload.  The macro grid's packet scenarios keep a few
+thousand events pending — far below the calendar queue's crossover — so
+none of them can show what the alternative schedulers buy.  This
+scenario drives the *hold model* from
+``benchmarks/perf/test_scheduler_microbench.py`` through the real
+:class:`~repro.sim.engine.Simulator`: ``depth`` self-rescheduling event
+streams stay live for the whole horizon, holding the pending set at a
+controlled depth (default well above
+:data:`~repro.sim.engine.AUTO_CALENDAR_DEPTH`), where per-push heap
+sifts cost log(depth) and the calendar queue's O(1) bucket appends win.
+It is the perf grid's deep-pending case (``storm`` /
+``storm_calendar``) and exercises ``scheduler="auto"``'s migration path.
+
+Determinism: one seeded hold table is precomputed up front; every stream
+walks it with a fixed stride.  No RNG is touched during the run, so the
+event sequence — and the collected metrics — are exact across runs and
+across schedulers (the parity tests rely on this).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.base import Scenario
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class EventStormConfig:
+    """Defaults sized for ~128k pending events and a short horizon."""
+
+    depth: int = 131_072  # concurrent self-rescheduling streams
+    duration_ns: int = 100_000
+    hold_min_ns: int = 200  # hold-model re-schedule delays
+    hold_max_ns: int = 40_000
+    table_size: int = 4096  # precomputed hold table entries
+    seed: int = 7
+
+
+@dataclass
+class EventStormResult:
+    """Raw outcome: event counts plus the depth actually sustained."""
+
+    depth: int
+    pending_at_start: int
+    events_processed: int
+    final_now: int
+    scheduler: str
+
+
+class _Stream:
+    """One self-rescheduling event stream walking the shared hold table."""
+
+    __slots__ = ("sim", "holds", "index", "stop_ns")
+
+    def __init__(self, sim: Simulator, holds, index: int, stop_ns: int):
+        self.sim = sim
+        self.holds = holds
+        self.index = index
+        self.stop_ns = stop_ns
+
+    def tick(self) -> None:
+        sim = self.sim
+        holds = self.holds
+        index = self.index
+        hold = holds[index]
+        # Fixed odd stride: decorrelates neighbouring streams without
+        # touching an RNG mid-run (determinism across schedulers).
+        self.index = (index + 37) % len(holds)
+        if sim.now + hold <= self.stop_ns:
+            sim.after(hold, self.tick)
+
+
+def run_event_storm(config: EventStormConfig) -> EventStormResult:
+    """Sustain ``depth`` pending events until the horizon and count work."""
+    if config.hold_min_ns < 1 or config.hold_max_ns <= config.hold_min_ns:
+        raise ValueError(
+            f"need 1 <= hold_min_ns < hold_max_ns, got "
+            f"{config.hold_min_ns}..{config.hold_max_ns}"
+        )
+    rng = random.Random(config.seed)
+    holds = [
+        rng.randrange(config.hold_min_ns, config.hold_max_ns)
+        for _ in range(config.table_size)
+    ]
+    sim = Simulator()
+    for k in range(config.depth):
+        stream = _Stream(sim, holds, k % len(holds), config.duration_ns)
+        # Staggered starts with a second stride so the initial burst does
+        # not land every stream on the same nanosecond.
+        sim.at(holds[(k * 17) % len(holds)], stream.tick)
+    pending_at_start = sim.pending
+    sim.run(until=config.duration_ns)
+    return EventStormResult(
+        depth=config.depth,
+        pending_at_start=pending_at_start,
+        events_processed=sim.events_processed,
+        final_now=sim.now,
+        scheduler=sim.scheduler,
+    )
+
+
+@scenario_registry.register
+class EventStormScenario(Scenario):
+    """Deep-pending churn for scheduler comparisons (not a paper figure)."""
+
+    name = "event_storm"
+    description = "deep-pending self-rescheduling churn (scheduler stress)"
+    config_cls = EventStormConfig
+
+    def tiny_overrides(self) -> dict:
+        return dict(depth=4096, duration_ns=60_000)
+
+    def build(self, config):
+        return lambda: run_event_storm(config)
+
+    def collect(self, config, raw: EventStormResult):
+        metrics = {
+            "events_processed": raw.events_processed,
+            "depth": raw.depth,
+            "pending_at_start": raw.pending_at_start,
+            "events_per_stream": raw.events_processed / max(raw.depth, 1),
+        }
+        return metrics, {}

@@ -173,6 +173,55 @@ def _calls_any(tree: ast.AST, names) -> bool:
     return False
 
 
+def _mentions_ckernel(dotted: str) -> bool:
+    """True when a dotted import path reaches into ``_ckernel``."""
+    return "_ckernel" in dotted.lstrip(".").split(".")
+
+
+@register_rule(
+    "compiled-core-import",
+    category="registry",
+    contract="docs/INVARIANTS.md#compiled-core-gating",
+)
+class CompiledCoreImportRule(Rule):
+    """Only the gated loader may import the compiled core (_ckernel).
+
+    ``repro.sim._compiled`` owns the probe: it caches the one import
+    attempt, records the failure reason, and lets ``scheduler="best"``
+    degrade to the pure-Python reference.  A direct import anywhere else
+    bypasses that gate — it would crash on boxes where the extension did
+    not build and dodge the parity contract
+    (``docs/INVARIANTS.md#compiled-parity``).  Select the engine through
+    ``Simulator(scheduler="compiled"|"best")`` instead.
+    """
+
+    def applies(self, ctx: LintContext) -> bool:
+        pkg = ctx.pkg_path
+        if pkg is None:
+            return True  # examples/, benchmarks/ outside the package
+        return pkg != "sim/_compiled.py" and not pkg.startswith("_ckernel/")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            modules = []
+            if isinstance(node, ast.Import):
+                modules = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                base = "." * node.level + (node.module or "")
+                modules = [base] + [
+                    f"{base}.{alias.name}" for alias in node.names
+                ]
+            if any(_mentions_ckernel(module) for module in modules):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "direct import of the compiled core — only the gated "
+                    "loader repro.sim._compiled may import _ckernel; use "
+                    "Simulator(scheduler='compiled'|'best') or the loader's "
+                    "compiled_available()/compiled_error()",
+                )
+
+
 @register_rule(
     "unregistered-routing-policy",
     category="registry",

@@ -17,11 +17,19 @@ Three macro workloads cover the simulator's distinct hot-path mixes:
 Engine-configuration variants rerun a workload under non-default engine
 settings (``PerfCase.engine`` → :func:`repro.sim.engine.engine_defaults`):
 ``incast_batched`` / ``websearch_batched`` / ``permutation_batched`` turn
-on packet-train batching, ``incast_calendar`` swaps in the calendar-queue
-scheduler.  When comparing against a reference document that predates a
+on packet-train batching, and ``incast_compiled`` /
+``websearch_compiled`` / ``permutation_compiled`` stack the compiled
+event core on top of batching (skipped with a note when the extension is
+not built).  When comparing against a reference document that predates a
 variant, the variant borrows the reference entry with the same
 ``(scenario, overrides)`` workload and *default* engine config — so the
 recorded speedup is engine-on vs engine-off over the identical workload.
+``storm`` / ``storm_calendar`` run the deep-pending ``event_storm``
+churn (~128k pending events, past the calendar crossover — see
+``AUTO_CALENDAR_DEPTH``) under the heap and calendar schedulers; the
+macro packet workloads never reach that depth, which is why no packet
+case runs on the calendar (the retired ``incast_calendar`` case measured
+exactly that mismatch, as a 0.61x regression).
 ``fluid_grid`` benchmarks the numpy-vectorized fluid integrator against
 the scalar loop on a phase-portrait-sized grid (its ``events`` are
 integration cell-steps, and its speedup is measured in-run against the
@@ -201,8 +209,12 @@ PERF_CASES: Dict[str, PerfCase] = {
             ),
             engine=dict(tx_batch_limit=8),
         ),
+        # Compiled event core stacked on batching: the optional C drain
+        # loop over the same workloads (skipped when the extension is
+        # not built).  Their --compare speedups measure compiled+batched
+        # vs the default engine on the identical workload.
         PerfCase(
-            name="incast_calendar",
+            name="incast_compiled",
             scenario="incast",
             overrides=dict(
                 algorithm="powertcp",
@@ -216,6 +228,66 @@ PERF_CASES: Dict[str, PerfCase] = {
                 burst_bytes=20_000,
                 duration_ns=1 * MSEC,
             ),
+            engine=dict(scheduler="compiled", tx_batch_limit=8),
+        ),
+        PerfCase(
+            name="websearch_compiled",
+            scenario="websearch",
+            overrides=dict(
+                algorithm="powertcp",
+                load=0.6,
+                duration_ns=20 * MSEC,
+                drain_ns=40 * MSEC,
+                size_scale=1 / 16,
+                max_flows=300,
+                seed=1,
+            ),
+            tiny=dict(
+                algorithm="powertcp",
+                load=0.4,
+                duration_ns=2 * MSEC,
+                drain_ns=6 * MSEC,
+                size_scale=1 / 16,
+                max_flows=15,
+                seed=1,
+            ),
+            engine=dict(scheduler="compiled", tx_batch_limit=8),
+        ),
+        PerfCase(
+            name="permutation_compiled",
+            scenario="permutation",
+            overrides=dict(
+                algorithm="powertcp",
+                flow_bytes=1_000_000,
+                duration_ns=4 * MSEC,
+                drain_ns=16 * MSEC,
+                seed=1,
+            ),
+            tiny=dict(
+                algorithm="powertcp",
+                flow_bytes=50_000,
+                duration_ns=1 * MSEC,
+                drain_ns=3 * MSEC,
+                seed=1,
+            ),
+            engine=dict(scheduler="compiled", tx_batch_limit=8),
+        ),
+        # Deep-pending scheduler stress: ~128k pending events, past the
+        # calendar crossover (AUTO_CALENDAR_DEPTH) that the packet
+        # workloads never approach.  storm_calendar's speedup against
+        # storm's workload-matched baseline is the calendar queue's win
+        # in its design regime.
+        PerfCase(
+            name="storm",
+            scenario="event_storm",
+            overrides=dict(depth=131_072, duration_ns=100_000, seed=7),
+            tiny=dict(depth=4096, duration_ns=60_000, seed=7),
+        ),
+        PerfCase(
+            name="storm_calendar",
+            scenario="event_storm",
+            overrides=dict(depth=131_072, duration_ns=100_000, seed=7),
+            tiny=dict(depth=4096, duration_ns=60_000, seed=7),
             engine=dict(scheduler="calendar"),
         ),
         # Vectorized fluid integration: n_w x n_q initial states, one
@@ -251,6 +323,19 @@ def run_case(
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     if case.kind == "fluid_grid":
         return _run_fluid_grid_case(case, tiny=tiny, repeats=repeats)
+    if case.engine.get("scheduler") in ("compiled", "best"):
+        # Mirror the fluid_grid numpy probe: a missing optional
+        # accelerator is a skip note, never a red grid (the no-compiler
+        # install must run the whole suite on the pure-Python path).
+        from repro.sim import compiled_available, compiled_error
+
+        if not compiled_available():
+            return {
+                "case": case.name,
+                "scenario": case.scenario,
+                "overrides": case.config(tiny),
+                "skipped": f"compiled core unavailable: {compiled_error()}",
+            }
     scenario = get_scenario(case.scenario)
     overrides = case.config(tiny)
     runs: List[Dict[str, float]] = []
@@ -540,6 +625,37 @@ def regression_warnings(
                 f"{ref:,.0f}"
             )
     return warnings
+
+
+def engine_report() -> List[str]:
+    """Which engine variants are live in this interpreter (one line each).
+
+    The doctor surface behind ``repro perf --engines``: reports the
+    always-available pure-Python schedulers, whether the optional
+    compiled core loaded (with the failure reason when it did not), and
+    what the selection modes would resolve to right now.
+    """
+    from repro.sim import AUTO_CALENDAR_DEPTH, compiled_available, compiled_error
+    from repro.sim._compiled import load_compiled
+
+    lines = [
+        f"{'engine':>10s}  status",
+        f"{'heap':>10s}  built-in (default; the behavioral reference)",
+        f"{'calendar':>10s}  built-in (deep pending sets)",
+    ]
+    if compiled_available():
+        module = load_compiled()
+        where = getattr(module, "__file__", "built-in")
+        lines.append(f"{'compiled':>10s}  loaded ({where})")
+        lines.append(f"{'best':>10s}  -> compiled")
+    else:
+        lines.append(f"{'compiled':>10s}  unavailable: {compiled_error()}")
+        lines.append(f"{'best':>10s}  -> heap (compiled core unavailable)")
+    lines.append(
+        f"{'auto':>10s}  -> heap or calendar at first run "
+        f"(calendar at >= {AUTO_CALENDAR_DEPTH} pending events)"
+    )
+    return lines
 
 
 def format_bench(doc: Dict[str, Any]) -> List[str]:

@@ -34,6 +34,7 @@ BUILTIN_MODULES = (
     "repro.experiments.permutation",
     "repro.experiments.multibottleneck",
     "repro.experiments.lbmatrix",
+    "repro.experiments.storm",
 )
 
 

@@ -6,12 +6,15 @@ telemetry PowerTCP consumes.  The public surface is re-exported here.
 """
 
 from repro.sim.engine import (
+    AUTO_CALENDAR_DEPTH,
+    SCHEDULER_MODES,
     SCHEDULERS,
     CalendarQueue,
     Event,
     Simulator,
     engine_defaults,
 )
+from repro.sim._compiled import compiled_available, compiled_error
 from repro.sim.packet import (
     ACK,
     CNP,
@@ -30,6 +33,7 @@ from repro.sim.circuit import CircuitPort, CircuitSchedule
 
 __all__ = [
     "ACK",
+    "AUTO_CALENDAR_DEPTH",
     "CNP",
     "CalendarQueue",
     "CircuitPort",
@@ -43,10 +47,13 @@ __all__ = [
     "HopRecord",
     "Packet",
     "PacketPool",
+    "SCHEDULER_MODES",
     "SCHEDULERS",
     "SharedBuffer",
     "Simulator",
     "Switch",
+    "compiled_available",
+    "compiled_error",
     "engine_defaults",
     "get_pool",
 ]

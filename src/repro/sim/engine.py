@@ -9,7 +9,8 @@ packet deliveries, probe ticks) cost **zero object allocations** — this
 is the engine's fast path (:meth:`Simulator.at` / :meth:`Simulator.after`),
 and it returns no handle.
 
-Two schedulers store those entries (``Simulator(scheduler=...)``):
+Three schedulers store those entries (``Simulator(scheduler=...)``),
+plus two selection modes:
 
 * ``"heap"`` (default) — a single binary heap drained by ``heapq``.  The
   run loop and the ports' inlined pushes go straight at the raw list, so
@@ -18,10 +19,26 @@ Two schedulers store those entries (``Simulator(scheduler=...)``):
   O(1) appends into fixed-width time buckets and one C-speed ``sort``
   per bucket on activation.  It reproduces the heap's ``(time, seq)``
   order *exactly* (asserted by the determinism suite), and targets very
-  deep pending sets (large-fanout incast, scaled fat-trees) where heap
-  sift depth grows with log(pending).  See
+  deep pending sets (beyond roughly :data:`AUTO_CALENDAR_DEPTH` pending
+  events) where heap sift depth grows with log(pending).  See
   ``benchmarks/perf/test_scheduler_microbench.py`` for the measured
   crossover.
+* ``"compiled"`` — the same binary heap, drained by the optional C
+  extension (``repro._ckernel.corekernel`` via the gated loader
+  :mod:`repro.sim._compiled`).  The drain loop operates on the *same*
+  ``_heap`` list the ports' inlined pushes target, and ``(time, seq)``
+  is a total order, so the pop sequence — and therefore every
+  simulation result — is byte-identical to the pure-Python heap
+  (``docs/INVARIANTS.md#compiled-parity``).  Raises at construction
+  when the extension is not built.
+* ``"best"`` — resolves to ``"compiled"`` when the extension loaded,
+  else falls back to ``"heap"``.  The right default for perf-sensitive
+  callers that must still run on boxes without a C compiler.
+* ``"auto"`` — resolves to ``"heap"`` or ``"calendar"`` at the first
+  :meth:`Simulator.run` call, from the live pending depth against
+  :data:`AUTO_CALENDAR_DEPTH` (the documented calendar crossover).
+  Shallow workloads keep the heap; only genuinely deep pending sets pay
+  the calendar's activation sorts.
 
 Cancellable events — retransmission timers, pacing timers, DCQCN's rate
 timers — go through the explicit :meth:`Simulator.at_cancellable` /
@@ -54,8 +71,22 @@ from typing import Any, Callable, Optional
 #: clock a simulation can reach (≈292 years)
 _FOREVER = 1 << 63
 
-#: recognized scheduler names for ``Simulator(scheduler=...)``
-SCHEDULERS = ("heap", "calendar")
+#: concrete scheduler names a ``Simulator`` can resolve to
+SCHEDULERS = ("heap", "calendar", "compiled")
+
+#: everything ``Simulator(scheduler=...)`` accepts: concrete schedulers
+#: plus the selection modes ("best" -> compiled-when-available, "auto"
+#: -> heap/calendar by pending depth at first run)
+SCHEDULER_MODES = SCHEDULERS + ("best", "auto")
+
+#: pending-depth crossover for ``scheduler="auto"``: below this many
+#: live events the binary heap wins (sift depth is shallow and pushes
+#: are one C call); at or above it the calendar queue's O(1) bucket
+#: appends beat log(pending) sifts.  Measured by
+#: ``benchmarks/perf/test_scheduler_microbench.py`` (crossover ~64k on
+#: the hold-model churn); chosen conservatively so shallow macro
+#: workloads (incast included) never migrate.
+AUTO_CALENDAR_DEPTH = 65536
 
 #: process-wide defaults picked up by ``Simulator()`` when the
 #: corresponding constructor argument is omitted (see
@@ -78,9 +109,9 @@ def engine_defaults(
     """
     previous = dict(_ENGINE_DEFAULTS)
     if scheduler is not None:
-        if scheduler not in SCHEDULERS:
+        if scheduler not in SCHEDULER_MODES:
             raise ValueError(
-                f"unknown scheduler {scheduler!r}; available: {SCHEDULERS}"
+                f"unknown scheduler {scheduler!r}; available: {SCHEDULER_MODES}"
             )
         _ENGINE_DEFAULTS["scheduler"] = scheduler
     if tx_batch_limit is not None:
@@ -292,6 +323,8 @@ class Simulator:
         "pool",
         "scheduler",
         "_sched",
+        "_drain",
+        "_auto_pending",
         "tx_batch_limit",
         "events_coalesced",
         "pause_tracking",
@@ -307,9 +340,9 @@ class Simulator:
     ) -> None:
         if scheduler is None:
             scheduler = _ENGINE_DEFAULTS["scheduler"]
-        if scheduler not in SCHEDULERS:
+        if scheduler not in SCHEDULER_MODES:
             raise ValueError(
-                f"unknown scheduler {scheduler!r}; available: {SCHEDULERS}"
+                f"unknown scheduler {scheduler!r}; available: {SCHEDULER_MODES}"
             )
         if tx_batch_limit is None:
             tx_batch_limit = _ENGINE_DEFAULTS["tx_batch_limit"]
@@ -329,7 +362,32 @@ class Simulator:
         #: lazily attached per-simulator :class:`repro.sim.packet.PacketPool`
         #: (opaque to the engine; see ``repro.sim.packet.get_pool``)
         self.pool: Optional[object] = None
-        #: name of the active event scheduler ("heap" or "calendar")
+        #: compiled drain loop (corekernel.drain) when the compiled
+        #: engine is active, else None
+        self._drain = None
+        #: "auto" mode not yet resolved — the first :meth:`run` picks
+        #: heap vs calendar from the live pending depth
+        self._auto_pending = False
+        if scheduler == "best":
+            from repro.sim._compiled import compiled_available
+
+            scheduler = "compiled" if compiled_available() else "heap"
+        if scheduler == "compiled":
+            from repro.sim._compiled import compiled_error, load_compiled
+
+            module = load_compiled()
+            if module is None:
+                raise RuntimeError(
+                    "scheduler='compiled' requested but the compiled event "
+                    f"core is unavailable ({compiled_error()}); build it "
+                    "with 'python setup.py build_ext --inplace' or use "
+                    "scheduler='best' for automatic fallback"
+                )
+            self._drain = module.drain
+        elif scheduler == "auto":
+            self._auto_pending = True
+        #: name of the active event scheduler ("heap", "calendar", or
+        #: "compiled"; "auto" until the first run resolves it)
         self.scheduler = scheduler
         #: non-heap event store, or None on the default heap path (ports
         #: check this before inlining pushes into ``_heap`` directly)
@@ -429,8 +487,12 @@ class Simulator:
         counted here — they accrue to :attr:`events_processed` via
         :attr:`events_coalesced`).
         """
+        if self._auto_pending:
+            self._resolve_auto()
         if self._sched is not None:
             return self._run_sched(until, max_events)
+        if self._drain is not None:
+            return self._run_compiled(until, max_events)
         heap = self._heap
         pop = heapq.heappop
         push = heapq.heappush
@@ -560,6 +622,57 @@ class Simulator:
         if until is not None and not budget_hit and self.now < until:
             self.now = until
         return processed
+
+    def _run_compiled(
+        self, until: Optional[int], max_events: Optional[int]
+    ) -> int:
+        """:meth:`run` via the compiled drain loop — identical semantics.
+
+        ``corekernel.drain`` pops from the *same* ``_heap`` list the
+        Python fast path (and the ports' inlined pushes) use, mirroring
+        the reference loop event for event: lazy cancellation
+        compaction, horizon/budget re-push with the original sequence
+        number, per-event clock advance, and the counter accounting of
+        the ``finally`` clause (also on callback exceptions).  Only the
+        GC pause and the final clock advance to ``until`` live here.
+        """
+        pause = self.pause_gc and gc.isenabled()
+        if pause:
+            gc.disable()
+        try:
+            processed, budget_hit = self._drain(
+                self, self._heap, until, max_events
+            )
+        finally:
+            if pause:
+                gc.enable()
+        if until is not None and not budget_hit and self.now < until:
+            self.now = until
+        return processed
+
+    def _resolve_auto(self) -> None:
+        """Pick heap vs calendar from the pending depth (``"auto"`` mode).
+
+        Runs once, at the first :meth:`run` call: by then the workload
+        has seeded its initial event population, which is the best
+        available signal for eventual depth.  At or above
+        :data:`AUTO_CALENDAR_DEPTH` live events the existing heap
+        entries migrate into a :class:`CalendarQueue`; otherwise the
+        simulator stays on the heap path.  Either store preserves the
+        exact ``(time, seq)`` order, so resolution never changes
+        results — only the constant factors.
+        """
+        self._auto_pending = False
+        if self._live >= AUTO_CALENDAR_DEPTH:
+            sched = CalendarQueue()
+            heap = self._heap
+            for entry in heap:
+                sched.push(entry)
+            del heap[:]
+            self._sched = sched
+            self.scheduler = "calendar"
+        else:
+            self.scheduler = "heap"
 
     def _remove_entries(self, entries) -> None:
         """Un-schedule plain fast-path entries (rare path).

@@ -187,10 +187,16 @@ class EgressPort:
         # checks cost a few percent when multiplied by millions of
         # events.  Subclasses (CircuitPort) are never swapped, and the
         # engine configuration is fixed at Simulator construction, so
-        # the choice is safe to make once here.
+        # the choice is safe to make once here.  The compiled engine
+        # qualifies too (its drain pops from the same ``_heap`` list the
+        # specialized pushes target), but an unresolved ``"auto"``
+        # simulator must NOT: its first run may migrate the heap into a
+        # calendar queue, which a ``_HeapPort``'s raw-list pushes would
+        # bypass.
         if (
             cls is EgressPort
             and getattr(sim, "_sched", None) is None
+            and not getattr(sim, "_auto_pending", False)
             and getattr(sim, "tx_batch_limit", 1) == 1
         ):
             return object.__new__(_HeapPort)

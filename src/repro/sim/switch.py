@@ -71,6 +71,7 @@ class Switch:
         "buffer",
         "ports",
         "routes",
+        "_single",
         "rx_packets",
         "policy",
     )
@@ -100,6 +101,12 @@ class Switch:
         self.buffer = buffer
         self.ports: list[EgressPort] = []
         self.routes: Dict[int, Tuple[EgressPort, ...]] = {}
+        #: dst -> the sole egress port, for single-candidate rows only
+        #: (maintained by :meth:`set_route`): the hot receive path does
+        #: one dict probe instead of row lookup + length dispatch.  A
+        #: single-candidate row has no selection to make, so this can
+        #: never change a pick.
+        self._single: Dict[int, EgressPort] = {}
         self.rx_packets = 0
         self.policy = policy
         if policy is not None:
@@ -116,7 +123,12 @@ class Switch:
         """Set the candidate egress ports for destination host ``dst``."""
         if not ports:
             raise ValueError(f"no ports given for destination {dst}")
-        self.routes[dst] = tuple(ports)
+        row = tuple(ports)
+        self.routes[dst] = row
+        if len(row) == 1:
+            self._single[dst] = row[0]
+        else:
+            self._single.pop(dst, None)
 
     def set_policy(self, policy) -> None:
         """Per-switch policy override after construction.
@@ -187,6 +199,13 @@ class _EcmpSwitch(Switch):
     def receive(self, pkt: Packet) -> None:
         """Forward an arriving packet to the ECMP-routed egress port."""
         self.rx_packets += 1
+        # Single-candidate destinations (ToR downlinks, dumbbell hops —
+        # the bulk of every macro workload) resolve in one dict probe;
+        # multi-candidate rows fall through to the inlined ECMP pick.
+        port = self._single.get(pkt.dst)
+        if port is not None:
+            port.enqueue(pkt)
+            return
         try:
             options = self.routes[pkt.dst]
         except KeyError:

@@ -1,0 +1,34 @@
+"""Shared helper for tests parametrized over the compiled event core.
+
+When the optional C extension is not built, compiled-engine test cells
+skip with the loader's failure reason — a *visible* skip, never a silent
+pass.  CI's ``compiled-core`` job exports ``REPRO_REQUIRE_CKERNEL=1``,
+which turns those skips into hard failures: in the job that just built
+the extension, "not available" means the build silently fell back, which
+is exactly what that job exists to catch.
+"""
+
+import os
+
+import pytest
+
+
+def require_compiled(engine_or_name) -> None:
+    """Skip (or fail under REPRO_REQUIRE_CKERNEL) if the core is missing.
+
+    Accepts an engine-config dict (``{"scheduler": ...}``) or a scheduler
+    name; anything not requesting the compiled engine is a no-op.
+    """
+    scheduler = engine_or_name
+    if isinstance(engine_or_name, dict):
+        scheduler = engine_or_name.get("scheduler")
+    if scheduler != "compiled":
+        return
+    from repro.sim import compiled_available, compiled_error
+
+    if compiled_available():
+        return
+    reason = f"compiled event core not built: {compiled_error()}"
+    if os.environ.get("REPRO_REQUIRE_CKERNEL"):
+        pytest.fail(f"REPRO_REQUIRE_CKERNEL is set but {reason}")
+    pytest.skip(reason)

@@ -1,0 +1,9 @@
+"""Bad: importing the compiled core directly instead of via the loader."""
+
+from repro._ckernel import corekernel
+import repro._ckernel.corekernel
+from repro import _ckernel
+from .._ckernel import corekernel as ck
+
+drain = corekernel.drain if corekernel else ck.drain  # silence F401-ish unused
+heap_ops = (_ckernel, repro._ckernel.corekernel)

@@ -20,6 +20,7 @@ stream test.
 
 import pytest
 
+from compiled_support import require_compiled
 from repro.cc.base import AckFeedback, MissingFeedbackError
 from repro.cc.registry import (
     ALGORITHMS,
@@ -27,9 +28,18 @@ from repro.cc.registry import (
     load_builtin_algorithms,
     make_algorithm,
 )
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, engine_defaults
 from repro.sim.packet import HopRecord
 from repro.units import GBPS, USEC
+
+
+@pytest.fixture(autouse=True, params=["heap", "compiled"])
+def _engine(request):
+    # The contracts must hold regardless of which event core hosts the
+    # sender's simulator; compiled cells skip visibly when unbuilt.
+    require_compiled(request.param)
+    with engine_defaults(scheduler=request.param):
+        yield
 
 MTU = 1000
 BASE_RTT_NS = 20 * USEC

@@ -8,6 +8,7 @@ reuse, anonymous-port RNG fallbacks, or the process's allocation history.
 
 import pytest
 
+from compiled_support import require_compiled
 from repro.scenarios import get_scenario
 from repro.sim.engine import engine_defaults
 
@@ -21,11 +22,15 @@ def _run_tiny(name, **extra):
 
 
 #: every scheduler x batching engine configuration the simulator supports
+#: (compiled cells skip visibly when the optional extension is unbuilt)
 ENGINE_CONFIGS = [
     {"scheduler": "heap", "tx_batch_limit": 1},
     {"scheduler": "heap", "tx_batch_limit": 8},
     {"scheduler": "calendar", "tx_batch_limit": 1},
     {"scheduler": "calendar", "tx_batch_limit": 8},
+    {"scheduler": "compiled", "tx_batch_limit": 1},
+    {"scheduler": "compiled", "tx_batch_limit": 8},
+    {"scheduler": "auto", "tx_batch_limit": 1},
 ]
 
 
@@ -42,6 +47,7 @@ ENGINE_CONFIGS = [
     ],
 )
 def test_same_seed_same_run(scenario, extra, engine):
+    require_compiled(engine)
     with engine_defaults(**engine):
         events_a, metrics_a = _run_tiny(scenario, **extra)
         events_b, metrics_b = _run_tiny(scenario, **extra)
@@ -49,6 +55,7 @@ def test_same_seed_same_run(scenario, extra, engine):
     assert metrics_a == metrics_b
 
 
+@pytest.mark.parametrize("alternative", ["calendar", "compiled", "auto"])
 @pytest.mark.parametrize(
     "scenario,extra",
     [
@@ -56,13 +63,15 @@ def test_same_seed_same_run(scenario, extra, engine):
         ("websearch", {"algorithm": "hpcc", "seed": 7}),
     ],
 )
-def test_calendar_matches_heap_exactly(scenario, extra):
-    # The calendar queue preserves (time, seq) order exactly, so — unlike
-    # batching, which is a documented approximation — swapping schedulers
-    # must not move a single event or metric.
+def test_alternative_schedulers_match_heap_exactly(scenario, extra, alternative):
+    # Every non-heap event path preserves (time, seq) order exactly, so —
+    # unlike batching, which is a documented approximation — swapping
+    # schedulers must not move a single event or metric
+    # (docs/INVARIANTS.md#compiled-parity).
+    require_compiled(alternative)
     with engine_defaults(scheduler="heap"):
         events_h, metrics_h = _run_tiny(scenario, **extra)
-    with engine_defaults(scheduler="calendar"):
+    with engine_defaults(scheduler=alternative):
         events_c, metrics_c = _run_tiny(scenario, **extra)
     assert events_h == events_c
     assert metrics_h == metrics_c

@@ -11,18 +11,34 @@ in either stack fails in seconds instead of at the next bench run.
 The cells regenerate their lines locally and never call the bench
 harness's ``emit`` (which would overwrite the committed files being
 compared against).
+
+Every cell runs twice — once on the reference heap engine and once on
+the compiled event core — because the committed bytes are the parity
+oracle (docs/INVARIANTS.md#compiled-parity): if the C drain reordered a
+single event, the regenerated series would drift from the committed
+text.  The compiled cells skip visibly when the extension is unbuilt.
 """
 
 from pathlib import Path
 
+import pytest
+
+from compiled_support import require_compiled
 from repro.experiments.driver import FlowDriver
 from repro.fluid.reaction import decrease_vs_buildup_rate, three_case_comparison
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, engine_defaults
 from repro.sim.tracing import PortProbe
 from repro.topology.dumbbell import DumbbellParams, build_dumbbell
 from repro.units import GBPS, MSEC, USEC
 
 RESULTS = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+
+@pytest.fixture(autouse=True, params=["heap", "compiled"])
+def _engine(request):
+    require_compiled(request.param)
+    with engine_defaults(scheduler=request.param):
+        yield
 
 # Fig. 2 constants (benchmarks/test_fig2_reaction.py).
 B_BPS = 100 * GBPS / 8.0  # bytes/s

@@ -61,6 +61,12 @@ BAD_EXPECTATIONS = {
         ("cancel-fast-path", 6),
         ("cancel-fast-path", 7),
     ],
+    ("repro", "sim", "bad_ckernel_import.py"): [
+        ("compiled-core-import", 3),
+        ("compiled-core-import", 4),
+        ("compiled-core-import", 5),
+        ("compiled-core-import", 6),
+    ],
     ("repro", "sim", "bad_env.py"): [
         ("env-read", 8),
         ("env-read", 9),
@@ -81,6 +87,7 @@ BAD_EXPECTATIONS = {
 }
 
 GOOD_FIXTURES = [
+    ("repro", "sim", "_compiled.py"),
     ("repro", "sim", "good_determinism.py"),
     ("repro", "cc", "good_feedback_retention.py"),
     ("repro", "routing", "good_registered.py"),
